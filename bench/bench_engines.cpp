@@ -1,0 +1,111 @@
+// Ablation — the APSP engine family on one host.
+//
+// Compares every solver in the library on identical inputs: sequential FW
+// (Algorithm 1), blocked FW (Algorithm 2) with two block sizes, R-Kleene
+// divide-and-conquer, Johnson's algorithm (sparse comparator, §6), and
+// component-wise solving on a multi-component input. All outputs are
+// cross-validated before timing is reported.
+#include <cstdio>
+
+#include "core/apsp.hpp"
+#include "core/component_apsp.hpp"
+#include "core/rkleene.hpp"
+#include "fig_common.hpp"
+#include "graph/generators.hpp"
+#include "sssp/sssp.hpp"
+#include "util/timer.hpp"
+
+using namespace parfw;
+using S = MinPlus<float>;  // single precision, as in the paper
+
+namespace {
+
+double time_it(const std::function<void()>& fn) {
+  Timer t;
+  fn();
+  return t.millis();
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "APSP engine comparison (single host)",
+      "same 768-vertex graph through every solver; Johnson included as the\n"
+      "paper's §6 sparse-graph comparator. Multi-component case shows the\n"
+      "component decomposition's Σn_c³ advantage.");
+
+  const vertex_t n = 768;
+  const auto dense_g = gen::erdos_renyi(n, 0.08, 1234, 1.0, 100.0, true);
+  std::printf("graph: %lld vertices, %zu edges (8%% dense)\n\n",
+              static_cast<long long>(n), dense_g.num_edges());
+
+  Matrix<float> reference = dense_g.distance_matrix<S>();
+  const double t_seq = time_it([&] { floyd_warshall<S>(reference.view()); });
+
+  Table t({"engine", "ms", "vs sequential", "output ok"});
+  t.add_row({"sequential FW (Alg 1)", Table::num(t_seq, 0), "1.00", "ref"});
+
+  auto report = [&](const char* name, Matrix<float>&& result, double ms) {
+    const bool ok =
+        max_abs_diff<float>(reference.view(), result.view()) == 0.0;
+    t.add_row({name, Table::num(ms, 0), Table::num(t_seq / ms, 2),
+               ok ? "yes" : "NO"});
+  };
+
+  {
+    auto m = dense_g.distance_matrix<S>();
+    const double ms = time_it(
+        [&] { blocked_floyd_warshall<S>(m.view(), {.block_size = 64}); });
+    report("blocked FW b=64", std::move(m), ms);
+  }
+  {
+    auto m = dense_g.distance_matrix<S>();
+    const double ms = time_it(
+        [&] { blocked_floyd_warshall<S>(m.view(), {.block_size = 192}); });
+    report("blocked FW b=192", std::move(m), ms);
+  }
+  {
+    auto m = dense_g.distance_matrix<S>();
+    const double ms =
+        time_it([&] { rkleene_apsp<S>(m.view(), {.base_size = 64}); });
+    report("R-Kleene", std::move(m), ms);
+  }
+  {
+    Matrix<double> jd;
+    const double ms = time_it([&] { jd = sssp::johnson_apsp(dense_g); });
+    Matrix<float> m(jd.rows(), jd.cols());
+    for (std::size_t i = 0; i < jd.rows(); ++i)
+      for (std::size_t j = 0; j < jd.cols(); ++j)
+        m(i, j) = static_cast<float>(jd(i, j));
+    report("Johnson (n x Dijkstra)", std::move(m), ms);
+  }
+  std::printf("%s", t.str().c_str());
+
+  // Multi-component input: 4 x 192-vertex components.
+  const auto multi = gen::multi_component(4, 192, 0.2, 99);
+  auto dense_solve = multi.distance_matrix<S>();
+  const double t_dense = time_it(
+      [&] { blocked_floyd_warshall<S>(dense_solve.view(), {.block_size = 64}); });
+  Matrix<float> comp_result;
+  const double t_comp = time_it([&] {
+    comp_result = component_apsp<S>(multi, {.algorithm = ApspAlgorithm::kBlocked,
+                                            .block_size = 64})
+                      .dist;
+  });
+  std::printf("\nmulti-component (4 x 192): dense solve %.0f ms, "
+              "component solve %.0f ms (%.1fx; ideal 16x by flops), "
+              "outputs match: %s\n",
+              t_dense, t_comp, t_dense / t_comp,
+              max_abs_diff<float>(dense_solve.view(), comp_result.view()) ==
+                      0.0
+                  ? "yes"
+                  : "NO");
+
+  bench::footer(
+      "expect: every engine validates bit-for-bit; relative speeds are\n"
+      "host-dependent (the scalar FW's infinity-skip helps it on sparse\n"
+      "inputs at this scale — on GPUs the SRGEMM engines dominate, §2.6);\n"
+      "the component solve approaches its 16x flop advantage.");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 5 — ooGSrGemm performance vs block size.
+//
+// Paper: single GPU, buffer sizes m_x in {512, 1k, 2k, 4k}, block size b
+// swept over {128, 256, 512, 768, 1024, 2048}; GFLOP/s against the
+// 7800 GF/s no-FMA peak. Finding: for b > 768 the offload kernel runs
+// close to the in-core rate for every m_x; the Eq. (5) estimate of the
+// minimum block size (~624 with their accounting) matches.
+//
+// Reproduction in two parts:
+//  (1) the Summit-model rates via the §4.5 cost model (the paper-scale
+//      numbers), and
+//  (2) a REAL measurement of our offload engine on the simulated device
+//      with throttled transfers, showing the same transfer-bound ->
+//      compute-bound transition on this host.
+#include <cstdio>
+
+#include "devsim/device.hpp"
+#include "fig_common.hpp"
+#include "graph/graph.hpp"
+#include "offload/oog_srgemm.hpp"
+#include "srgemm/srgemm.hpp"
+#include "util/timer.hpp"
+
+using namespace parfw;
+using namespace parfw::perf;
+
+namespace {
+
+/// Measured GFLOP/s of the real offload engine for one (k, mx) point.
+double measured_oog_rate(std::size_t k, std::size_t mx, double link_bw) {
+  const std::size_t n = 4 * mx;  // 4x4 chunk grid
+  DenseEntryGen<float> gen(99, 1.0, 1.0f, 50.0f);
+  Matrix<float> A(n, k), B(k, n), C(n, n, value_traits<float>::infinity());
+  gen.fill_block(0, 0, A.view());
+  gen.fill_block(0, 0, B.view());
+
+  dev::DeviceConfig dc;
+  dc.memory_bytes = (n * k * 2 + 3 * mx * mx) * sizeof(float) + (1 << 20);
+  dc.d2h.bytes_per_sec = link_bw;
+  dc.h2d.bytes_per_sec = link_bw;
+  dev::Device device(dc);
+
+  offload::OogConfig cfg;
+  cfg.mx = cfg.nx = mx;
+  cfg.num_streams = 3;
+  Timer t;
+  offload::oog_srgemm<MinPlus<float>>(device, A.view(), B.view(), C.view(),
+                                      cfg);
+  device.synchronize();
+  return srgemm::flops(n, n, k) / t.seconds() / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Figure 5: out-of-GPU SRGEMM performance vs block size",
+      "paper: single V100; for block size > 768 the offload pipeline runs\n"
+      "near the 6.8 TF/s in-core SRGEMM rate for every buffer size m_x;\n"
+      "small blocks are transfer-bound. Eq. (5) predicts the threshold.");
+
+  const MachineConfig m = MachineConfig::summit();
+
+  std::printf("[a] Summit model (§4.5), GFLOP/s; peak = %.0f, in-core = %.0f\n\n",
+              m.srgemm_peak_flops / 1e9, m.srgemm_flops / 1e9);
+  Table model({"block", "mx=512", "mx=1k", "mx=2k", "mx=4k", "frac of in-core"});
+  for (double blk : {128.0, 256.0, 512.0, 768.0, 1024.0, 2048.0}) {
+    std::vector<std::string> row{Table::num(blk, 0)};
+    double frac = 0;
+    for (double mx : {512.0, 1024.0, 2048.0, 4096.0}) {
+      const double rate = model_oog_rate(m, 8 * mx, mx, blk, 3);
+      frac = rate / m.srgemm_flops;
+      row.push_back(Table::num(rate / 1e9, 0));
+    }
+    row.push_back(Table::num(frac, 2));
+    model.add_row(row);
+  }
+  std::printf("%s", model.str().c_str());
+  std::printf("\nEq.(5) minimum block size on this model: %.0f "
+              "(paper's estimate with its accounting: 624)\n\n",
+              min_offload_block(m));
+
+  // Real measurement: throttle the device link so the compute/transfer
+  // balance point (Eq. 5: k* = rate·word/(2·link)) falls at k* = 256,
+  // inside the sweep — the same experiment at this host's scale.
+  const double host_rate =
+      measured_oog_rate(256, 256, /*link_bw=*/0.0) * 1e9;  // flops/s, untimed
+  const double link_bw = host_rate * m.word_bytes / (2.0 * 256.0);
+  std::printf("[b] measured on the CPU substrate (in-core rate %.1f GF/s,\n"
+              "    device link throttled to %.3f GB/s => balance at k*~256)\n\n",
+              host_rate / 1e9, link_bw / 1e9);
+  Table meas({"block", "mx=128 GF/s", "mx=256 GF/s", "mx256 / in-core"});
+  for (std::size_t blk : {64u, 128u, 256u, 512u, 1024u}) {
+    const double r128 = measured_oog_rate(blk, 128, link_bw);
+    const double r256 = measured_oog_rate(blk, 256, link_bw);
+    meas.add_row({std::to_string(blk), Table::num(r128, 1),
+                  Table::num(r256, 1),
+                  Table::num(r256 * 1e9 / host_rate, 2)});
+  }
+  std::printf("%s", meas.str().c_str());
+
+  bench::footer(
+      "expect: [a] rates rise with block size and plateau near the in-core\n"
+      "rate from b ~= 768 for all m_x (paper Figure 5); [b] the measured\n"
+      "engine shows the same transfer-bound -> compute-bound transition.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation — block-sparse FW on structured sparse inputs (paper §7:
+// "add support of structured sparse graphs, where exploiting sparsity
+// becomes paramount").
+//
+// Sweeps edge density and reports the fraction of outer-product block
+// pairs the occupancy bitmap skips, plus the wall-clock effect. Sparse,
+// clustered inputs (road-network-like) skip most of the early-iteration
+// work; dense inputs reduce to plain blocked FW with bitmap overhead.
+#include <cstdio>
+
+#include "core/block_sparse_fw.hpp"
+#include "core/blocked_fw.hpp"
+#include "fig_common.hpp"
+#include "graph/generators.hpp"
+#include "util/timer.hpp"
+
+using namespace parfw;
+using S = MinPlus<float>;
+
+int main() {
+  bench::header(
+      "Block-sparse FW ablation (paper §7 future work)",
+      "n = 512, b = 32; outer products skipped via the per-block\n"
+      "occupancy bitmap, against plain blocked FW on the same input.");
+
+  const vertex_t n = 512;
+  const std::size_t b = 32;
+
+  Table t({"density", "skip %", "sparse ms", "blocked ms", "speedup",
+           "valid"});
+  for (double p : {0.001, 0.004, 0.016, 0.064, 0.25}) {
+    const auto g = gen::erdos_renyi(n, p, 4242, 1.0, 80.0, /*integral=*/true);
+
+    auto dense_m = g.distance_matrix<S>();
+    Timer t_dense;
+    blocked_floyd_warshall<S>(dense_m.view(), {.block_size = b});
+    const double ms_dense = t_dense.millis();
+
+    auto sparse_m = g.distance_matrix<S>();
+    Timer t_sparse;
+    const auto stats = block_sparse_floyd_warshall<S>(sparse_m.view(), b);
+    const double ms_sparse = t_sparse.millis();
+
+    const bool ok =
+        max_abs_diff<float>(dense_m.view(), sparse_m.view()) == 0.0;
+    t.add_row({Table::num(p, 3), Table::num(100 * stats.skip_fraction(), 1),
+               Table::num(ms_sparse, 0), Table::num(ms_dense, 0),
+               Table::num(ms_dense / ms_sparse, 2), ok ? "yes" : "NO"});
+  }
+  std::printf("%s", t.str().c_str());
+
+  // Structured sparsity: disconnected chain clusters never mix, so the
+  // bitmap stays sparse through ALL iterations (the supernodal best case).
+  Graph chains(n);
+  for (vertex_t c = 0; c < 16; ++c)
+    for (vertex_t i = 0; i + 1 < 32; ++i)
+      chains.add_edge(c * 32 + i, c * 32 + i + 1, 1.0);
+  auto m1 = chains.distance_matrix<S>();
+  Timer t1;
+  blocked_floyd_warshall<S>(m1.view(), {.block_size = b});
+  const double ms1 = t1.millis();
+  auto m2 = chains.distance_matrix<S>();
+  Timer t2;
+  const auto cs = block_sparse_floyd_warshall<S>(m2.view(), b);
+  std::printf("\nstructured case (16 disjoint chains): skip %.1f%%, "
+              "%.0f ms vs %.0f ms blocked (%.1fx), valid: %s\n",
+              100 * cs.skip_fraction(), t2.millis(), ms1, ms1 / t2.millis(),
+              max_abs_diff<float>(m1.view(), m2.view()) == 0.0 ? "yes" : "NO");
+
+  bench::footer(
+      "expect: skip%% and speedup fall as density rises (once the closure\n"
+      "densifies, nothing is skippable); the structured case keeps its\n"
+      "block sparsity through every iteration and wins the most.");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation — operand packing in the SRGEMM kernel (DESIGN.md §4).
+//
+// The blocked-FW hot shape multiplies thin panels that are strided views
+// of a much larger matrix (ld >> cols). Packing copies each macro tile
+// into contiguous scratch before the register sweep, trading O(mn+nk)
+// copies for dense streaming in the O(mnk) loop — the GotoBLAS recipe the
+// paper's CUTLASS kernel applies on the GPU side via shared-memory tiles.
+#include <benchmark/benchmark.h>
+
+#include "graph/graph.hpp"
+#include "semiring/semiring.hpp"
+#include "srgemm/srgemm.hpp"
+
+namespace {
+
+using S = parfw::MinPlus<float>;
+
+/// Panels carved out of a big matrix (ld = 2048 regardless of panel size).
+struct StridedOperands {
+  parfw::Matrix<float> backing;
+  parfw::MatrixView<const float> a, b;
+  parfw::MatrixView<float> c;
+
+  StridedOperands(std::size_t m, std::size_t n, std::size_t k)
+      : backing(2048, 2048) {
+    parfw::DenseEntryGen<float> gen(7, 1.0, 1.0f, 99.0f);
+    gen.fill_block(0, 0, backing.view());
+    a = backing.sub(0, 0, m, k);
+    b = backing.sub(0, 512, k, n);
+    c = backing.sub(512, 512, m, n);
+  }
+};
+
+void BM_PanelShapeUnpacked(benchmark::State& state) {
+  const std::size_t m = 1024, n = 1024, k = static_cast<std::size_t>(state.range(0));
+  StridedOperands ops(m, n, k);
+  for (auto _ : state) {
+    parfw::srgemm::multiply<S>(ops.a, ops.b, ops.c);
+    benchmark::DoNotOptimize(ops.c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      parfw::srgemm::flops(m, n, k) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PanelShapeUnpacked)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_PanelShapePacked(benchmark::State& state) {
+  const std::size_t m = 1024, n = 1024, k = static_cast<std::size_t>(state.range(0));
+  StridedOperands ops(m, n, k);
+  parfw::srgemm::Config cfg;
+  cfg.pack = true;
+  for (auto _ : state) {
+    parfw::srgemm::multiply<S>(ops.a, ops.b, ops.c, cfg);
+    benchmark::DoNotOptimize(ops.c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      parfw::srgemm::flops(m, n, k) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PanelShapePacked)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

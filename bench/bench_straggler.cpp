@@ -1,0 +1,93 @@
+// §3.3 ablation — straggler / network-noise tolerance of the schedules.
+//
+// Paper: bulk-synchronous broadcasts mean "in the cases where some
+// network links are slower due to network contention or if there are
+// straggler processes then its impact propagates to all the processes";
+// the pipelined/asynchronous schedules decouple ranks.
+//
+// Two noise sources, injected deterministically into the DES:
+//   [a] COMPUTE jitter (straggler ranks) — absorbed by the slack the
+//       look-ahead schedule creates; the bulk-synchronous baseline pays
+//       the per-iteration maximum of the noise.
+//   [b] NETWORK jitter (contended / slow links) — the paper's headline
+//       scenario for the ring: panel transfers ride background NIC-agent
+//       relays that overlap the bulk compute, so inflated transfers hide
+//       under OuterUpdate instead of extending a synchronous broadcast.
+#include <cstdio>
+
+#include "fig_common.hpp"
+
+using namespace parfw;
+using namespace parfw::perf;
+
+namespace {
+
+double run_one(const MachineConfig& m, const Legend& legend, double n,
+               double b, int nodes, double comp_jitter, double net_jitter) {
+  MachineConfig noisy = m;
+  noisy.net_jitter = net_jitter;
+  const GridSetup setup = make_grid(m, nodes, legend.reordered);
+  FwProblem prob;
+  prob.variant = legend.variant;
+  prob.b = b;
+  prob.n = std::ceil(n / b) * b;
+  prob.comp_jitter = comp_jitter;
+  const BuiltProgram built =
+      build_fw_program(noisy, prob, setup.grid, setup.node_of);
+  return simulate(built.programs, built.node_of, noisy).makespan;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Straggler / network-noise tolerance (paper §3.3 claim)",
+      "64 nodes, n = 196,608; seconds ADDED to each variant's makespan\n"
+      "under injected noise, relative to its own noise-free run.");
+
+  const MachineConfig m = MachineConfig::summit();
+  const double n = 196608, b = 768;
+  const int nodes = 64;
+  const auto legends = paper_legends();
+  const std::size_t pick[3] = {0, 1, 3};  // baseline, pipelined, +async
+
+  double clean[3];
+  for (int i = 0; i < 3; ++i)
+    clean[i] = run_one(m, legends[pick[i]], n, b, nodes, 0.0, 0.0);
+  std::printf("noise-free makespans: baseline %.2fs, pipelined %.2fs, "
+              "+async %.2fs\n",
+              clean[0], clean[1], clean[2]);
+
+  std::printf("\n[a] compute jitter (straggler ranks)\n\n");
+  Table ta({"jitter", "baseline +s", "pipelined +s", "+async +s",
+            "pipelined absorbs"});
+  for (double j : {0.1, 0.3, 0.6, 1.0}) {
+    double added[3];
+    for (int i = 0; i < 3; ++i)
+      added[i] = run_one(m, legends[pick[i]], n, b, nodes, j, 0.0) - clean[i];
+    ta.add_row({Table::num(j, 1), Table::num(added[0], 2),
+                Table::num(added[1], 2), Table::num(added[2], 2),
+                Table::num(added[0] / std::max(added[1], 1e-9), 2)});
+  }
+  std::printf("%s", ta.str().c_str());
+
+  std::printf("\n[b] network jitter (contended links — the ring's case)\n\n");
+  Table tb({"jitter", "baseline +s", "pipelined +s", "+async +s",
+            "async absorbs"});
+  for (double j : {0.25, 0.5, 1.0, 2.0}) {
+    double added[3];
+    for (int i = 0; i < 3; ++i)
+      added[i] = run_one(m, legends[pick[i]], n, b, nodes, 0.0, j) - clean[i];
+    tb.add_row({Table::num(j, 2), Table::num(added[0], 2),
+                Table::num(added[1], 2), Table::num(added[2], 2),
+                Table::num(added[0] / std::max(added[2], 1e-9), 2)});
+  }
+  std::printf("%s", tb.str().c_str());
+
+  bench::footer(
+      "expect: [a] pipelined adds the fewest seconds (overlap slack absorbs\n"
+      "compute noise the synchronous baseline propagates); [b] +async adds\n"
+      "the fewest seconds under link noise (background ring relays hide\n"
+      "slow transfers under compute) — the paper's §3.3 asynchrony claim.");
+  return 0;
+}

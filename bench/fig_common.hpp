@@ -1,0 +1,42 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints: what the paper's figure shows, the regenerated
+// series (simulated on the Summit machine model and/or measured on the
+// CPU substrate), and the qualitative checks that tie the two together.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "perf/experiments.hpp"
+#include "perf/machine.hpp"
+#include "util/table.hpp"
+
+namespace parfw::bench {
+
+inline void header(const std::string& title, const std::string& paper_note) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("----------------------------------------------------------------\n");
+  std::printf("%s\n\n", paper_note.c_str());
+}
+
+inline void footer(const std::string& check) {
+  std::printf("\nshape check: %s\n\n", check.c_str());
+}
+
+/// The paper's Figure 4/7 vertex sweep (×~1.26 per step).
+inline std::vector<double> paper_vertex_sweep(double lo, double hi) {
+  // Paper values: 16384, 20643, 26008, 32768, 41285, 52016, 65536, ...
+  // Each step multiplies by 2^(1/3).
+  std::vector<double> out;
+  double v = 16384;
+  while (v <= hi * 1.001) {
+    if (v >= lo * 0.999) out.push_back(std::round(v));
+    v *= 1.2599210498948732;  // 2^(1/3)
+  }
+  return out;
+}
+
+}  // namespace parfw::bench

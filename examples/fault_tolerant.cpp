@@ -1,0 +1,71 @@
+// Fault-tolerant APSP: checkpoint/restart around a simulated crash.
+//
+// Leadership-class runs (the paper's 1.66M-vertex solve occupies 64 nodes
+// for hours) must survive node failures. Blocked FW's state after any
+// completed block iteration fully determines the remainder, so a
+// checkpoint is just (matrix, next-iteration) — this example takes
+// periodic checkpoints, "crashes" mid-run, restarts from the snapshot,
+// and proves the result is bit-identical to an uninterrupted solve.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/checkpoint.hpp"
+#include "graph/graph.hpp"
+#include "util/timer.hpp"
+
+using namespace parfw;
+using S = MinPlus<float>;
+
+int main() {
+  const std::size_t n = 768, b = 64, nb = n / b;
+  const std::size_t checkpoint_every = 3;  // iterations
+  DenseEntryGen<float> gen(8086, 1.0, 1.0f, 75.0f, /*integral=*/true);
+  std::printf("problem: n=%zu, %zu block iterations, checkpoint every %zu\n",
+              n, nb, checkpoint_every);
+
+  // Reference: uninterrupted run.
+  auto reference = gen.full(static_cast<vertex_t>(n));
+  Timer t_ref;
+  blocked_floyd_warshall<S>(reference.view(), {.block_size = b});
+  std::printf("uninterrupted solve: %.0f ms\n", t_ref.millis());
+
+  // Run with periodic checkpoints; crash (exception) after iteration 7.
+  const std::string ckpt_path = "/tmp/parfw_demo.ckpt";
+  struct SimulatedCrash {};
+  auto work = gen.full(static_cast<vertex_t>(n));
+  Timer t_crash;
+  try {
+    blocked_floyd_warshall_range<S>(
+        work.view(), 0, {.block_size = b},
+        [&](std::size_t k_done, MatrixView<float> view) {
+          if (k_done % checkpoint_every == 0) {
+            std::ofstream out(ckpt_path, std::ios::binary);
+            save_checkpoint<float>(out, MatrixView<const float>(view), k_done,
+                                   b);
+          }
+          if (k_done == 7) throw SimulatedCrash{};
+        });
+  } catch (const SimulatedCrash&) {
+    std::printf("crash injected after iteration 7 (%.0f ms in); last "
+                "checkpoint at iteration 6\n",
+                t_crash.millis());
+  }
+
+  // Restart: load the snapshot and resume.
+  std::ifstream in(ckpt_path, std::ios::binary);
+  auto restored = load_checkpoint<float>(in);
+  std::printf("restart from iteration %zu\n", restored.next_block);
+  Timer t_resume;
+  blocked_floyd_warshall_range<S>(restored.dist.view(), restored.next_block,
+                                  {.block_size = restored.block_size});
+  std::printf("resumed solve: %.0f ms for the remaining %zu iterations\n",
+              t_resume.millis(), nb - restored.next_block);
+
+  const double diff =
+      max_abs_diff<float>(reference.view(), restored.dist.view());
+  std::printf("bitwise match with the uninterrupted run: %s (max |diff| = %g)\n",
+              diff == 0.0 ? "yes" : "NO", diff);
+  std::remove(ckpt_path.c_str());
+  return diff == 0.0 ? 0 : 1;
+}

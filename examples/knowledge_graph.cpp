@@ -1,0 +1,98 @@
+// Knowledge-graph relationship mining (the paper's §1 motivating use).
+//
+// "In knowledge graph analytics, the relationship mining problems become
+// computing APSP in a large and dense graph."
+//
+// This example builds a synthetic entity co-occurrence graph (scale-free,
+// like real knowledge graphs), converts co-occurrence counts into
+// semantic distances, runs APSP, and mines it three ways:
+//   1. strongest indirect relationships (closest entity pairs that share
+//      no direct edge),
+//   2. centrality ranking by closeness (1 / mean distance to all others),
+//   3. widest-path "confidence routing" over the max-min semiring, where
+//      an edge's weight is the confidence of the relation and a path is
+//      as trustworthy as its weakest link.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/apsp.hpp"
+#include "graph/generators.hpp"
+
+using namespace parfw;
+
+int main() {
+  // Entity graph: preferential attachment gives the hub-dominated degree
+  // distribution typical of entity co-occurrence; weight = semantic
+  // distance (inverse association strength).
+  const vertex_t n = 400;
+  const Graph g = gen::preferential_attachment(n, 3, /*seed=*/42, 0.5, 4.0);
+  std::printf("knowledge graph: %lld entities, %zu relations\n",
+              static_cast<long long>(g.num_vertices()), g.num_edges());
+
+  ApspOptions opt;
+  opt.algorithm = ApspAlgorithm::kBlockedParallel;
+  opt.block_size = 64;
+  const auto apsp_result = apsp<MinPlus<double>>(g, opt);
+  const auto& dist = apsp_result.dist;
+
+  // Direct-edge lookup for filtering.
+  const auto direct = g.distance_matrix<MinPlus<double>>();
+
+  // 1. Strongest indirect relationships.
+  struct Pair {
+    vertex_t a, b;
+    double d;
+  };
+  std::vector<Pair> indirect;
+  for (vertex_t i = 0; i < n; ++i)
+    for (vertex_t j = i + 1; j < n; ++j) {
+      if (!value_traits<double>::is_inf(direct(i, j))) continue;  // direct
+      if (value_traits<double>::is_inf(dist(i, j))) continue;     // unrelated
+      indirect.push_back({i, j, dist(i, j)});
+    }
+  std::partial_sort(indirect.begin(),
+                    indirect.begin() + std::min<std::size_t>(5, indirect.size()),
+                    indirect.end(),
+                    [](const Pair& x, const Pair& y) { return x.d < y.d; });
+  std::printf("\nstrongest indirect relationships (no direct edge):\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, indirect.size()); ++i)
+    std::printf("  entity %lld <-> entity %lld  distance %.3f\n",
+                static_cast<long long>(indirect[i].a),
+                static_cast<long long>(indirect[i].b), indirect[i].d);
+
+  // 2. Closeness centrality.
+  std::vector<std::pair<double, vertex_t>> central;
+  for (vertex_t i = 0; i < n; ++i) {
+    double sum = 0;
+    int reach = 0;
+    for (vertex_t j = 0; j < n; ++j) {
+      if (i == j || value_traits<double>::is_inf(dist(i, j))) continue;
+      sum += dist(i, j);
+      ++reach;
+    }
+    if (reach > 0) central.emplace_back(static_cast<double>(reach) / sum, i);
+  }
+  std::sort(central.rbegin(), central.rend());
+  std::printf("\ntop-5 entities by closeness centrality:\n");
+  for (std::size_t i = 0; i < 5 && i < central.size(); ++i)
+    std::printf("  entity %lld  closeness %.4f\n",
+                static_cast<long long>(central[i].second), central[i].first);
+
+  // 3. Confidence routing: reuse the same machinery over max-min.
+  //    Confidence of an edge = 1 / (1 + distance); path confidence = min
+  //    edge confidence along it; best path = max over paths.
+  Graph conf_graph(n);
+  for (const Edge& e : g.edges())
+    conf_graph.add_edge(e.src, e.dst, 1.0 / (1.0 + e.weight));
+  auto conf = conf_graph.distance_matrix<MaxMin<double>>();
+  blocked_floyd_warshall<MaxMin<double>>(conf.view(), {.block_size = 64});
+  const vertex_t a = central.front().second;
+  const vertex_t b2 = central.back().second;
+  std::printf("\nconfidence between hub %lld and fringe %lld: "
+              "best direct %.3f, best path %.3f\n",
+              static_cast<long long>(a), static_cast<long long>(b2),
+              1.0 / (1.0 + direct(a, b2)),
+              conf(a, b2));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Out-of-core APSP: a distance matrix larger than accelerator memory
+// (the paper's Me-ParallelFw / ooGSrGemm machinery, §4.3-4.4).
+//
+// The host matrix here is 16 MiB while the simulated device gets only
+// 3 MiB — the same 5x ratio as the paper's 10 TB problem on 4 TB of
+// aggregate GPU memory. The offload engine closes the matrix by cycling
+// panels and result chunks through the device with a 3-stream pipeline.
+#include <cstdio>
+
+#include "core/floyd_warshall.hpp"
+#include "devsim/device.hpp"
+#include "graph/graph.hpp"
+#include "offload/offload_fw.hpp"
+#include "util/timer.hpp"
+
+using namespace parfw;
+
+int main() {
+  const std::size_t n = 2048;  // 2048^2 floats = 16 MiB
+  const std::size_t b = 128;
+  DenseEntryGen<float> gen(/*seed=*/99, 1.0, 1.0f, 60.0f);
+  auto dist = gen.full(static_cast<vertex_t>(n));
+  const double host_mb = n * n * sizeof(float) / 1048576.0;
+
+  dev::DeviceConfig dc;
+  dc.memory_bytes = 6 << 20;  // 6 MiB "GPU" vs a 16 MiB problem
+  dev::Device device(dc);
+  std::printf("host matrix: %.0f MiB; device memory: %.0f MiB (%.1fx smaller)\n",
+              host_mb, dc.memory_bytes / 1048576.0,
+              host_mb * 1048576.0 / dc.memory_bytes);
+
+  offload::OffloadFwOptions opt;
+  opt.block_size = b;
+  opt.oog.mx = opt.oog.nx = 256;
+  opt.oog.num_streams = 3;
+  opt.diag = DiagStrategy::kLogSquaring;
+
+  Timer t;
+  const auto stats = offload::offload_blocked_fw<MinPlus<float>>(
+      device, dist.view(), opt);
+  device.synchronize();
+  const double secs = t.seconds();
+
+  const auto c = device.counters();
+  std::printf("closed in %.2f s over %zu block iterations\n", secs,
+              stats.iterations);
+  std::printf("device traffic: %.1f MiB h2d, %.1f MiB d2h, %llu kernels, "
+              "peak residency %.2f MiB\n",
+              c.bytes_h2d / 1048576.0, c.bytes_d2h / 1048576.0,
+              static_cast<unsigned long long>(c.kernels_launched),
+              c.peak_bytes_in_use / 1048576.0);
+  std::printf("ooGSrGemm chunks processed: %zu\n", stats.oog_blocks);
+
+  // Spot-validate a few entries against sequential FW on a sub-problem is
+  // impractical at this size; instead verify the triangle inequality and
+  // diagonal invariants on samples.
+  Rng rng(5);
+  std::size_t violations = 0;
+  for (int s = 0; s < 100000; ++s) {
+    const auto i = rng.next_below(n), j = rng.next_below(n),
+               k = rng.next_below(n);
+    if (dist(i, j) > dist(i, k) + dist(k, j) + 1e-3f) ++violations;
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    if (dist(v, v) != 0.0f) ++violations;
+  std::printf("invariant check (100k sampled triangles + diagonal): %zu "
+              "violations\n",
+              violations);
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a graph, run APSP, query distances and paths.
+//
+//   $ ./quickstart
+//
+// Demonstrates the high-level apsp() API on a small road-like grid:
+// solve, read distances, reconstruct an explicit shortest path, and
+// re-solve incrementally after an edge improvement.
+#include <cstdio>
+
+#include "core/apsp.hpp"
+#include "core/incremental.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using S = parfw::MinPlus<double>;
+
+  // A 12x12 grid "road network" with random congestion weights.
+  const parfw::Graph g = parfw::gen::grid2d(12, 12, /*seed=*/2026);
+  std::printf("graph: %lld vertices, %zu edges\n",
+              static_cast<long long>(g.num_vertices()), g.num_edges());
+
+  // Solve all-pairs shortest paths with the blocked parallel engine and
+  // path tracking enabled.
+  parfw::ApspOptions opt;
+  opt.algorithm = parfw::ApspAlgorithm::kBlocked;
+  opt.block_size = 32;
+  opt.track_paths = true;
+  const auto result = parfw::apsp<S>(g, opt);
+
+  const std::int64_t src = 0, dst = 143;  // opposite corners
+  std::printf("dist(%lld -> %lld) = %.3f\n", static_cast<long long>(src),
+              static_cast<long long>(dst), result.dist(src, dst));
+
+  const auto path = result.path(src, dst);
+  std::printf("shortest path (%zu hops):", path.size() - 1);
+  for (const auto v : path) std::printf(" %lld", static_cast<long long>(v));
+  std::printf("\n");
+
+  // Incremental repair: a new expressway between two interior vertices.
+  auto dist = result.dist.clone();
+  const parfw::EdgeUpdate expressway{14, 130, 0.5};
+  const auto outcome =
+      parfw::incremental_update<S>(dist.view(), expressway);
+  std::printf("after adding expressway 14->130 (w=0.5): dist(0 -> 143) = %.3f"
+              " (update %s)\n",
+              dist(src, dst),
+              outcome == parfw::IncrementalOutcome::kApplied ? "applied"
+                                                             : "skipped");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Capacity planner: answer "what would this APSP cost on a Summit-class
+// machine?" with the paper's performance models (§2.7, §3.4, §4.5).
+//
+// For a problem size, sweeps node counts and reports, per count: the
+// recommended grid/placement, whether the problem fits in GPU memory or
+// needs the offload path, the predicted runtime and PFLOP/s for the
+// fully-optimised schedule, and the block-size advice from Eq. (5).
+#include <cstdio>
+
+#include "perf/cost_model.hpp"
+#include "perf/experiments.hpp"
+#include "util/table.hpp"
+
+using namespace parfw;
+using namespace parfw::perf;
+
+int main() {
+  const MachineConfig m = MachineConfig::summit();
+  const double n = 5.0e5;  // half-million-vertex knowledge graph
+  const double b = 768;
+
+  std::printf("capacity plan for APSP on n = %.0f vertices "
+              "(%.2f TB distance matrix)\n",
+              n, n * n * m.word_bytes / 1e12);
+  std::printf("machine: Summit-class (6 GPUs/node, %.1f TF/s SRGEMM, "
+              "%.0f GB/s NIC)\n",
+              m.srgemm_flops / 1e12, m.nic_bw / 1e9);
+  std::printf("Eq.(5) minimum offload block size: %.0f (using b = %.0f)\n\n",
+              min_offload_block(m), b);
+
+  Table t({"nodes", "grid (KrxKc,QrxQc)", "mode", "time", "PF/s",
+           "% of peak"});
+  const auto legends = paper_legends();
+  for (int nodes : {16, 32, 64, 128, 256}) {
+    const double gpu_wall = max_in_gpu_vertices(m, nodes);
+    const bool offload = n > gpu_wall;
+    const Legend& legend = offload ? legends[4] : legends[3];
+    const RunPoint p = simulate_fw(m, legend, nodes, n, b);
+    const auto [kr, kc] = balanced_factors(nodes);
+    char grid[48];
+    std::snprintf(grid, sizeof(grid), "%dx%d, 3x4", kr, kc);
+    char when[32];
+    if (p.seconds >= 3600)
+      std::snprintf(when, sizeof(when), "%.1f h", p.seconds / 3600);
+    else
+      std::snprintf(when, sizeof(when), "%.0f s", p.seconds);
+    t.add_row({std::to_string(nodes), grid,
+               offload ? "offload (beyond GPU mem)" : "in-GPU (+async)", when,
+               Table::num(p.pflops, 2), Table::num(100 * p.frac_peak, 0)});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("\nGPU-memory feasibility: n <= %.0f on 64 nodes, n <= %.0f on "
+              "256 nodes\n",
+              max_in_gpu_vertices(m, 64), max_in_gpu_vertices(m, 256));
+  return 0;
+}

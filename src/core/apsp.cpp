@@ -1,0 +1,29 @@
+#include "core/apsp.hpp"
+
+#include <algorithm>
+
+namespace parfw {
+
+std::vector<std::int64_t> reconstruct_path(MatrixView<const std::int64_t> pred,
+                                           std::int64_t src, std::int64_t dst) {
+  PARFW_CHECK(src >= 0 && dst >= 0 &&
+              static_cast<std::size_t>(src) < pred.rows() &&
+              static_cast<std::size_t>(dst) < pred.cols());
+  if (src == dst) return {src};
+  std::vector<std::int64_t> rev;
+  std::int64_t cur = dst;
+  // The predecessor chain has at most n hops; a longer walk means the
+  // matrix is inconsistent (defensive bound, not a normal exit).
+  const std::size_t limit = pred.rows() + 1;
+  while (cur != src) {
+    if (cur < 0) return {};  // unreachable
+    rev.push_back(cur);
+    PARFW_CHECK_MSG(rev.size() <= limit, "predecessor chain has a cycle");
+    cur = pred(src, cur);
+  }
+  rev.push_back(src);
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+}  // namespace parfw

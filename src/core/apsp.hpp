@@ -1,0 +1,102 @@
+// High-level APSP front door.
+//
+// apsp() picks an execution strategy (sequential FW, blocked FW, blocked +
+// thread parallel, device-offload) over a chosen semiring and returns the
+// closed distance matrix, optionally with predecessors for path queries.
+// This is the API the examples use; the distributed driver in src/dist/
+// has its own entry point because it needs a runtime handle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/blocked_fw.hpp"
+#include "core/blocked_fw_paths.hpp"
+#include "core/floyd_warshall.hpp"
+#include "graph/graph.hpp"
+
+namespace parfw {
+
+enum class ApspAlgorithm {
+  kSequential,       ///< Algorithm 1
+  kBlocked,          ///< Algorithm 2, single thread
+  kBlockedParallel,  ///< Algorithm 2, SRGEMM over the global thread pool
+};
+
+struct ApspOptions {
+  ApspAlgorithm algorithm = ApspAlgorithm::kBlockedParallel;
+  std::size_t block_size = 64;
+  DiagStrategy diag = DiagStrategy::kClassic;
+  bool track_paths = false;
+  /// Refuse to produce results containing a negative cycle (min-plus only);
+  /// throws check_error instead.
+  bool reject_negative_cycles = false;
+};
+
+/// Result of an APSP solve. dist(i,j) is the closed semiring distance;
+/// pred is present iff track_paths was set.
+template <typename T>
+struct ApspResult {
+  Matrix<T> dist;
+  std::optional<Matrix<std::int64_t>> pred;
+
+  /// Shortest path src→dst (vertex ids, inclusive); empty if unreachable
+  /// or paths were not tracked.
+  std::vector<std::int64_t> path(std::int64_t src, std::int64_t dst) const;
+};
+
+/// Solve APSP on a graph over semiring S (default: the paper's min-plus).
+template <typename S>
+ApspResult<typename S::value_type> apsp(const Graph& g,
+                                        const ApspOptions& opt = {}) {
+  using T = typename S::value_type;
+  ApspResult<T> result;
+  result.dist = g.distance_matrix<S>();
+  auto d = result.dist.view();
+
+  if (opt.track_paths) {
+    result.pred.emplace(d.rows(), d.cols());
+    init_predecessors<S>(d, result.pred->view());
+    if (opt.algorithm == ApspAlgorithm::kSequential)
+      floyd_warshall_paths<S>(d, result.pred->view());
+    else
+      blocked_floyd_warshall_paths<S>(d, result.pred->view(), opt.block_size);
+  } else {
+    switch (opt.algorithm) {
+      case ApspAlgorithm::kSequential:
+        floyd_warshall<S>(d);
+        break;
+      case ApspAlgorithm::kBlocked: {
+        BlockedFwOptions bopt;
+        bopt.block_size = opt.block_size;
+        bopt.diag = opt.diag;
+        blocked_floyd_warshall<S>(d, bopt);
+        break;
+      }
+      case ApspAlgorithm::kBlockedParallel: {
+        BlockedFwOptions bopt;
+        bopt.block_size = opt.block_size;
+        bopt.diag = opt.diag;
+        bopt.pool = &ThreadPool::global();
+        blocked_floyd_warshall<S>(d, bopt);
+        break;
+      }
+    }
+  }
+
+  if (opt.reject_negative_cycles) {
+    PARFW_CHECK_MSG(!has_negative_cycle<S>(d),
+                    "input graph contains a negative cycle");
+  }
+  return result;
+}
+
+template <typename T>
+std::vector<std::int64_t> ApspResult<T>::path(std::int64_t src,
+                                              std::int64_t dst) const {
+  if (!pred.has_value()) return {};
+  return reconstruct_path(pred->view(), src, dst);
+}
+
+}  // namespace parfw

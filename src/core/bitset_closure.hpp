@@ -1,0 +1,67 @@
+// Bit-packed transitive closure: boolean Floyd-Warshall at 64 edges per
+// machine word.
+//
+// Over the (∨, ∧) semiring the FW inner loop degenerates to
+//     row(i) |= row(k)    whenever  A(i,k)
+// which vectorises as word-wise OR — a 64x density improvement over the
+// byte-per-entry BoolOrAnd path. This is the specialised-semiring
+// optimisation the GraphBLAS discussion in paper §6 alludes to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/check.hpp"
+
+namespace parfw {
+
+/// Dense bit matrix: row-major, 64 columns per word.
+class BitMatrix {
+ public:
+  explicit BitMatrix(std::size_t n)
+      : n_(n), words_((n + 63) / 64), bits_(n * words_, 0) {}
+
+  std::size_t size() const { return n_; }
+
+  bool get(std::size_t i, std::size_t j) const {
+    PARFW_DCHECK(i < n_ && j < n_);
+    return (bits_[i * words_ + j / 64] >> (j % 64)) & 1u;
+  }
+  void set(std::size_t i, std::size_t j) {
+    PARFW_DCHECK(i < n_ && j < n_);
+    bits_[i * words_ + j / 64] |= std::uint64_t{1} << (j % 64);
+  }
+
+  /// row(i) |= row(k) — the FW update, one cache-friendly sweep.
+  void or_row(std::size_t i, std::size_t k) {
+    std::uint64_t* dst = bits_.data() + i * words_;
+    const std::uint64_t* src = bits_.data() + k * words_;
+    for (std::size_t w = 0; w < words_; ++w) dst[w] |= src[w];
+  }
+
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (std::uint64_t w : bits_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+ private:
+  std::size_t n_, words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// Reflexive-transitive closure of a graph's reachability relation.
+inline BitMatrix transitive_closure(const Graph& g) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  BitMatrix reach(n);
+  for (std::size_t v = 0; v < n; ++v) reach.set(v, v);
+  for (const Edge& e : g.edges())
+    reach.set(static_cast<std::size_t>(e.src), static_cast<std::size_t>(e.dst));
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t i = 0; i < n; ++i)
+      if (reach.get(i, k)) reach.or_row(i, k);
+  return reach;
+}
+
+}  // namespace parfw

@@ -1,0 +1,115 @@
+// Block-sparse Floyd-Warshall — a first step toward the paper's §7
+// "support of structured sparse graphs, where exploiting sparsity
+// becomes paramount" (their reference [31], the supernodal APSP).
+//
+// Observation: on sparse inputs, most b x b blocks start entirely at the
+// semiring zero ("no path"). An SRGEMM whose A-block or B-block is all
+// zero() cannot change C (zero is the ⊗-annihilator and the ⊕-identity),
+// so the outer product can skip it. The matrix fills in as closures
+// propagate, so savings concentrate in early iterations — exactly the
+// supernodal observation at block granularity.
+//
+// Implementation: a per-block occupancy bitmap, maintained incrementally:
+//   * a block becomes occupied when a panel update or outer product
+//     writes into it with occupied operands;
+//   * occupancy never reverts (values only improve).
+// The update rule is conservative (a block flagged occupied may still be
+// all-zero if the product produced no finite entries), which preserves
+// correctness unconditionally.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/diag_update.hpp"
+#include "srgemm/srgemm.hpp"
+#include "util/matrix.hpp"
+
+namespace parfw {
+
+struct BlockSparseStats {
+  std::size_t products_total = 0;    ///< outer-product block pairs visited
+  std::size_t products_skipped = 0;  ///< skipped via the occupancy bitmap
+  double skip_fraction() const {
+    return products_total == 0
+               ? 0.0
+               : static_cast<double>(products_skipped) /
+                     static_cast<double>(products_total);
+  }
+};
+
+/// Blocked FW that skips structurally-empty block products.
+template <typename S>
+BlockSparseStats block_sparse_floyd_warshall(
+    MatrixView<typename S::value_type> a, std::size_t block_size = 64,
+    const srgemm::Config& gemm = {}) {
+  static_assert(is_idempotent<S>(), "FW requires an idempotent semiring");
+  using T = typename S::value_type;
+  PARFW_CHECK(a.rows() == a.cols());
+  PARFW_CHECK(block_size > 0);
+  const std::size_t n = a.rows();
+  const std::size_t b = block_size;
+  const std::size_t nb = (n + b - 1) / b;
+  BlockSparseStats stats;
+
+  auto extent = [&](std::size_t blk) {
+    return std::min(n, (blk + 1) * b) - blk * b;
+  };
+
+  // Initial occupancy scan.
+  std::vector<std::uint8_t> occ(nb * nb, 0);
+  for (std::size_t bi = 0; bi < nb; ++bi)
+    for (std::size_t bj = 0; bj < nb; ++bj) {
+      const auto blk = a.sub(bi * b, bj * b, extent(bi), extent(bj));
+      bool any = false;
+      for (std::size_t i = 0; i < blk.rows() && !any; ++i)
+        for (std::size_t j = 0; j < blk.cols(); ++j)
+          if (blk(i, j) != S::zero()) {
+            any = true;
+            break;
+          }
+      occ[bi * nb + bj] = any ? 1 : 0;
+    }
+
+  Matrix<T> scratch(b, b);
+  for (std::size_t k = 0; k < nb; ++k) {
+    const std::size_t k0 = k * b, bk = extent(k);
+    auto akk = a.sub(k0, k0, bk, bk);
+    diag_update<S>(akk, DiagStrategy::kClassic, scratch.view(), gemm);
+    occ[k * nb + k] = 1;  // unit diagonal makes the block occupied
+
+    // Panel updates (occupancy: row/col blocks stay occupied or become
+    // occupied only if they already were — left/right multiply by akk
+    // cannot create entries in an all-zero block).
+    for (std::size_t j = 0; j < nb; ++j) {
+      if (j == k || !occ[k * nb + j]) continue;
+      auto blk = a.sub(k0, j * b, bk, extent(j));
+      srgemm::multiply<S>(akk, MatrixView<const T>(blk), blk, gemm);
+    }
+    for (std::size_t i = 0; i < nb; ++i) {
+      if (i == k || !occ[i * nb + k]) continue;
+      auto blk = a.sub(i * b, k0, extent(i), bk);
+      srgemm::multiply<S>(MatrixView<const T>(blk), akk, blk, gemm);
+    }
+
+    // Outer products, skipping structurally-empty operand pairs.
+    for (std::size_t i = 0; i < nb; ++i) {
+      if (i == k) continue;
+      for (std::size_t j = 0; j < nb; ++j) {
+        if (j == k) continue;
+        ++stats.products_total;
+        if (!occ[i * nb + k] || !occ[k * nb + j]) {
+          ++stats.products_skipped;
+          continue;
+        }
+        srgemm::multiply<S>(a.sub(i * b, k0, extent(i), bk),
+                            a.sub(k0, j * b, bk, extent(j)),
+                            a.sub(i * b, j * b, extent(i), extent(j)), gemm);
+        occ[i * nb + j] = 1;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace parfw

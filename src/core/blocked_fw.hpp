@@ -1,0 +1,116 @@
+// Blocked Floyd-Warshall (paper Algorithm 2).
+//
+// The n x n matrix is processed in nb = ⌈n/b⌉ block iterations. Iteration k:
+//   1. DiagUpdate  — close A(k,k)
+//   2. PanelUpdate — A(k,j) ← A(k,j) ⊕ A(k,k) ⊗ A(k,j)   (block row)
+//                    A(i,k) ← A(i,k) ⊕ A(i,k) ⊗ A(k,k)   (block column)
+//   3. MinPlusOuter — A(i,j) ← A(i,j) ⊕ A(i,k) ⊗ A(k,j)  ∀ i,j ≠ k
+//
+// PanelUpdate runs in place (C aliases an SRGEMM operand). That is safe
+// here because ⊕ is idempotent and A(k,k) is closed: any prematurely
+// updated entry only substitutes a candidate that is itself a ⊕-sum of
+// valid path candidates, so the fixpoint is unchanged. This is exactly
+// the property the paper's asynchronous pipeline also relies on.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+
+#include "core/diag_update.hpp"
+#include "srgemm/srgemm.hpp"
+#include "util/matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parfw {
+
+struct BlockedFwOptions {
+  std::size_t block_size = 64;
+  DiagStrategy diag = DiagStrategy::kClassic;
+  /// Thread pool for the SRGEMM driver; nullptr = sequential.
+  ThreadPool* pool = nullptr;
+  srgemm::Config gemm{};
+};
+
+/// Blocked FW over block iterations [start_block, nb) — the restartable
+/// core. With start_block = 0 this is the full Algorithm 2; resuming from
+/// a checkpoint's next_block continues an interrupted run exactly
+/// (in-place FW state after iteration k fully determines the rest).
+/// `on_block(k_done, view)` fires after each completed iteration — the
+/// hook periodic checkpointing uses (see core/checkpoint.hpp).
+template <typename S>
+void blocked_floyd_warshall_range(
+    MatrixView<typename S::value_type> a, std::size_t start_block,
+    const BlockedFwOptions& opt = {},
+    const std::function<void(std::size_t, MatrixView<typename S::value_type>)>&
+        on_block = {}) {
+  static_assert(is_idempotent<S>(), "blocked FW requires idempotent semiring");
+  using T = typename S::value_type;
+  PARFW_CHECK(a.rows() == a.cols());
+  PARFW_CHECK_MSG(opt.block_size > 0, "block size must be positive");
+  const std::size_t n = a.rows();
+  const std::size_t b = opt.block_size;
+  const std::size_t nb = (n + b - 1) / b;
+  PARFW_CHECK_MSG(start_block <= nb, "resume point beyond the last block");
+
+  srgemm::Config cfg = opt.gemm;
+  cfg.pool = opt.pool;
+  Matrix<T> scratch(b, b);
+
+  auto block_range = [&](std::size_t blk) {
+    const std::size_t lo = blk * b;
+    return std::pair<std::size_t, std::size_t>{lo, std::min(n, lo + b) - lo};
+  };
+
+  for (std::size_t k = start_block; k < nb; ++k) {
+    const auto [k0, bk] = block_range(k);
+    auto akk = a.sub(k0, k0, bk, bk);
+
+    // 1. DiagUpdate
+    diag_update<S>(akk, opt.diag, scratch.view(), cfg);
+
+    // 2. PanelUpdate — row panel (left-multiply by closed A(k,k)) and
+    //    column panel (right-multiply), both in place.
+    if (k0 > 0) {
+      srgemm::multiply<S>(akk, a.sub(k0, 0, bk, k0), a.sub(k0, 0, bk, k0), cfg);
+      srgemm::multiply<S>(a.sub(0, k0, k0, bk), akk, a.sub(0, k0, k0, bk), cfg);
+    }
+    if (k0 + bk < n) {
+      const std::size_t rest = n - (k0 + bk);
+      srgemm::multiply<S>(akk, a.sub(k0, k0 + bk, bk, rest),
+                          a.sub(k0, k0 + bk, bk, rest), cfg);
+      srgemm::multiply<S>(a.sub(k0 + bk, k0, rest, bk), akk,
+                          a.sub(k0 + bk, k0, rest, bk), cfg);
+    }
+
+    // 3. MinPlusOuter on the four off-panel quadrants.
+    auto outer = [&](std::size_t r0, std::size_t nr, std::size_t c0,
+                     std::size_t nc) {
+      if (nr == 0 || nc == 0) return;
+      srgemm::multiply<S>(a.sub(r0, k0, nr, bk), a.sub(k0, c0, bk, nc),
+                          a.sub(r0, c0, nr, nc), cfg);
+    };
+    const std::size_t after0 = k0 + bk;
+    const std::size_t after_n = n - after0;
+    outer(0, k0, 0, k0);
+    outer(0, k0, after0, after_n);
+    outer(after0, after_n, 0, k0);
+    outer(after0, after_n, after0, after_n);
+    if (on_block) on_block(k + 1, a);
+  }
+}
+
+/// In-place blocked FW over any idempotent semiring (paper Algorithm 2).
+template <typename S>
+void blocked_floyd_warshall(MatrixView<typename S::value_type> a,
+                            const BlockedFwOptions& opt = {}) {
+  blocked_floyd_warshall_range<S>(a, 0, opt);
+}
+
+/// FLOP count of blocked FW under the 2·n³ convention (paper §2.7.1).
+inline double blocked_fw_flops(std::size_t n) {
+  const double nd = static_cast<double>(n);
+  return 2.0 * nd * nd * nd;
+}
+
+}  // namespace parfw

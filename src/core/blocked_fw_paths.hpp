@@ -1,0 +1,109 @@
+// Blocked Floyd-Warshall with predecessor tracking.
+//
+// Same schedule as blocked_floyd_warshall, but every SRGEMM is the
+// argmin-tracking variant: whenever a distance improves through
+// intermediate vertex t, pred(i,j) is rewritten to pred(t,j). This
+// implements the "distributed shortest path generation" extension the
+// paper lists as future work (§7), at blocked-kernel granularity.
+#pragma once
+
+#include <cstdint>
+
+#include "core/blocked_fw.hpp"
+#include "core/floyd_warshall.hpp"
+
+namespace parfw {
+
+namespace detail {
+
+/// C ← C ⊕ A ⊗ B with predecessor propagation. `k_base` is the global row
+/// index of B's first row; predC/predB address the same global matrix.
+template <typename S>
+void srgemm_with_pred(MatrixView<const typename S::value_type> A,
+                      MatrixView<const typename S::value_type> B,
+                      MatrixView<typename S::value_type> C,
+                      MatrixView<const std::int64_t> predB,
+                      MatrixView<std::int64_t> predC) {
+  using T = typename S::value_type;
+  const std::size_t m = C.rows(), n = C.cols(), k = A.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      T best = C(i, j);
+      std::int64_t bp = predC(i, j);
+      for (std::size_t t = 0; t < k; ++t) {
+        const T cand = S::mul(A(i, t), B(t, j));
+        if (S::less_add(cand, best)) {
+          best = cand;
+          bp = predB(t, j);
+        }
+      }
+      C(i, j) = best;
+      predC(i, j) = bp;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Blocked FW computing both distances and predecessors in place.
+/// pred must be initialised with init_predecessors.
+template <typename S>
+void blocked_floyd_warshall_paths(MatrixView<typename S::value_type> a,
+                                  MatrixView<std::int64_t> pred,
+                                  std::size_t block_size = 64) {
+  static_assert(is_idempotent<S>(), "blocked FW requires idempotent semiring");
+  PARFW_CHECK(a.rows() == a.cols());
+  PARFW_CHECK(pred.rows() == a.rows() && pred.cols() == a.cols());
+  PARFW_CHECK(block_size > 0);
+  const std::size_t n = a.rows();
+  const std::size_t b = block_size;
+  const std::size_t nb = (n + b - 1) / b;
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    const std::size_t k0 = k * b;
+    const std::size_t bk = std::min(n, k0 + b) - k0;
+
+    // DiagUpdate with path tracking (classic FW — log-squaring loses the
+    // argmin chain structure, so the paths variant always uses classic).
+    {
+      auto dk = a.sub(k0, k0, bk, bk);
+      auto pk = pred.sub(k0, k0, bk, bk);
+      using T = typename S::value_type;
+      for (std::size_t t = 0; t < bk; ++t)
+        for (std::size_t i = 0; i < bk; ++i) {
+          const T dit = dk(i, t);
+          if (dit == S::zero()) continue;
+          for (std::size_t j = 0; j < bk; ++j) {
+            const T cand = S::mul(dit, dk(t, j));
+            if (S::less_add(cand, dk(i, j))) {
+              dk(i, j) = cand;
+              pk(i, j) = pk(t, j);
+            }
+          }
+        }
+    }
+
+    auto update = [&](std::size_t r0, std::size_t nr, std::size_t c0,
+                      std::size_t nc) {
+      if (nr == 0 || nc == 0) return;
+      detail::srgemm_with_pred<S>(a.sub(r0, k0, nr, bk), a.sub(k0, c0, bk, nc),
+                                  a.sub(r0, c0, nr, nc),
+                                  pred.sub(k0, c0, bk, nc),
+                                  pred.sub(r0, c0, nr, nc));
+    };
+
+    // PanelUpdate (row then column), then MinPlusOuter quadrants.
+    const std::size_t after0 = k0 + bk;
+    const std::size_t after_n = n - after0;
+    update(k0, bk, 0, k0);
+    update(k0, bk, after0, after_n);
+    update(0, k0, k0, bk);
+    update(after0, after_n, k0, bk);
+    update(0, k0, 0, k0);
+    update(0, k0, after0, after_n);
+    update(after0, after_n, 0, k0);
+    update(after0, after_n, after0, after_n);
+  }
+}
+
+}  // namespace parfw

@@ -1,0 +1,79 @@
+// Checkpoint/restart for long APSP runs.
+//
+// A 1.66M-vertex FW run on 64 Summit nodes takes hours; leadership
+// systems require applications to survive node failures. Blocked FW is
+// naturally checkpointable: after iteration k the matrix state fully
+// determines the remaining work, so a checkpoint is (header, k, matrix)
+// and restart is "run the block loop from k".
+//
+// Format: a fixed 40-byte header (magic, version, element size, n, next
+// block iteration, block size) followed by the raw row-major matrix.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "core/blocked_fw.hpp"
+#include "util/matrix.hpp"
+
+namespace parfw {
+
+struct CheckpointHeader {
+  static constexpr std::uint64_t kMagic = 0x50464b43'50415246ull;  // "PARFWCKP"
+  std::uint64_t magic = kMagic;
+  std::uint32_t version = 1;
+  std::uint32_t elem_size = 0;
+  std::uint64_t n = 0;
+  std::uint64_t next_block = 0;  ///< first UNfinished block iteration
+  std::uint64_t block_size = 0;
+};
+
+/// Write a checkpoint of an in-progress (or finished) blocked FW run.
+template <typename T>
+void save_checkpoint(std::ostream& out, MatrixView<const T> dist,
+                     std::size_t next_block, std::size_t block_size) {
+  PARFW_CHECK(dist.rows() == dist.cols());
+  CheckpointHeader h;
+  h.elem_size = sizeof(T);
+  h.n = dist.rows();
+  h.next_block = next_block;
+  h.block_size = block_size;
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  for (std::size_t i = 0; i < dist.rows(); ++i)
+    out.write(reinterpret_cast<const char*>(dist.data() + i * dist.ld()),
+              static_cast<std::streamsize>(dist.cols() * sizeof(T)));
+  PARFW_CHECK_MSG(out.good(), "checkpoint write failed");
+}
+
+/// Result of load_checkpoint: the matrix plus where to resume.
+template <typename T>
+struct LoadedCheckpoint {
+  Matrix<T> dist;
+  std::size_t next_block = 0;
+  std::size_t block_size = 0;
+};
+
+template <typename T>
+LoadedCheckpoint<T> load_checkpoint(std::istream& in) {
+  CheckpointHeader h;
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  PARFW_CHECK_MSG(in.good() && h.magic == CheckpointHeader::kMagic,
+                  "not a parallelfw checkpoint");
+  PARFW_CHECK_MSG(h.version == 1, "unsupported checkpoint version " << h.version);
+  PARFW_CHECK_MSG(h.elem_size == sizeof(T),
+                  "checkpoint element size " << h.elem_size
+                                             << " != requested " << sizeof(T));
+  LoadedCheckpoint<T> out;
+  out.dist = Matrix<T>(static_cast<std::size_t>(h.n),
+                       static_cast<std::size_t>(h.n));
+  in.read(reinterpret_cast<char*>(out.dist.data()),
+          static_cast<std::streamsize>(h.n * h.n * sizeof(T)));
+  PARFW_CHECK_MSG(in.good(), "checkpoint payload truncated");
+  out.next_block = static_cast<std::size_t>(h.next_block);
+  out.block_size = static_cast<std::size_t>(h.block_size);
+  return out;
+}
+
+}  // namespace parfw

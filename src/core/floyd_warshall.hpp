@@ -1,0 +1,94 @@
+// Sequential Floyd-Warshall (paper Algorithm 1), generic over semirings,
+// with optional predecessor tracking and negative-cycle detection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "semiring/semiring.hpp"
+#include "util/matrix.hpp"
+
+namespace parfw {
+
+/// In-place Floyd-Warshall on an n x n distance matrix:
+///   Dist[i,j] ← Dist[i,j] ⊕ (Dist[i,k] ⊗ Dist[k,j])  for k = 0..n-1.
+/// The matrix must be initialised per Graph::distance_matrix (diagonal at
+/// the semiring one). Requires an idempotent ⊕ (shortest-path-like
+/// semirings); checked at compile time.
+template <typename S>
+void floyd_warshall(MatrixView<typename S::value_type> dist) {
+  static_assert(is_idempotent<S>(), "FW requires an idempotent semiring");
+  using T = typename S::value_type;
+  PARFW_CHECK(dist.rows() == dist.cols());
+  const std::size_t n = dist.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    const T* rowk = dist.data() + k * dist.ld();
+    for (std::size_t i = 0; i < n; ++i) {
+      T* rowi = dist.data() + i * dist.ld();
+      const T dik = rowi[k];
+      if (dik == S::zero()) continue;  // no i→k path: no updates via k
+      for (std::size_t j = 0; j < n; ++j)
+        rowi[j] = S::add(rowi[j], S::mul(dik, rowk[j]));
+    }
+  }
+}
+
+/// Floyd-Warshall that additionally maintains the predecessor matrix:
+/// pred(i,j) = the vertex preceding j on the current best i→j path
+/// (pred(i,i) = i; -1 when j is unreachable from i). Enables O(path)
+/// reconstruction (paper §7 lists path generation as planned work).
+template <typename S>
+void floyd_warshall_paths(MatrixView<typename S::value_type> dist,
+                          MatrixView<std::int64_t> pred) {
+  static_assert(is_idempotent<S>(), "FW requires an idempotent semiring");
+  using T = typename S::value_type;
+  PARFW_CHECK(dist.rows() == dist.cols());
+  PARFW_CHECK(pred.rows() == dist.rows() && pred.cols() == dist.cols());
+  const std::size_t n = dist.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const T dik = dist(i, k);
+      if (dik == S::zero()) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const T cand = S::mul(dik, dist(k, j));
+        if (S::less_add(cand, dist(i, j))) {
+          dist(i, j) = cand;
+          pred(i, j) = pred(k, j);
+        }
+      }
+    }
+  }
+}
+
+/// Initialise the predecessor matrix from an edge-initialised distance
+/// matrix (before running floyd_warshall_paths).
+template <typename S>
+void init_predecessors(MatrixView<const typename S::value_type> dist,
+                       MatrixView<std::int64_t> pred) {
+  const std::size_t n = dist.rows();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j)
+        pred(i, j) = static_cast<std::int64_t>(i);
+      else
+        pred(i, j) = (dist(i, j) != S::zero()) ? static_cast<std::int64_t>(i)
+                                               : std::int64_t{-1};
+    }
+}
+
+/// True iff the closed matrix witnesses a negative cycle: some diagonal
+/// entry strictly better than the semiring one (min-plus: dist(v,v) < 0).
+template <typename S>
+bool has_negative_cycle(MatrixView<const typename S::value_type> dist) {
+  for (std::size_t v = 0; v < dist.rows(); ++v)
+    if (S::less_add(dist(v, v), S::one())) return true;
+  return false;
+}
+
+/// Reconstruct the shortest path src→dst from a predecessor matrix.
+/// Empty vector when dst is unreachable; {src} when src == dst.
+std::vector<std::int64_t> reconstruct_path(MatrixView<const std::int64_t> pred,
+                                           std::int64_t src, std::int64_t dst);
+
+}  // namespace parfw

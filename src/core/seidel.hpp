@@ -1,0 +1,112 @@
+// Seidel's algorithm for APSP on unweighted undirected graphs (paper §6:
+// "Seidel showed a way to use fast matrix multiplication algorithms ...
+// by embedding the semiring into a ring").
+//
+// Recursion: let A be the boolean adjacency matrix of a CONNECTED graph.
+//   B = (A ∨ A²)        — reachability within two hops
+//   if B is all-ones off the diagonal:  D = 2B - A  (base case)
+//   T = Seidel(B)        — distances in the "squared" graph: T = ⌈D/2⌉
+//   X = T · A (integer product); deg(j) = Σ_t A(t,j)
+//   D(i,j) = 2·T(i,j) - [ X(i,j) < T(i,j)·deg(j) ]
+//
+// The products are ordinary (+,×) matrix multiplications, so this runs on
+// the same SRGEMM kernels as FW via the PlusTimes semiring — the paper's
+// point about ring embedding. Values stay ≤ n³, exact in double.
+#pragma once
+
+#include <vector>
+
+#include "semiring/semiring.hpp"
+#include "srgemm/srgemm.hpp"
+#include "graph/graph.hpp"
+#include "util/matrix.hpp"
+
+namespace parfw {
+
+namespace detail {
+
+/// Boolean matrix "square with union": OUT = A ∨ (A ⊗or-and A), diag = 0.
+inline Matrix<double> bool_square(const Matrix<double>& a,
+                                  const srgemm::Config& cfg) {
+  const std::size_t n = a.rows();
+  Matrix<double> prod(n, n, 0.0);
+  srgemm::multiply<PlusTimes<double>>(a.view(), a.view(), prod.view(), cfg);
+  Matrix<double> out(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      out(i, j) = (i != j && (a(i, j) > 0.0 || prod(i, j) > 0.0)) ? 1.0 : 0.0;
+  return out;
+}
+
+inline bool complete_offdiag(const Matrix<double>& a) {
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (i != j && a(i, j) == 0.0) return false;
+  return true;
+}
+
+inline Matrix<double> seidel_rec(const Matrix<double>& a,
+                                 const srgemm::Config& cfg) {
+  const std::size_t n = a.rows();
+  if (complete_offdiag(a)) {
+    Matrix<double> d(n, n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) d(i, i) = 0.0;
+    return d;
+  }
+  const Matrix<double> b = bool_square(a, cfg);
+  // Fixpoint without completeness = disconnected graph: the recursion
+  // would never bottom out.
+  PARFW_CHECK_MSG(max_abs_diff<double>(a.view(), b.view()) != 0.0 ||
+                      complete_offdiag(b),
+                  "Seidel requires a connected graph");
+  if (complete_offdiag(b)) {
+    // Distances are 1 (edge) or 2 (two hops): D = 2B - A off-diagonal.
+    Matrix<double> d(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (i != j) d(i, j) = 2.0 * b(i, j) - a(i, j);
+    return d;
+  }
+  const Matrix<double> t = seidel_rec(b, cfg);
+
+  // X = T · A and column degrees.
+  Matrix<double> x(n, n, 0.0);
+  srgemm::multiply<PlusTimes<double>>(t.view(), a.view(), x.view(), cfg);
+  std::vector<double> deg(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) deg[j] += a(i, j);
+
+  Matrix<double> d(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double correction = x(i, j) < t(i, j) * deg[j] ? 1.0 : 0.0;
+      d(i, j) = 2.0 * t(i, j) - correction;
+    }
+  return d;
+}
+
+}  // namespace detail
+
+/// APSP hop distances for a CONNECTED, undirected, unweighted graph
+/// (every edge must appear in both directions). Throws check_error on a
+/// vertex with no edges (disconnected); use component_apsp-style
+/// partitioning for general inputs.
+inline Matrix<double> seidel_apsp(const Graph& g,
+                                  const srgemm::Config& cfg = {}) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  PARFW_CHECK(n > 0);
+  Matrix<double> a(n, n, 0.0);
+  for (const Edge& e : g.edges()) {
+    a(e.src, e.dst) = 1.0;
+  }
+  // Validate symmetry (undirected requirement).
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      PARFW_CHECK_MSG(a(i, j) == a(j, i),
+                      "Seidel requires an undirected graph; edge ("
+                          << i << "," << j << ") is one-directional");
+  return detail::seidel_rec(a, cfg);
+}
+
+}  // namespace parfw

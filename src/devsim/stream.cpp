@@ -1,0 +1,64 @@
+#include "devsim/stream.hpp"
+
+namespace parfw::dev {
+
+Stream::Stream() : worker_([this] { worker_loop(); }) {}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void Stream::enqueue(std::function<void()> op) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fifo_.push_back(std::move(op));
+    idle_ = false;
+  }
+  cv_.notify_one();
+}
+
+Event Stream::record() {
+  Event e;
+  enqueue([e] { e.signal(); });
+  return e;
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] { return idle_ && fifo_.empty(); });
+}
+
+std::uint64_t Stream::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void Stream::worker_loop() {
+  for (;;) {
+    std::function<void()> op;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (fifo_.empty()) {
+        idle_ = true;
+        drained_.notify_all();
+        cv_.wait(lock, [this] { return stop_ || !fifo_.empty(); });
+        if (stop_ && fifo_.empty()) return;
+      }
+      op = std::move(fifo_.front());
+      fifo_.pop_front();
+      idle_ = false;
+    }
+    op();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+    }
+  }
+}
+
+}  // namespace parfw::dev

@@ -1,0 +1,84 @@
+// Asynchronous execution stream (the cudaStream_t analogue).
+//
+// Each Stream owns one worker thread draining a FIFO of ops: enqueue
+// order == execution order within a stream; different streams run
+// concurrently. Events are fence objects recorded into the FIFO.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace parfw::dev {
+
+/// Completion fence (cudaEvent analogue). Copyable handle; wait() blocks
+/// the host until the recording stream has executed past the record point.
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  void wait() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+
+  bool query() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+ private:
+  friend class Stream;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  void signal() const {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->done = true;
+    }
+    state_->cv.notify_all();
+  }
+  std::shared_ptr<State> state_;
+};
+
+class Stream {
+ public:
+  Stream();
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueue an op; returns immediately (async wrt the host).
+  void enqueue(std::function<void()> op);
+
+  /// Record a fence after everything enqueued so far.
+  Event record();
+
+  /// Block the host until the stream has drained (cudaStreamSynchronize).
+  void synchronize();
+
+  /// Ops executed so far (monotone counter, for tests).
+  std::uint64_t completed() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // wakes the worker
+  std::condition_variable drained_;   // wakes synchronize()
+  std::deque<std::function<void()>> fifo_;
+  std::uint64_t completed_ = 0;
+  bool stop_ = false;
+  bool idle_ = true;
+  std::thread worker_;
+};
+
+}  // namespace parfw::dev

@@ -1,0 +1,151 @@
+// Distributed divide-and-conquer APSP (paper §6: "Solomonik et al.
+// proposed a communication avoiding parallel APSP which uses the divide
+// and conquer approach" [37]).
+//
+// The R-Kleene recursion (core/rkleene.hpp) executed on the 2-D
+// block-cyclic layout: every matrix product becomes a SUMMA sweep —
+// for each inner block-step k, the owners of A(:,k) broadcast their
+// column strip along the process rows and the owners of B(k,:) broadcast
+// their row strip along the process columns; every rank then updates its
+// owned C blocks. Base case: a single diagonal block, closed locally by
+// its owner with sequential FW (no communication).
+//
+// Compared with ParallelFw, DC-APSP trades the n_b bulk-synchronous
+// iterations for O(log n_b) recursion levels whose products are large
+// SUMMA sweeps — fewer, bigger messages (the communication-avoiding
+// argument). The functional bench compares both on the same runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "core/floyd_warshall.hpp"
+#include "dist/block_cyclic.hpp"
+#include "dist/parallel_fw.hpp"
+
+namespace parfw::dist {
+
+namespace detail {
+
+/// Half-open range of global block indices.
+struct BlockRange {
+  std::size_t lo = 0, hi = 0;
+  std::size_t len() const { return hi - lo; }
+};
+
+/// SUMMA: C[R x Cc] ⊕= A[R x K] ⊗ B[K x Cc], all sub-ranges of the same
+/// block-cyclic matrix. In-place aliasing (C overlapping A or B) is safe
+/// for idempotent semirings when the diagonal operand ranges are closed —
+/// the Kleene recursion only calls it that way.
+template <typename S>
+void summa_multiply(mpi::Comm& row_comm, mpi::Comm& col_comm,
+                    BlockCyclicMatrix<typename S::value_type>& m,
+                    BlockRange R, BlockRange K, BlockRange Cc,
+                    std::int32_t& tag, const srgemm::Config& gemm) {
+  using T = typename S::value_type;
+  const GridSpec& grid = m.grid();
+  const int pr = grid.rows(), pc = grid.cols();
+  const GridCoord me = m.coord();
+  const std::size_t b = m.block_size();
+
+  // Owned block indices within each range.
+  std::vector<std::size_t> rows_R, cols_C;
+  for (std::size_t i = R.lo; i < R.hi; ++i)
+    if (m.owns_block_row(i)) rows_R.push_back(i);
+  for (std::size_t j = Cc.lo; j < Cc.hi; ++j)
+    if (m.owns_block_col(j)) cols_C.push_back(j);
+
+  Matrix<T> colbuf(rows_R.size() * b, b);   // A(:,k) strip, my rows of R
+  Matrix<T> rowbuf(b, cols_C.size() * b);   // B(k,:) strip, my cols of Cc
+
+  for (std::size_t kb = K.lo; kb < K.hi; ++kb) {
+    const int kcol = static_cast<int>(kb % static_cast<std::size_t>(pc));
+    const int krow = static_cast<int>(kb % static_cast<std::size_t>(pr));
+    const std::int32_t t0 = tag;
+    tag += 2;
+
+    // Column strip A(rows_R, kb): owned by grid column kcol; broadcast
+    // along the process rows.
+    if (me.col == kcol) {
+      for (std::size_t ii = 0; ii < rows_R.size(); ++ii)
+        colbuf.sub(ii * b, 0, b, b)
+            .copy_from(MatrixView<const T>(
+                m.block(m.local_row(rows_R[ii]), m.local_col(kb))));
+    }
+    if (!rows_R.empty())
+      row_comm.bcast_bytes(
+          {reinterpret_cast<std::uint8_t*>(colbuf.data()),
+           colbuf.size() * sizeof(T)},
+          kcol, t0);
+
+    // Row strip B(kb, cols_C): owned by grid row krow; broadcast along
+    // the process columns.
+    if (me.row == krow) {
+      for (std::size_t jj = 0; jj < cols_C.size(); ++jj)
+        rowbuf.sub(0, jj * b, b, b)
+            .copy_from(MatrixView<const T>(
+                m.block(m.local_row(kb), m.local_col(cols_C[jj]))));
+    }
+    if (!cols_C.empty())
+      col_comm.bcast_bytes(
+          {reinterpret_cast<std::uint8_t*>(rowbuf.data()),
+           rowbuf.size() * sizeof(T)},
+          krow, t0 + 1);
+
+    // Local rank-b update of every owned C block.
+    for (std::size_t ii = 0; ii < rows_R.size(); ++ii)
+      for (std::size_t jj = 0; jj < cols_C.size(); ++jj)
+        srgemm::multiply<S>(
+            MatrixView<const T>(colbuf.sub(ii * b, 0, b, b)),
+            MatrixView<const T>(rowbuf.sub(0, jj * b, b, b)),
+            m.block(m.local_row(rows_R[ii]), m.local_col(cols_C[jj])), gemm);
+  }
+}
+
+template <typename S>
+void dc_kleene(mpi::Comm& row_comm, mpi::Comm& col_comm,
+               BlockCyclicMatrix<typename S::value_type>& m, BlockRange r,
+               std::int32_t& tag, const srgemm::Config& gemm) {
+  if (r.len() == 1) {
+    if (m.owns_block(r.lo, r.lo))
+      floyd_warshall<S>(m.block(m.local_row(r.lo), m.local_col(r.lo)));
+    return;
+  }
+  const std::size_t mid = r.lo + r.len() / 2;
+  const BlockRange r1{r.lo, mid}, r2{mid, r.hi};
+
+  dc_kleene<S>(row_comm, col_comm, m, r1, tag, gemm);       // A11*
+  summa_multiply<S>(row_comm, col_comm, m, r1, r1, r2, tag, gemm);  // A12
+  summa_multiply<S>(row_comm, col_comm, m, r2, r1, r1, tag, gemm);  // A21
+  summa_multiply<S>(row_comm, col_comm, m, r2, r1, r2, tag, gemm);  // A22 ⊕=
+  dc_kleene<S>(row_comm, col_comm, m, r2, tag, gemm);       // A22*
+  summa_multiply<S>(row_comm, col_comm, m, r1, r2, r2, tag, gemm);  // A12 ← A12⊗A22
+  summa_multiply<S>(row_comm, col_comm, m, r2, r2, r1, tag, gemm);  // A21 ← A22⊗A21
+  summa_multiply<S>(row_comm, col_comm, m, r1, r2, r1, tag, gemm);  // A11 ⊕= A12⊗A21
+}
+
+}  // namespace detail
+
+/// Distributed divide-and-conquer APSP over the block-cyclic layout.
+/// Collective over `world`; on return the local blocks hold the closure.
+template <typename S>
+void dc_apsp(mpi::Comm& world, BlockCyclicMatrix<typename S::value_type>& m,
+             const srgemm::Config& gemm = {}) {
+  static_assert(is_idempotent<S>(), "DC-APSP requires an idempotent semiring");
+  const GridSpec& grid = m.grid();
+  PARFW_CHECK(world.size() == grid.size());
+  const GridCoord me = grid.coord_of(world.rank());
+  PARFW_CHECK(me == m.coord());
+  PARFW_CHECK_MSG(m.num_blocks() >=
+                      static_cast<std::size_t>(
+                          std::max(grid.rows(), grid.cols())),
+                  "need >= 1 block per process row/column");
+
+  mpi::Comm row_comm = world.split(me.row, me.col);
+  mpi::Comm col_comm = world.split(me.col + grid.rows() + 7, me.row);
+
+  std::int32_t tag = 1000;
+  detail::dc_kleene<S>(row_comm, col_comm, m,
+                       detail::BlockRange{0, m.num_blocks()}, tag, gemm);
+}
+
+}  // namespace parfw::dist

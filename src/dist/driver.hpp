@@ -1,0 +1,54 @@
+// Convenience driver: spin up the in-process runtime, distribute a
+// deterministically-generated matrix, run a ParallelFw variant, gather the
+// result, and report traffic statistics. This is the entry point the
+// tests, benches and the distributed example use.
+#pragma once
+
+#include <cstdint>
+
+#include "dist/parallel_fw.hpp"
+#include "graph/graph.hpp"
+#include "mpisim/runtime.hpp"
+#include "util/timer.hpp"
+
+namespace parfw::dist {
+
+template <typename T>
+struct DistRunResult {
+  Matrix<T> dist;             ///< gathered closed matrix (at the caller)
+  mpi::TrafficStats traffic;  ///< whole-run communication statistics
+  double seconds = 0.0;       ///< wall time of the parallel section
+};
+
+/// Run one distributed APSP end to end. `ranks_per_node` controls the NIC
+/// accounting (paper §3.4.1); use grid.qr()*grid.qc() for placements built
+/// with GridSpec::tiled.
+template <typename S>
+DistRunResult<typename S::value_type> run_parallel_fw(
+    std::size_t n, const DenseEntryGen<typename S::value_type>& gen,
+    const GridSpec& grid, int ranks_per_node, const DistFwOptions& opt = {}) {
+  using T = typename S::value_type;
+  DistRunResult<T> result;
+
+  mpi::RuntimeOptions ropt;
+  ropt.node_model = grid.node_model(ranks_per_node);
+
+  Timer timer;
+  result.traffic = mpi::Runtime::run(
+      grid.size(),
+      [&](mpi::Comm& world) {
+        BlockCyclicMatrix<T> local(n, opt.block_size, grid,
+                                   grid.coord_of(world.rank()));
+        local.fill(gen);
+        world.barrier();
+        parallel_fw<S>(world, local, opt);
+        world.barrier();
+        Matrix<T> gathered = local.gather(world);
+        if (world.rank() == 0) result.dist = std::move(gathered);
+      },
+      ropt);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace parfw::dist

@@ -1,0 +1,54 @@
+#include "dist/grid.hpp"
+
+namespace parfw::dist {
+
+void GridSpec::build_inverse() {
+  world_to_coord_.assign(static_cast<std::size_t>(size()), GridCoord{});
+  std::vector<bool> seen(static_cast<std::size_t>(size()), false);
+  for (int r = 0; r < pr_; ++r)
+    for (int c = 0; c < pc_; ++c) {
+      const int w = coord_to_world_[static_cast<std::size_t>(r * pc_ + c)];
+      PARFW_CHECK_MSG(w >= 0 && w < size() && !seen[static_cast<std::size_t>(w)],
+                      "grid placement is not a permutation");
+      seen[static_cast<std::size_t>(w)] = true;
+      world_to_coord_[static_cast<std::size_t>(w)] = GridCoord{r, c};
+    }
+}
+
+GridSpec GridSpec::row_major(int pr, int pc) {
+  PARFW_CHECK(pr > 0 && pc > 0);
+  GridSpec g;
+  g.pr_ = pr;
+  g.pc_ = pc;
+  g.qr_ = 1;
+  g.qc_ = pc;  // a full grid row per "node" is the classic 1xQ default
+  g.coord_to_world_.resize(static_cast<std::size_t>(pr * pc));
+  for (int r = 0; r < pr; ++r)
+    for (int c = 0; c < pc; ++c)
+      g.coord_to_world_[static_cast<std::size_t>(r * pc + c)] = r * pc + c;
+  g.build_inverse();
+  return g;
+}
+
+GridSpec GridSpec::tiled(int kr, int kc, int qr, int qc) {
+  PARFW_CHECK(kr > 0 && kc > 0 && qr > 0 && qc > 0);
+  GridSpec g;
+  g.pr_ = kr * qr;
+  g.pc_ = kc * qc;
+  g.qr_ = qr;
+  g.qc_ = qc;
+  g.coord_to_world_.resize(static_cast<std::size_t>(g.size()));
+  const int q = qr * qc;
+  for (int r = 0; r < g.pr_; ++r) {
+    for (int c = 0; c < g.pc_; ++c) {
+      const int node = (r / qr) * kc + (c / qc);
+      const int within = (r % qr) * qc + (c % qc);
+      g.coord_to_world_[static_cast<std::size_t>(r * g.pc_ + c)] =
+          node * q + within;
+    }
+  }
+  g.build_inverse();
+  return g;
+}
+
+}  // namespace parfw::dist

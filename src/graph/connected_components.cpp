@@ -1,0 +1,62 @@
+#include "graph/connected_components.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace parfw {
+
+namespace {
+/// Union-find with path halving + union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+}  // namespace
+
+std::vector<vertex_t> connected_components(const Graph& g) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  DisjointSets ds(n);
+  for (const Edge& e : g.edges())
+    ds.unite(static_cast<std::size_t>(e.src), static_cast<std::size_t>(e.dst));
+
+  std::vector<vertex_t> labels(n, -1);
+  vertex_t next = 0;
+  std::vector<vertex_t> root_label(n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t r = ds.find(v);
+    if (root_label[r] < 0) root_label[r] = next++;
+    labels[v] = root_label[r];
+  }
+  return labels;
+}
+
+vertex_t num_components(const std::vector<vertex_t>& labels) {
+  vertex_t mx = -1;
+  for (vertex_t l : labels) mx = std::max(mx, l);
+  return mx + 1;
+}
+
+}  // namespace parfw

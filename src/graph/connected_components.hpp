@@ -1,0 +1,21 @@
+// Connected components over the undirected skeleton of a graph.
+//
+// Paper §2.1 / §6: on multi-component graphs one labels components first
+// and runs APSP per component; unreachable pairs stay at semiring zero.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace parfw {
+
+/// Component labels in [0, k) for each vertex, treating every edge as
+/// undirected (weakly connected components). Labels are dense and
+/// assigned in order of first appearance.
+std::vector<vertex_t> connected_components(const Graph& g);
+
+/// Number of distinct labels.
+vertex_t num_components(const std::vector<vertex_t>& labels);
+
+}  // namespace parfw

@@ -1,0 +1,99 @@
+#include "graph/generators.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace parfw::gen {
+
+Graph erdos_renyi(vertex_t n, double p, std::uint64_t seed, double w_min,
+                  double w_max, bool integral) {
+  PARFW_CHECK(n >= 0 && p >= 0.0 && p <= 1.0);
+  Graph g(n);
+  for (vertex_t i = 0; i < n; ++i) {
+    Rng rng = Rng::split(seed, static_cast<std::uint64_t>(i));
+    for (vertex_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (rng.next_double() < p) {
+        double w = w_min + rng.next_double() * (w_max - w_min);
+        if (integral) w = static_cast<double>(static_cast<long long>(w));
+        g.add_edge(i, j, w);
+      } else {
+        (void)rng.next_double();  // keep the stream aligned across p values
+      }
+    }
+  }
+  return g;
+}
+
+Graph dense_uniform(vertex_t n, std::uint64_t seed, double w_min, double w_max,
+                    bool integral) {
+  return erdos_renyi(n, 1.0, seed, w_min, w_max, integral);
+}
+
+Graph grid2d(vertex_t rows, vertex_t cols, std::uint64_t seed, double w_min,
+             double w_max) {
+  PARFW_CHECK(rows > 0 && cols > 0);
+  Graph g(rows * cols);
+  Rng rng(seed);
+  auto id = [cols](vertex_t r, vertex_t c) { return r * cols + c; };
+  for (vertex_t r = 0; r < rows; ++r) {
+    for (vertex_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols)
+        g.add_undirected_edge(id(r, c), id(r, c + 1),
+                              w_min + rng.next_double() * (w_max - w_min));
+      if (r + 1 < rows)
+        g.add_undirected_edge(id(r, c), id(r + 1, c),
+                              w_min + rng.next_double() * (w_max - w_min));
+    }
+  }
+  return g;
+}
+
+Graph ring(vertex_t n) {
+  PARFW_CHECK(n > 0);
+  Graph g(n);
+  for (vertex_t i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n, 1.0);
+  return g;
+}
+
+Graph multi_component(vertex_t parts, vertex_t per_part, double p,
+                      std::uint64_t seed) {
+  PARFW_CHECK(parts > 0 && per_part > 0);
+  Graph g(parts * per_part);
+  for (vertex_t c = 0; c < parts; ++c) {
+    Graph part = erdos_renyi(per_part, p, seed + static_cast<std::uint64_t>(c));
+    const vertex_t base = c * per_part;
+    for (const Edge& e : part.edges())
+      g.add_edge(base + e.src, base + e.dst, e.weight);
+  }
+  return g;
+}
+
+Graph preferential_attachment(vertex_t n, vertex_t out_degree,
+                              std::uint64_t seed, double w_min, double w_max) {
+  PARFW_CHECK(n > 0 && out_degree > 0);
+  Graph g(n);
+  Rng rng(seed);
+  // Repeated-endpoint list: sampling uniformly from it is degree-biased.
+  std::vector<vertex_t> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(n) *
+                    static_cast<std::size_t>(out_degree) * 2);
+  endpoints.push_back(0);
+  for (vertex_t v = 1; v < n; ++v) {
+    const vertex_t d = std::min<vertex_t>(out_degree, v);
+    for (vertex_t e = 0; e < d; ++e) {
+      const vertex_t target =
+          endpoints[rng.next_below(endpoints.size())];
+      if (target == v) continue;
+      const double w = w_min + rng.next_double() * (w_max - w_min);
+      g.add_undirected_edge(v, target, w);
+      endpoints.push_back(target);
+    }
+    endpoints.push_back(v);
+  }
+  return g;
+}
+
+}  // namespace parfw::gen

@@ -1,0 +1,41 @@
+// Workload generators (paper §5.1.4 plus extras for examples/tests).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace parfw::gen {
+
+/// Erdős–Rényi G(n, p) digraph with uniform weights in [w_min, w_max).
+/// `integral` floors weights to whole numbers, making path sums exact in
+/// IEEE arithmetic (for bitwise cross-algorithm validation).
+Graph erdos_renyi(vertex_t n, double p, std::uint64_t seed, double w_min = 1.0,
+                  double w_max = 100.0, bool integral = false);
+
+/// Fully dense uniform random digraph — the paper's test workload
+/// ("dense uniform random matrix", §5.1.4).
+Graph dense_uniform(vertex_t n, std::uint64_t seed, double w_min = 1.0,
+                    double w_max = 100.0, bool integral = false);
+
+/// rows x cols 4-neighbour grid with undirected edges, weights uniform in
+/// [w_min, w_max) — a road-network-like workload for the routing example.
+Graph grid2d(vertex_t rows, vertex_t cols, std::uint64_t seed,
+             double w_min = 1.0, double w_max = 10.0);
+
+/// Directed cycle 0→1→…→n-1→0 with unit weights; shortest distances are
+/// known in closed form, which makes it a test oracle.
+Graph ring(vertex_t n);
+
+/// `parts` disjoint Erdős–Rényi components of `per_part` vertices each —
+/// exercises the multiple-connected-component path (paper §2.1 note).
+Graph multi_component(vertex_t parts, vertex_t per_part, double p,
+                      std::uint64_t seed);
+
+/// Scale-free-ish preferential-attachment digraph for the knowledge-graph
+/// example (hubs + long tail, like entity co-occurrence graphs).
+Graph preferential_attachment(vertex_t n, vertex_t out_degree,
+                              std::uint64_t seed, double w_min = 1.0,
+                              double w_max = 10.0);
+
+}  // namespace parfw::gen

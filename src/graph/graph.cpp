@@ -1,0 +1,47 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace parfw {
+
+Graph::Graph(vertex_t n, std::vector<Edge> edges) : n_(n), edges_(std::move(edges)) {
+  for (const Edge& e : edges_) {
+    PARFW_CHECK_MSG(e.src >= 0 && e.src < n_ && e.dst >= 0 && e.dst < n_,
+                    "edge (" << e.src << "," << e.dst << ") out of range for n="
+                             << n_);
+  }
+}
+
+void Graph::add_edge(vertex_t src, vertex_t dst, double w) {
+  PARFW_CHECK_MSG(src >= 0 && src < n_ && dst >= 0 && dst < n_,
+                  "edge (" << src << "," << dst << ") out of range for n=" << n_);
+  edges_.push_back(Edge{src, dst, w});
+  csr_valid_ = false;
+}
+
+void Graph::add_undirected_edge(vertex_t u, vertex_t v, double w) {
+  add_edge(u, v, w);
+  add_edge(v, u, w);
+}
+
+const Graph::Csr& Graph::csr() const {
+  if (csr_valid_) return csr_;
+  const std::size_t n = static_cast<std::size_t>(n_);
+  csr_.offsets.assign(n + 1, 0);
+  csr_.targets.assign(edges_.size(), 0);
+  csr_.weights.assign(edges_.size(), 0.0);
+  for (const Edge& e : edges_) ++csr_.offsets[static_cast<std::size_t>(e.src) + 1];
+  for (std::size_t v = 0; v < n; ++v) csr_.offsets[v + 1] += csr_.offsets[v];
+  std::vector<std::size_t> cursor(csr_.offsets.begin(), csr_.offsets.end() - 1);
+  for (const Edge& e : edges_) {
+    const std::size_t slot = cursor[static_cast<std::size_t>(e.src)]++;
+    csr_.targets[slot] = e.dst;
+    csr_.weights[slot] = e.weight;
+  }
+  csr_valid_ = true;
+  return csr_;
+}
+
+}  // namespace parfw

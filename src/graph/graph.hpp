@@ -1,0 +1,129 @@
+// Weighted directed graph container (edge list + CSR) and conversion to
+// the dense distance matrix Floyd-Warshall operates on (paper §2.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "semiring/semiring.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace parfw {
+
+using vertex_t = std::int64_t;
+
+struct Edge {
+  vertex_t src = 0;
+  vertex_t dst = 0;
+  double weight = 0.0;
+};
+
+/// Directed weighted graph. Mutable edge list with an on-demand CSR index
+/// for the SSSP algorithms; duplicate edges keep the minimum weight when
+/// converted to a distance matrix (min-plus semantics).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(vertex_t n) : n_(n) {}
+  Graph(vertex_t n, std::vector<Edge> edges);
+
+  vertex_t num_vertices() const { return n_; }
+  std::size_t num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Append edge; vertices must be in [0, n).
+  void add_edge(vertex_t src, vertex_t dst, double w);
+
+  /// Append both (u,v,w) and (v,u,w).
+  void add_undirected_edge(vertex_t u, vertex_t v, double w);
+
+  /// CSR adjacency built lazily; invalidated by add_edge.
+  struct Csr {
+    std::vector<std::size_t> offsets;  // n+1
+    std::vector<vertex_t> targets;     // m
+    std::vector<double> weights;       // m
+  };
+  const Csr& csr() const;
+
+  /// Dense distance-matrix initialisation (Algorithm 1's first step):
+  /// Dist[i][j] = w(i,j) if (i,j) in E else semiring zero; the diagonal is
+  /// the semiring one unless a better self-loop exists.
+  template <typename S>
+  Matrix<typename S::value_type> distance_matrix() const {
+    using T = typename S::value_type;
+    Matrix<T> d(static_cast<std::size_t>(n_), static_cast<std::size_t>(n_),
+                S::zero());
+    for (vertex_t v = 0; v < n_; ++v) d(v, v) = S::one();
+    for (const Edge& e : edges_) {
+      T& slot = d(e.src, e.dst);
+      slot = S::add(slot, static_cast<T>(e.weight));
+    }
+    return d;
+  }
+
+ private:
+  vertex_t n_ = 0;
+  std::vector<Edge> edges_;
+  mutable Csr csr_;
+  mutable bool csr_valid_ = false;
+};
+
+/// Deterministic per-entry weight function: lets every MPI rank (and the
+/// sequential oracle) materialise exactly the same dense matrix without
+/// any communication. Entry (i,j) depends only on (seed, i, j).
+template <typename T>
+class DenseEntryGen {
+ public:
+  /// density in (0,1]: probability an off-diagonal entry is a finite edge.
+  /// Weights are uniform in [w_min, w_max). With `integral`, weights are
+  /// floored to whole numbers — path sums are then exact in float/double,
+  /// so results of differently-scheduled solvers can be compared bitwise
+  /// (the validation mode the tests use).
+  DenseEntryGen(std::uint64_t seed, double density = 1.0, T w_min = T{1},
+                T w_max = T{100}, bool integral = false)
+      : seed_(seed), density_(density), w_min_(w_min), w_max_(w_max),
+        integral_(integral) {}
+
+  T operator()(vertex_t i, vertex_t j) const {
+    if (i == j) return S_one();
+    std::uint64_t h = seed_;
+    h ^= 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(i) * 0xff51afd7ed558ccdull;
+    h ^= 0x94d049bb133111ebull + static_cast<std::uint64_t>(j) * 0xc4ceb9fe1a85ec53ull;
+    std::uint64_t r1 = splitmix64(h);
+    const double u = static_cast<double>(r1 >> 11) * 0x1.0p-53;
+    if (u >= density_) return value_traits<T>::infinity();
+    std::uint64_t r2 = splitmix64(h);
+    const double w = static_cast<double>(r2 >> 11) * 0x1.0p-53;
+    double value = static_cast<double>(w_min_) +
+                   w * (static_cast<double>(w_max_) -
+                        static_cast<double>(w_min_));
+    if (integral_) value = static_cast<double>(static_cast<long long>(value));
+    return static_cast<T>(value);
+  }
+
+  /// Materialise a (rows x cols) block whose top-left corner is global
+  /// index (r0, c0) — the building block of distributed generation.
+  void fill_block(vertex_t r0, vertex_t c0, MatrixView<T> block) const {
+    for (std::size_t i = 0; i < block.rows(); ++i)
+      for (std::size_t j = 0; j < block.cols(); ++j)
+        block(i, j) = (*this)(r0 + static_cast<vertex_t>(i),
+                              c0 + static_cast<vertex_t>(j));
+  }
+
+  /// Materialise the full n x n matrix (the sequential oracle's input).
+  Matrix<T> full(vertex_t n) const {
+    Matrix<T> m(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    fill_block(0, 0, m.view());
+    return m;
+  }
+
+ private:
+  static constexpr T S_one() { return T{0}; }
+  std::uint64_t seed_;
+  double density_;
+  T w_min_, w_max_;
+  bool integral_;
+};
+
+}  // namespace parfw

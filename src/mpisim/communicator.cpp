@@ -1,0 +1,143 @@
+#include "mpisim/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+namespace parfw::mpi {
+
+Comm::Comm(World* world, rank_t my_global_rank)
+    : world_(world), context_(0), my_rank_(my_global_rank) {
+  group_.resize(static_cast<std::size_t>(world->size()));
+  std::iota(group_.begin(), group_.end(), 0);
+}
+
+Comm::Comm(World* world, std::uint64_t context, std::vector<rank_t> group,
+           rank_t my_rank)
+    : world_(world), context_(context), group_(std::move(group)),
+      my_rank_(my_rank) {}
+
+void Comm::send_bytes(std::span<const std::uint8_t> data, rank_t dst,
+                      tag_t tag) {
+  PARFW_CHECK_MSG(dst >= 0 && dst < size(), "send to invalid rank " << dst);
+  Message msg;
+  msg.payload.assign(data.begin(), data.end());
+  world_->deliver(key_for(global_rank(my_rank_), tag), global_rank(dst),
+                  std::move(msg));
+}
+
+void Comm::recv_bytes(std::span<std::uint8_t> data, rank_t src, tag_t tag) {
+  PARFW_CHECK_MSG(src >= 0 && src < size(), "recv from invalid rank " << src);
+  const Message msg =
+      world_->await(key_for(global_rank(src), tag), global_rank(my_rank_));
+  PARFW_CHECK_MSG(msg.payload.size() == data.size(),
+                  "recv size mismatch: got " << msg.payload.size()
+                                             << " B, expected " << data.size()
+                                             << " B (src=" << src
+                                             << ", tag=" << tag << ")");
+  std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
+}
+
+Request Comm::isend_bytes(std::span<const std::uint8_t> data, rank_t dst,
+                          tag_t tag) {
+  send_bytes(data, dst, tag);  // eager: copied, complete immediately
+  return Request{};
+}
+
+Request Comm::irecv_bytes(std::span<std::uint8_t> data, rank_t src,
+                          tag_t tag) {
+  PARFW_CHECK_MSG(src >= 0 && src < size(), "irecv from invalid rank " << src);
+  // Progress happens at wait(): legal under the MPI progress model and
+  // sufficient for the overlap patterns the FW pipeline uses (the matching
+  // send is eager, so the payload is already buffered at the receiver).
+  World* world = world_;
+  const MatchKey key = key_for(global_rank(src), tag);
+  const rank_t me = global_rank(my_rank_);
+  return Request([world, key, me, data] {
+    const Message msg = world->await(key, me);
+    PARFW_CHECK_MSG(msg.payload.size() == data.size(),
+                    "irecv size mismatch: got " << msg.payload.size()
+                                                << " B, expected "
+                                                << data.size() << " B");
+    std::memcpy(data.data(), msg.payload.data(), msg.payload.size());
+  });
+}
+
+void Comm::barrier() { world_->group_barrier(context_, size()); }
+
+Comm Comm::split(int color, int key) {
+  struct Entry {
+    int color, key;
+    rank_t old_local;
+  };
+  const tag_t kSplitTag = -6;
+  const Entry mine{color, key, my_rank_};
+
+  if (my_rank_ == 0) {
+    std::vector<Entry> all(static_cast<std::size_t>(size()));
+    all[0] = mine;
+    for (int r = 1; r < size(); ++r) {
+      all[static_cast<std::size_t>(r)] = recv_value<Entry>(r, kSplitTag);
+    }
+    // Group by color, order by (key, old rank); allocate one fresh
+    // context per color in ascending color order (deterministic).
+    std::vector<int> colors;
+    for (const Entry& e : all)
+      if (std::find(colors.begin(), colors.end(), e.color) == colors.end())
+        colors.push_back(e.color);
+    std::sort(colors.begin(), colors.end());
+
+    struct Assignment {
+      std::uint64_t context;
+      std::vector<rank_t> group;  // global ranks
+      std::vector<rank_t> old_local;
+    };
+    std::vector<Assignment> assignments;
+    for (int c : colors) {
+      Assignment a;
+      a.context = world_->next_context();
+      std::vector<Entry> members;
+      for (const Entry& e : all)
+        if (e.color == c) members.push_back(e);
+      std::sort(members.begin(), members.end(), [](const Entry& x, const Entry& y) {
+        return x.key != y.key ? x.key < y.key : x.old_local < y.old_local;
+      });
+      for (const Entry& e : members) {
+        a.group.push_back(global_rank(e.old_local));
+        a.old_local.push_back(e.old_local);
+      }
+      assignments.push_back(std::move(a));
+    }
+
+    // Distribute each member's (context, new local rank, group).
+    std::uint64_t my_context = 0;
+    std::vector<rank_t> my_group;
+    rank_t my_new_rank = 0;
+    for (const Assignment& a : assignments) {
+      for (std::size_t idx = 0; idx < a.group.size(); ++idx) {
+        const rank_t target = a.old_local[idx];
+        if (target == 0) {
+          my_context = a.context;
+          my_group = a.group;
+          my_new_rank = static_cast<rank_t>(idx);
+          continue;
+        }
+        const std::uint64_t header[3] = {a.context, a.group.size(), idx};
+        send(std::span<const std::uint64_t>(header, 3), target, kSplitTag);
+        send(std::span<const rank_t>(a.group.data(), a.group.size()),
+             target, kSplitTag);
+      }
+    }
+    return Comm(world_, my_context, std::move(my_group), my_new_rank);
+  }
+
+  send_value(mine, 0, kSplitTag);
+  std::uint64_t header[3];
+  recv(std::span<std::uint64_t>(header, 3), 0, kSplitTag);
+  std::vector<rank_t> group(static_cast<std::size_t>(header[1]));
+  recv(std::span<rank_t>(group.data(), group.size()), 0, kSplitTag);
+  return Comm(world_, header[0], std::move(group),
+              static_cast<rank_t>(header[2]));
+}
+
+}  // namespace parfw::mpi

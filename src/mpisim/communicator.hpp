@@ -1,0 +1,281 @@
+// Communicator: a rank's handle onto a process group (MPI_Comm analogue).
+//
+// Each communicator has a context id so that traffic in different
+// communicators (world, process-row, process-column) can never be
+// cross-matched — the property the 2-D grid algorithms rely on.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mpisim/runtime.hpp"
+#include "util/check.hpp"
+
+namespace parfw::mpi {
+
+/// Handle for a nonblocking operation. wait() must be called exactly once
+/// before destruction for receives; sends complete eagerly.
+class Request {
+ public:
+  Request() = default;
+  void wait() {
+    if (fulfil_) {
+      fulfil_();
+      fulfil_ = nullptr;
+    }
+  }
+  bool pending() const { return static_cast<bool>(fulfil_); }
+
+ private:
+  friend class Comm;
+  explicit Request(std::function<void()> f) : fulfil_(std::move(f)) {}
+  std::function<void()> fulfil_;
+};
+
+class Comm {
+ public:
+  /// World communicator (context 0 is reserved for it).
+  Comm(World* world, rank_t my_global_rank);
+
+  int rank() const { return my_rank_; }
+  int size() const { return static_cast<int>(group_.size()); }
+  World& world() const { return *world_; }
+  std::uint64_t context() const { return context_; }
+  /// Global (world) rank of a member of this communicator.
+  rank_t global_rank(rank_t local) const {
+    PARFW_DCHECK(local >= 0 && local < size());
+    return group_[static_cast<std::size_t>(local)];
+  }
+
+  // --- blocking point-to-point ------------------------------------------
+
+  void send_bytes(std::span<const std::uint8_t> data, rank_t dst, tag_t tag);
+  void recv_bytes(std::span<std::uint8_t> data, rank_t src, tag_t tag);
+
+  template <typename T>
+  void send(std::span<const T> data, rank_t dst, tag_t tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes({reinterpret_cast<const std::uint8_t*>(data.data()),
+                data.size_bytes()},
+               dst, tag);
+  }
+  template <typename T>
+  void recv(std::span<T> data, rank_t src, tag_t tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recv_bytes({reinterpret_cast<std::uint8_t*>(data.data()),
+                data.size_bytes()},
+               src, tag);
+  }
+  template <typename T>
+  void send_value(const T& v, rank_t dst, tag_t tag) {
+    send(std::span<const T>(&v, 1), dst, tag);
+  }
+  template <typename T>
+  T recv_value(rank_t src, tag_t tag) {
+    T v{};
+    recv(std::span<T>(&v, 1), src, tag);
+    return v;
+  }
+
+  // --- nonblocking point-to-point ----------------------------------------
+
+  /// Eager nonblocking send: the payload is copied before returning, so
+  /// the returned request is already complete (MPI buffered-send model).
+  Request isend_bytes(std::span<const std::uint8_t> data, rank_t dst,
+                      tag_t tag);
+  /// Nonblocking receive; the payload lands in `data` at wait().
+  Request irecv_bytes(std::span<std::uint8_t> data, rank_t src, tag_t tag);
+
+  template <typename T>
+  Request isend(std::span<const T> data, rank_t dst, tag_t tag) {
+    return isend_bytes({reinterpret_cast<const std::uint8_t*>(data.data()),
+                        data.size_bytes()},
+                       dst, tag);
+  }
+  template <typename T>
+  Request irecv(std::span<T> data, rank_t src, tag_t tag) {
+    return irecv_bytes({reinterpret_cast<std::uint8_t*>(data.data()),
+                        data.size_bytes()},
+                       src, tag);
+  }
+
+  // --- collectives (implemented in collectives.cpp) -----------------------
+
+  /// Synchronise all members of this communicator.
+  void barrier();
+
+  /// Binomial-tree broadcast — latency-optimal; the "library broadcast"
+  /// the paper uses for DiagBcast (§3.3).
+  void bcast_bytes(std::span<std::uint8_t> data, rank_t root, tag_t tag = -1);
+
+  /// Ring broadcast — bandwidth-optimal and asynchronous; the paper's
+  /// custom collective for PanelBcast (§3.3). Rank ordering of the relay
+  /// chain starts at root and proceeds cyclically, so root+1 receives
+  /// first (the property the pipelined schedule exploits).
+  void ring_bcast_bytes(std::span<std::uint8_t> data, rank_t root,
+                        tag_t tag = -2);
+
+  template <typename T>
+  void bcast(std::span<T> data, rank_t root) {
+    bcast_bytes({reinterpret_cast<std::uint8_t*>(data.data()),
+                 data.size_bytes()},
+                root);
+  }
+  template <typename T>
+  void ring_bcast(std::span<T> data, rank_t root) {
+    ring_bcast_bytes({reinterpret_cast<std::uint8_t*>(data.data()),
+                      data.size_bytes()},
+                     root);
+  }
+
+  /// Element-wise all-reduce with a binary op (tree reduce + tree bcast).
+  template <typename T, typename Op>
+  void allreduce(std::span<T> data, Op op);
+
+  /// Element-wise reduce to `root` (binomial tree). `data` is combined in
+  /// place at the root; other ranks' buffers are unspecified afterwards.
+  template <typename T, typename Op>
+  void reduce(std::span<T> data, Op op, rank_t root);
+
+  /// Root gathers size()*count elements; others contribute count each.
+  template <typename T>
+  void gather(std::span<const T> mine, std::span<T> all, rank_t root);
+
+  /// Root distributes size()*count elements; each rank receives count.
+  template <typename T>
+  void scatter(std::span<const T> all, std::span<T> mine, rank_t root);
+
+  /// Personalised all-to-all: send_buf[j*count..] goes to rank j,
+  /// recv_buf[i*count..] comes from rank i.
+  template <typename T>
+  void alltoall(std::span<const T> send_buf, std::span<T> recv_buf,
+                std::size_t count);
+
+  // --- communicator management -------------------------------------------
+
+  /// Collective over ALL members: ranks with equal `color` land in the
+  /// same sub-communicator, ordered by `key` (ties by old rank) —
+  /// MPI_Comm_split semantics. Used to build process rows/columns.
+  Comm split(int color, int key);
+
+  /// Node-aware member ordering used by both broadcasts: root first, then
+  /// the rest of the root's node, then the other nodes in cyclic order
+  /// (deterministic — every member computes the same list).
+  std::vector<rank_t> relay_order(rank_t root) const;
+
+ private:
+  Comm(World* world, std::uint64_t context, std::vector<rank_t> group,
+       rank_t my_rank);
+
+  MatchKey key_for(rank_t global_src, tag_t tag) const {
+    return MatchKey{context_, global_src, tag};
+  }
+
+  World* world_;
+  std::uint64_t context_;
+  std::vector<rank_t> group_;  ///< local rank -> global rank
+  rank_t my_rank_;             ///< my local rank within group_
+};
+
+template <typename T, typename Op>
+void Comm::allreduce(std::span<T> data, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  // Binomial reduce to rank 0, then broadcast.
+  const int p = size();
+  std::vector<T> incoming(data.size());
+  for (int step = 1; step < p; step *= 2) {
+    if ((rank() & step) != 0) {
+      send(std::span<const T>(data.data(), data.size()), rank() - step, -3);
+      break;
+    }
+    if (rank() + step < p) {
+      recv(std::span<T>(incoming.data(), incoming.size()), rank() + step, -3);
+      for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = op(data[i], incoming[i]);
+    }
+  }
+  bcast_bytes({reinterpret_cast<std::uint8_t*>(data.data()), data.size_bytes()},
+              0, -4);
+}
+
+template <typename T, typename Op>
+void Comm::reduce(std::span<T> data, Op op, rank_t root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  const int vrank = (rank() - root + p) % p;
+  std::vector<T> incoming(data.size());
+  for (int step = 1; step < p; step *= 2) {
+    if ((vrank & step) != 0) {
+      send(std::span<const T>(data.data(), data.size()),
+           ((vrank - step) + root) % p, -7);
+      return;
+    }
+    if (vrank + step < p) {
+      recv(std::span<T>(incoming.data(), incoming.size()),
+           (vrank + step + root) % p, -7);
+      for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = op(data[i], incoming[i]);
+    }
+  }
+}
+
+template <typename T>
+void Comm::scatter(std::span<const T> all, std::span<T> mine, rank_t root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (rank() == root) {
+    PARFW_CHECK(all.size() >= mine.size() * static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      const T* src = all.data() + static_cast<std::size_t>(r) * mine.size();
+      if (r == rank())
+        std::memcpy(mine.data(), src, mine.size_bytes());
+      else
+        send(std::span<const T>(src, mine.size()), r, -8);
+    }
+  } else {
+    recv(mine, root, -8);
+  }
+}
+
+template <typename T>
+void Comm::alltoall(std::span<const T> send_buf, std::span<T> recv_buf,
+                    std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t p = static_cast<std::size_t>(size());
+  PARFW_CHECK(send_buf.size() >= p * count && recv_buf.size() >= p * count);
+  // Eager sends cannot deadlock: everyone sends everything, then receives.
+  for (int j = 0; j < size(); ++j) {
+    const T* src = send_buf.data() + static_cast<std::size_t>(j) * count;
+    if (j == rank())
+      std::memcpy(recv_buf.data() + static_cast<std::size_t>(rank()) * count,
+                  src, count * sizeof(T));
+    else
+      send(std::span<const T>(src, count), j, -9);
+  }
+  for (int i = 0; i < size(); ++i) {
+    if (i == rank()) continue;
+    recv(std::span<T>(recv_buf.data() + static_cast<std::size_t>(i) * count,
+                      count),
+         i, -9);
+  }
+}
+
+template <typename T>
+void Comm::gather(std::span<const T> mine, std::span<T> all, rank_t root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (rank() == root) {
+    PARFW_CHECK(all.size() >= mine.size() * static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r) {
+      T* dst = all.data() + static_cast<std::size_t>(r) * mine.size();
+      if (r == rank())
+        std::memcpy(dst, mine.data(), mine.size_bytes());
+      else
+        recv(std::span<T>(dst, mine.size()), r, -5);
+    }
+  } else {
+    send(mine, root, -5);
+  }
+}
+
+}  // namespace parfw::mpi

@@ -1,0 +1,41 @@
+// Message envelope and matching key for the in-process runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parfw::mpi {
+
+using rank_t = int;
+using tag_t = int;
+
+/// A buffered (eager) message. The runtime always copies on send, so the
+/// sender's buffer is reusable immediately — matching MPI's buffered-send
+/// semantics, which is what the distributed FW variants assume.
+struct Message {
+  std::vector<std::uint8_t> payload;
+};
+
+/// Matching key: messages are matched by (context, source, tag) in FIFO
+/// order, exactly like MPI point-to-point within a communicator.
+struct MatchKey {
+  std::uint64_t context;  ///< communicator context id
+  rank_t src;             ///< GLOBAL rank of the sender
+  tag_t tag;
+
+  bool operator==(const MatchKey&) const = default;
+};
+
+struct MatchKeyHash {
+  std::size_t operator()(const MatchKey& k) const noexcept {
+    std::uint64_t h = k.context * 0x9e3779b97f4a7c15ull;
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.src)) *
+         0xff51afd7ed558ccdull;
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.tag)) *
+         0xc4ceb9fe1a85ec53ull;
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+};
+
+}  // namespace parfw::mpi

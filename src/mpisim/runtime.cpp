@@ -1,0 +1,122 @@
+#include "mpisim/runtime.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "mpisim/communicator.hpp"
+#include "util/check.hpp"
+
+namespace parfw::mpi {
+
+NodeModel NodeModel::contiguous(int world_size, int ranks_per_node) {
+  PARFW_CHECK(ranks_per_node > 0);
+  NodeModel m;
+  m.node_of.resize(static_cast<std::size_t>(world_size));
+  for (int r = 0; r < world_size; ++r)
+    m.node_of[static_cast<std::size_t>(r)] = r / ranks_per_node;
+  return m;
+}
+
+World::World(int size, NodeModel node_model)
+    : size_(size), node_model_(std::move(node_model)) {
+  PARFW_CHECK(size_ > 0);
+  if (!node_model_.node_of.empty())
+    PARFW_CHECK_MSG(node_model_.node_of.size() ==
+                        static_cast<std::size_t>(size_),
+                    "node model size mismatch");
+  mailboxes_.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+
+  int nodes = 0;
+  for (int r = 0; r < size_; ++r) nodes = std::max(nodes, node_model_.node(r) + 1);
+  traffic_.nic_bytes.assign(static_cast<std::size_t>(nodes), 0);
+}
+
+void World::deliver(const MatchKey& key, rank_t dst, Message msg) {
+  PARFW_DCHECK(dst >= 0 && dst < size_);
+  {
+    std::lock_guard<std::mutex> lock(traffic_mu_);
+    ++traffic_.messages;
+    traffic_.bytes_total += msg.payload.size();
+    const int sn = node_model_.node(key.src);
+    const int dn = node_model_.node(dst);
+    if (sn != dn) {
+      traffic_.bytes_internode += msg.payload.size();
+      traffic_.nic_bytes[static_cast<std::size_t>(sn)] += msg.payload.size();
+      traffic_.nic_bytes[static_cast<std::size_t>(dn)] += msg.payload.size();
+    }
+  }
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queues[key].push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Message World::await(const MatchKey& key, rank_t dst) {
+  PARFW_DCHECK(dst >= 0 && dst < size_);
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.cv.wait(lock, [&] {
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto it = box.queues.find(key);
+  Message msg = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) box.queues.erase(it);
+  return msg;
+}
+
+void World::barrier() { group_barrier(/*context=*/0, size_); }
+
+void World::group_barrier(std::uint64_t context, int group_size) {
+  std::unique_lock<std::mutex> lock(group_mu_);
+  GroupBarrier& gb = group_barriers_[context];
+  const std::uint64_t my_gen = gb.gen;
+  if (++gb.count == group_size) {
+    gb.count = 0;
+    ++gb.gen;
+    group_cv_.notify_all();
+    return;
+  }
+  group_cv_.wait(lock, [&] { return gb.gen != my_gen; });
+}
+
+TrafficStats World::traffic() const {
+  std::lock_guard<std::mutex> lock(traffic_mu_);
+  TrafficStats out = traffic_;
+  out.max_nic_bytes = 0;
+  for (std::uint64_t b : out.nic_bytes)
+    out.max_nic_bytes = std::max(out.max_nic_bytes, b);
+  return out;
+}
+
+TrafficStats Runtime::run(int world_size, const std::function<void(Comm&)>& fn,
+                          const RuntimeOptions& opt) {
+  World world(world_size, opt.node_model);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world_size));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&world, &fn, r, &err_mu, &first_error] {
+      try {
+        Comm comm(&world, r);
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return world.traffic();
+}
+
+}  // namespace parfw::mpi

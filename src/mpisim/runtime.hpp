@@ -1,0 +1,126 @@
+// In-process message-passing runtime — the MPI substitute (DESIGN.md §1).
+//
+// Ranks are OS threads sharing one World object. The World owns every
+// rank's mailbox (matched by communicator context, global source rank and
+// tag, FIFO within a key), a node model mapping ranks to "nodes" for NIC
+// traffic accounting, and the barrier/context-id machinery that backs
+// communicators.
+//
+// Semantics mirror the MPI subset the paper's algorithms use:
+//   * eager buffered send (send returns once the payload is copied),
+//   * blocking receive with (source, tag) matching,
+//   * nonblocking isend/irecv + wait,
+//   * communicator split (process rows/columns of the 2-D grid),
+//   * tree broadcast (library bcast) and ring broadcast (the paper's
+//     custom PanelBcast collective, §3.3) — see collectives.hpp.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mpisim/message.hpp"
+
+namespace parfw::mpi {
+
+class Comm;
+
+/// Maps ranks to nodes for traffic accounting (paper §3.4.1: all ranks on
+/// a node share one NIC). Default: every rank is its own node.
+struct NodeModel {
+  /// node_of[r] = node id of global rank r; empty = identity.
+  std::vector<int> node_of;
+
+  int node(rank_t r) const {
+    return node_of.empty() ? r : node_of[static_cast<std::size_t>(r)];
+  }
+  /// Contiguous packing: ranks [0..Q) on node 0, [Q..2Q) on node 1, ...
+  static NodeModel contiguous(int world_size, int ranks_per_node);
+};
+
+/// Per-run communication statistics.
+struct TrafficStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes_total = 0;
+  std::uint64_t bytes_internode = 0;  ///< crossing a node boundary
+  /// max over nodes of (bytes in + bytes out through the NIC)
+  std::uint64_t max_nic_bytes = 0;
+  std::vector<std::uint64_t> nic_bytes;  ///< per node
+};
+
+struct RuntimeOptions {
+  NodeModel node_model{};
+};
+
+/// Shared state of one run. Created by Runtime::run; ranks hold a pointer.
+class World {
+ public:
+  World(int size, NodeModel node_model);
+
+  int size() const { return size_; }
+  const NodeModel& node_model() const { return node_model_; }
+
+  /// Deliver a message (eager copy already made by the caller).
+  void deliver(const MatchKey& key, rank_t dst, Message msg);
+  /// Block until a message matching `key` is available at `dst`; pop it.
+  Message await(const MatchKey& key, rank_t dst);
+
+  /// World-wide barrier over all ranks (sense-reversing, generation count).
+  void barrier();
+  /// Barrier over an arbitrary subgroup, identified by the group's context
+  /// id (each communicator has one) and size.
+  void group_barrier(std::uint64_t context, int group_size);
+
+  /// Allocate a fresh communicator context id (collective-safe: ids are
+  /// global and allocation order is synchronised by the callers' barrier).
+  std::uint64_t next_context() { return next_context_.fetch_add(1); }
+
+  TrafficStats traffic() const;
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<MatchKey, std::deque<Message>, MatchKeyHash> queues;
+  };
+
+  int size_;
+  NodeModel node_model_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+
+  struct GroupBarrier {
+    int count = 0;
+    std::uint64_t gen = 0;
+  };
+  std::mutex group_mu_;
+  std::condition_variable group_cv_;
+  std::unordered_map<std::uint64_t, GroupBarrier> group_barriers_;
+
+  std::atomic<std::uint64_t> next_context_{1};
+
+  mutable std::mutex traffic_mu_;
+  TrafficStats traffic_{};
+};
+
+/// Entry point: spawn `world_size` rank threads, run `fn(world_comm)` on
+/// each, join, and return the aggregated traffic statistics. Any exception
+/// thrown by a rank is rethrown (first one wins) after all threads joined.
+class Runtime {
+ public:
+  static TrafficStats run(int world_size,
+                          const std::function<void(Comm&)>& fn,
+                          const RuntimeOptions& opt = {});
+};
+
+}  // namespace parfw::mpi

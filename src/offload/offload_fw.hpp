@@ -1,0 +1,172 @@
+// Memory-efficient blocked Floyd-Warshall (single-node Me-ParallelFw core).
+//
+// The full distance matrix stays on the HOST; only the k-th panels and the
+// diagonal block visit the device each iteration (paper §4's offload
+// model):
+//   1. DiagUpdate on device: upload A(k,k), close it with log-squaring
+//      SRGEMM launches (§4.2 / Eq. 4), download.
+//   2. PanelUpdate on device: upload the k-th row/column panels, multiply
+//      by the closed diagonal block, download.
+//   3. OuterUpdate via ooGSrGemm on the four off-panel quadrants, with the
+//      result streamed back and folded into host memory (hostUpdate).
+//
+// The feasible problem size is bounded by HOST memory (n² elements) plus
+// a device working set of O(b·n + s·m_x·n_x) — the paper's "2.5× larger
+// graphs" headline. Device capacity violations throw DeviceOutOfMemory.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+
+#include "core/diag_update.hpp"
+#include "devsim/device.hpp"
+#include "offload/oog_srgemm.hpp"
+#include "semiring/semiring.hpp"
+#include "srgemm/srgemm.hpp"
+#include "util/matrix.hpp"
+
+namespace parfw::offload {
+
+struct OffloadFwOptions {
+  std::size_t block_size = 256;
+  OogConfig oog{};
+  DiagStrategy diag = DiagStrategy::kLogSquaring;
+  srgemm::Config gemm{};
+};
+
+/// Aggregate statistics across all iterations.
+struct OffloadFwStats {
+  std::size_t iterations = 0;
+  std::size_t oog_blocks = 0;
+  std::size_t elems_h2d = 0;
+  std::size_t elems_d2h = 0;
+};
+
+namespace detail {
+
+/// Upload an arbitrary host sub-matrix into a packed (contiguous) device
+/// image, row by row. Returns element count moved.
+template <typename T>
+std::size_t upload_packed(dev::Device& device, dev::Stream& st,
+                          MatrixView<T> src, std::remove_const_t<T>* dst) {
+  for (std::size_t i = 0; i < src.rows(); ++i)
+    device.memcpy_h2d(st, dst + i * src.cols(), src.data() + i * src.ld(),
+                      src.cols() * sizeof(T));
+  return src.rows() * src.cols();
+}
+
+/// Download a packed device image back into a host sub-matrix.
+template <typename T>
+std::size_t download_packed(dev::Device& device, dev::Stream& st,
+                            const T* src, MatrixView<T> dst) {
+  for (std::size_t i = 0; i < dst.rows(); ++i)
+    device.memcpy_d2h(st, dst.data() + i * dst.ld(), src + i * dst.cols(),
+                      dst.cols() * sizeof(T));
+  return dst.rows() * dst.cols();
+}
+
+}  // namespace detail
+
+template <typename S>
+OffloadFwStats offload_blocked_fw(dev::Device& device,
+                                  MatrixView<typename S::value_type> a,
+                                  const OffloadFwOptions& opt = {}) {
+  static_assert(is_idempotent<S>(), "offload FW requires idempotent semiring");
+  using T = typename S::value_type;
+  PARFW_CHECK(a.rows() == a.cols());
+  PARFW_CHECK(opt.block_size > 0);
+  const std::size_t n = a.rows();
+  const std::size_t b = opt.block_size;
+  const std::size_t nb = (n + b - 1) / b;
+  OffloadFwStats stats;
+
+  // Device working set for the diagonal/panel phases.
+  dev::DeviceBuffer<T> d_diag = device.alloc<T>(b * b);
+  dev::DeviceBuffer<T> d_scr = device.alloc<T>(b * b);
+  dev::DeviceBuffer<T> d_row = device.alloc<T>(b * n);  // row panel A(k,:)
+  dev::DeviceBuffer<T> d_col = device.alloc<T>(n * b);  // col panel A(:,k)
+  auto stream = device.create_stream();
+
+  for (std::size_t k = 0; k < nb; ++k) {
+    const std::size_t k0 = k * b;
+    const std::size_t bk = std::min(n, k0 + b) - k0;
+    ++stats.iterations;
+
+    // --- 1. DiagUpdate on device ---------------------------------------
+    stats.elems_h2d +=
+        detail::upload_packed(device, *stream, a.sub(k0, k0, bk, bk),
+                              d_diag.data());
+    {
+      T* diag = d_diag.data();
+      T* scr = d_scr.data();
+      const DiagStrategy strat = opt.diag;
+      const srgemm::Config gemm = opt.gemm;
+      device.launch(*stream, [diag, scr, bk, strat, gemm] {
+        diag_update<S>(MatrixView<T>(diag, bk, bk, bk), strat,
+                       MatrixView<T>(scr, bk, bk, bk), gemm);
+      });
+    }
+    stats.elems_d2h += detail::download_packed(device, *stream, d_diag.data(),
+                                               a.sub(k0, k0, bk, bk));
+
+    // --- 2. PanelUpdate on device ---------------------------------------
+    // Row panel: A(k, :) ← A(k,:) ⊕ A(k,k) ⊗ A(k,:)  (left multiply).
+    stats.elems_h2d += detail::upload_packed(device, *stream,
+                                             a.sub(k0, 0, bk, n), d_row.data());
+    {
+      T* diag = d_diag.data();
+      T* row = d_row.data();
+      const srgemm::Config gemm = opt.gemm;
+      device.launch(*stream, [diag, row, bk, n, gemm] {
+        srgemm::multiply<S>(MatrixView<const T>(diag, bk, bk, bk),
+                            MatrixView<const T>(row, bk, n, n),
+                            MatrixView<T>(row, bk, n, n), gemm);
+      });
+    }
+    stats.elems_d2h += detail::download_packed(device, *stream, d_row.data(),
+                                               a.sub(k0, 0, bk, n));
+
+    // Column panel: A(:, k) ← A(:,k) ⊕ A(:,k) ⊗ A(k,k) (right multiply).
+    stats.elems_h2d += detail::upload_packed(device, *stream,
+                                             a.sub(0, k0, n, bk), d_col.data());
+    {
+      T* diag = d_diag.data();
+      T* col = d_col.data();
+      const srgemm::Config gemm = opt.gemm;
+      device.launch(*stream, [diag, col, bk, n, gemm] {
+        srgemm::multiply<S>(MatrixView<const T>(col, n, bk, bk),
+                            MatrixView<const T>(diag, bk, bk, bk),
+                            MatrixView<T>(col, n, bk, bk), gemm);
+      });
+    }
+    stats.elems_d2h += detail::download_packed(device, *stream, d_col.data(),
+                                               a.sub(0, k0, n, bk));
+    stream->synchronize();
+
+    // --- 3. OuterUpdate on the four quadrants via ooGSrGemm -------------
+    // The operand panels are still resident on the device from the
+    // PanelUpdate phase (d_col holds A(:,k) packed n x b, d_row holds
+    // A(k,:) packed b x n), so the outer product streams only the RESULT
+    // chunks — the panels are "sent only once" per iteration (§4.4).
+    auto quadrant = [&](std::size_t r0, std::size_t nr, std::size_t c0,
+                        std::size_t nc) {
+      if (nr == 0 || nc == 0) return;
+      const OogStats qs = oog_srgemm_device<S>(
+          device, d_col.data() + r0 * bk, bk, d_row.data() + c0, n, nr, nc,
+          bk, a.sub(r0, c0, nr, nc), opt.oog);
+      stats.oog_blocks += qs.blocks;
+      stats.elems_h2d += qs.elems_h2d;
+      stats.elems_d2h += qs.elems_d2h;
+    };
+    const std::size_t after0 = k0 + bk;
+    const std::size_t after_n = n - after0;
+    quadrant(0, k0, 0, k0);
+    quadrant(0, k0, after0, after_n);
+    quadrant(after0, after_n, 0, k0);
+    quadrant(after0, after_n, after0, after_n);
+  }
+  return stats;
+}
+
+}  // namespace parfw::offload

@@ -1,0 +1,87 @@
+// Closed-form performance models from the paper.
+//
+//   Eq. (1)  T_fw = 2n³/P·t_f + 2(n/b)·t_l + t_w(n²/P_r + n²/P_c)
+//   §3.4.1   per-node volume lower bound  t_w·n²(Q_r/P_r + Q_c/P_c)
+//   §4.5     ooGSrGemm phase costs t0/t1/t2 and the s-stream combinations
+//   Eq. (5)  minimum block size for offload to be compute-bound
+//
+// These are used three ways: to sanity-check the discrete-event simulator
+// (tests assert agreement for the baseline), to pick tuning parameters,
+// and to compute the figures' reference lines (peak, compute-bound
+// threshold, GPU-memory feasibility).
+#pragma once
+
+#include <cstddef>
+
+#include "perf/machine.hpp"
+
+namespace parfw::perf {
+
+struct GridShape {
+  int pr = 1, pc = 1;  ///< process grid
+  int qr = 1, qc = 1;  ///< intranode grid
+  int kr() const { return pr / qr; }
+  int kc() const { return pc / qc; }
+  int ranks() const { return pr * pc; }
+  int nodes() const { return kr() * kc(); }
+};
+
+/// Total FW flops under the paper's 2n³ convention.
+double fw_flops(double n);
+
+/// Eq. (1): bulk-synchronous ParallelFw time (no overlap), with t_w taken
+/// from the NIC model for the given shape.
+double model_fw_time(const MachineConfig& m, double n, double b,
+                     const GridShape& g);
+
+/// Pure compute time 2n³/(P·rank_flops) — the perfect-overlap floor.
+double model_compute_time(const MachineConfig& m, double n, int ranks);
+
+/// §3.4.1 per-node communication volume (bytes) for one full FW run:
+/// n²·word·(Q_r/P_r + Q_c/P_c) = n²·word·(1/K_r + 1/K_c).
+double model_node_volume(const MachineConfig& m, double n, const GridShape& g);
+
+/// Minimum per-node volume over all node-grid factorisations of `nodes`
+/// (the W_min of the paper's effective-bandwidth metric, §5.1.3).
+double min_node_volume(const MachineConfig& m, double n, int nodes);
+
+/// Effective per-node bandwidth metric (§5.1.3): W_min / t_fw.
+double effective_bandwidth(const MachineConfig& m, double n, int nodes,
+                           double t_fw);
+
+/// Problem size above which ParallelFw is compute-bound on `nodes` nodes
+/// (the dashed threshold in Figure 4; the paper quotes ~120k on 64 nodes).
+double compute_bound_threshold(const MachineConfig& m, int nodes);
+
+/// Largest n whose distance matrix fits in aggregate GPU memory on
+/// `nodes` nodes (the "Beyond GPU Memory" wall of Figure 7).
+double max_in_gpu_vertices(const MachineConfig& m, int nodes);
+
+/// Largest n whose matrix fits in aggregate HOST memory (offload wall).
+double max_in_host_vertices(const MachineConfig& m, int nodes);
+
+// --- §4.5: out-of-device SRGEMM -------------------------------------------
+
+struct OogCost {
+  double t0 = 0;  ///< SRGEMM compute
+  double t1 = 0;  ///< host<->device transfer
+  double t2 = 0;  ///< hostUpdate (DRAM-bound)
+  /// End-to-end time given `streams` (§4.5: no overlap / partial / full).
+  double total(int streams) const;
+};
+
+/// Phase costs for C(m x n) ⊕= A(m x k) ⊗ B(k x n) through the offload
+/// pipeline on one GPU.
+OogCost model_oog_cost(const MachineConfig& m, double mm, double nn,
+                       double kk);
+
+/// Eq. (5): minimum block size k for ooGSrGemm to run at the GPU's
+/// compute rate: k ≥ max(t_hd/(2 t_f), 3 t_m/(2 t_f)).
+double min_offload_block(const MachineConfig& m);
+
+/// Sustained flop rate of ooGSrGemm for square chunk size mx and panel
+/// width k on an n x n problem, including pipeline fill/drain.
+double model_oog_rate(const MachineConfig& m, double n, double mx, double k,
+                      int streams);
+
+}  // namespace parfw::perf

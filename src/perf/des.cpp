@@ -1,0 +1,153 @@
+#include "perf/des.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace parfw::perf {
+
+namespace {
+
+/// Match key for in-flight messages: (src, dst, tag) packed into disjoint
+/// bit fields (20 + 20 + 24 bits — ranks < 1M, tags < 16M).
+inline std::uint64_t msg_key(int src, int dst, std::int32_t tag) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 44) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 24) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) &
+          0xFFFFFFull);
+}
+
+}  // namespace
+
+SimStats simulate(const std::vector<RankProgram>& programs,
+                  const std::vector<int>& node_of, const MachineConfig& m) {
+  const int P = static_cast<int>(programs.size());
+  PARFW_CHECK(static_cast<int>(node_of.size()) == P);
+
+  int num_nodes = 0;
+  for (int w = 0; w < P; ++w)
+    num_nodes = std::max(num_nodes, node_of[static_cast<std::size_t>(w)] + 1);
+  const int num_gpus = (P + m.ranks_per_gpu - 1) / m.ranks_per_gpu;
+
+  std::vector<double> clock(static_cast<std::size_t>(P), 0.0);
+  std::vector<std::size_t> pc(static_cast<std::size_t>(P), 0);
+  std::vector<double> gpu_free(static_cast<std::size_t>(num_gpus), 0.0);
+  std::vector<double> nic_out(static_cast<std::size_t>(num_nodes), 0.0);
+  std::vector<double> nic_in(static_cast<std::size_t>(num_nodes), 0.0);
+  std::vector<double> nic_bytes(static_cast<std::size_t>(num_nodes), 0.0);
+
+  std::unordered_map<std::uint64_t, std::deque<double>> arrivals;
+  std::unordered_map<std::uint64_t, std::vector<int>> waiters;
+  std::uint64_t send_counter = 0;
+
+  using HeapItem = std::pair<double, int>;  // (clock, rank)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> ready;
+  for (int w = 0; w < P; ++w)
+    if (!programs[static_cast<std::size_t>(w)].empty()) ready.emplace(0.0, w);
+
+  SimStats stats;
+  std::size_t done_ranks = 0;
+  for (int w = 0; w < P; ++w)
+    if (programs[static_cast<std::size_t>(w)].empty()) ++done_ranks;
+
+  while (!ready.empty()) {
+    const auto [t_key, w] = ready.top();
+    ready.pop();
+    const std::size_t ws = static_cast<std::size_t>(w);
+    if (pc[ws] >= programs[ws].size()) continue;       // stale heap entry
+    if (t_key < clock[ws]) {                           // stale clock
+      ready.emplace(clock[ws], w);
+      continue;
+    }
+
+    const Op& op = programs[ws][pc[ws]];
+    switch (op.kind) {
+      case Op::Kind::kComp: {
+        const int gpu = w / m.ranks_per_gpu;
+        const double start = std::max(clock[ws], gpu_free[static_cast<std::size_t>(gpu)]);
+        const double end = start + op.seconds;
+        clock[ws] = end;
+        gpu_free[static_cast<std::size_t>(gpu)] = end;
+        stats.total_comp_seconds += op.seconds;
+        ++pc[ws];
+        break;
+      }
+      case Op::Kind::kSend: {
+        const int src_node = node_of[ws];
+        const int dst_node = node_of[static_cast<std::size_t>(op.peer)];
+        double arrival;
+        if (src_node == dst_node) {
+          const double dur = static_cast<double>(op.bytes) / m.intranode_bw;
+          const double start = clock[ws];
+          clock[ws] = start + dur;
+          arrival = start + m.intranode_latency + dur;
+        } else {
+          double dur = static_cast<double>(op.bytes) / m.nic_bw;
+          if (m.net_jitter > 0.0 && dur > 0.0) {
+            // Deterministic congestion noise per transfer.
+            std::uint64_t h = 0x9e3779b97f4a7c15ull * (++send_counter) ^
+                              (static_cast<std::uint64_t>(w) << 32);
+            const double u = static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
+            dur *= 1.0 + m.net_jitter * u;
+          }
+          const double start =
+              std::max(clock[ws], nic_out[static_cast<std::size_t>(src_node)]);
+          nic_out[static_cast<std::size_t>(src_node)] = start + dur;
+          clock[ws] = start + dur;
+          // Ingress: the flow re-serialises on the destination NIC.
+          const double in_start = std::max(start + m.wire_latency,
+                                           nic_in[static_cast<std::size_t>(dst_node)]);
+          arrival = in_start + dur;
+          nic_in[static_cast<std::size_t>(dst_node)] = arrival;
+          stats.internode_bytes += static_cast<double>(op.bytes);
+          nic_bytes[static_cast<std::size_t>(src_node)] += static_cast<double>(op.bytes);
+          nic_bytes[static_cast<std::size_t>(dst_node)] += static_cast<double>(op.bytes);
+        }
+        const std::uint64_t key = msg_key(w, op.peer, op.tag);
+        arrivals[key].push_back(arrival);
+        // Wake anyone blocked on this key.
+        auto it = waiters.find(key);
+        if (it != waiters.end()) {
+          for (int blocked : it->second)
+            ready.emplace(clock[static_cast<std::size_t>(blocked)], blocked);
+          waiters.erase(it);
+        }
+        ++pc[ws];
+        break;
+      }
+      case Op::Kind::kRecv: {
+        const std::uint64_t key = msg_key(op.peer, w, op.tag);
+        auto it = arrivals.find(key);
+        if (it == arrivals.end() || it->second.empty()) {
+          waiters[key].push_back(w);
+          continue;  // blocked: re-queued when the send executes
+        }
+        clock[ws] = std::max(clock[ws], it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) arrivals.erase(it);
+        ++pc[ws];
+        break;
+      }
+    }
+    ++stats.ops_executed;
+    if (pc[ws] >= programs[ws].size()) {
+      ++done_ranks;
+      stats.makespan = std::max(stats.makespan, clock[ws]);
+    } else {
+      ready.emplace(clock[ws], w);
+    }
+  }
+
+  PARFW_CHECK_MSG(done_ranks == static_cast<std::size_t>(P),
+                  "simulation deadlock: " << (P - static_cast<int>(done_ranks))
+                                          << " ranks blocked");
+  for (double v : nic_bytes) stats.max_nic_bytes = std::max(stats.max_nic_bytes, v);
+  return stats;
+}
+
+}  // namespace parfw::perf

@@ -1,0 +1,37 @@
+// Discrete-event simulator for skeleton programs (DESIGN.md §1).
+//
+// Replays the per-rank op lists from schedule.hpp over a modelled
+// cluster:
+//   * each rank has a virtual clock;
+//   * ranks sharing a GPU serialise their compute ops on it;
+//   * internode messages serialise on the source node's NIC egress and
+//     the destination node's NIC ingress at nic_bw, plus wire latency;
+//   * intranode messages run at intranode_bw without touching a NIC;
+//   * receives block until the matching send's payload has arrived
+//     (matching by (src, dst, tag), FIFO within a key).
+//
+// Ranks are advanced in virtual-time order (a min-heap on rank clocks),
+// so resource contention resolves in the order it would physically occur.
+#pragma once
+
+#include <vector>
+
+#include "perf/machine.hpp"
+#include "perf/schedule.hpp"
+
+namespace parfw::perf {
+
+struct SimStats {
+  double makespan = 0.0;          ///< latest rank finish time, s
+  double total_comp_seconds = 0;  ///< Σ comp durations (for utilisation)
+  double internode_bytes = 0;
+  double max_nic_bytes = 0;       ///< max per-node NIC bytes (in + out)
+  std::size_t ops_executed = 0;
+};
+
+/// Run the simulation. node_of[w] = node of world rank w; ranks_per_gpu
+/// and all rates come from the machine config.
+SimStats simulate(const std::vector<RankProgram>& programs,
+                  const std::vector<int>& node_of, const MachineConfig& m);
+
+}  // namespace parfw::perf

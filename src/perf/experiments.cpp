@@ -1,0 +1,95 @@
+#include "perf/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace parfw::perf {
+
+std::vector<Legend> paper_legends() {
+  return {
+      {"baseline", dist::Variant::kBaseline, false},
+      {"pipelined", dist::Variant::kPipelined, false},
+      {"+reordering", dist::Variant::kPipelined, true},
+      {"+async", dist::Variant::kAsync, true},
+      {"offload", dist::Variant::kOffload, true},
+  };
+}
+
+std::pair<int, int> balanced_factors(int x) {
+  PARFW_CHECK(x >= 1);
+  int a = static_cast<int>(std::sqrt(static_cast<double>(x)));
+  while (a > 1 && x % a != 0) --a;
+  return {a, x / a};
+}
+
+GridSetup make_grid_explicit(int kr, int kc, int qr, int qc, bool reordered) {
+  GridSetup s;
+  const int q = qr * qc;
+  if (reordered) {
+    s.grid = dist::GridSpec::tiled(kr, kc, qr, qc);
+  } else {
+    s.grid = dist::GridSpec::row_major(kr * qr, kc * qc);
+  }
+  const int P = s.grid.size();
+  s.node_of.resize(static_cast<std::size_t>(P));
+  for (int w = 0; w < P; ++w) s.node_of[static_cast<std::size_t>(w)] = w / q;
+  return s;
+}
+
+GridSetup make_grid(const MachineConfig& m, int nodes, bool reordered) {
+  const auto [kr, kc] = balanced_factors(nodes);
+  if (reordered) {
+    // Square-ish intranode grid for Summit's 12 ranks/node: 3 x 4 (§3.4.2).
+    const auto [qr, qc] = balanced_factors(m.ranks_per_node());
+    return make_grid_explicit(kr, kc, qr, qc, /*reordered=*/true);
+  }
+  // Naive: balanced global grid, contiguous rank packing (the "typical
+  // 1 x Q" configuration of §3.4.1).
+  const auto [pr, pc] = balanced_factors(nodes * m.ranks_per_node());
+  GridSetup s;
+  s.grid = dist::GridSpec::row_major(pr, pc);
+  const int P = s.grid.size();
+  s.node_of.resize(static_cast<std::size_t>(P));
+  for (int w = 0; w < P; ++w)
+    s.node_of[static_cast<std::size_t>(w)] = w / m.ranks_per_node();
+  return s;
+}
+
+RunPoint simulate_fw_placement(const MachineConfig& m, dist::Variant variant,
+                               const GridSetup& setup, int nodes, double n,
+                               double b, bool comm_only) {
+  FwProblem prob;
+  prob.variant = variant;
+  prob.b = b;
+  prob.comm_only = comm_only;
+  // The schedule builder needs n as a whole number of blocks, with at
+  // least one block per process row/column.
+  const double min_nb =
+      static_cast<double>(std::max(setup.grid.rows(), setup.grid.cols()));
+  const double nb = std::max(std::ceil(n / b), min_nb);
+  prob.n = nb * b;
+
+  const BuiltProgram built = build_fw_program(m, prob, setup.grid, setup.node_of);
+  const SimStats sim = simulate(built.programs, built.node_of, m);
+
+  RunPoint p;
+  p.seconds = sim.makespan;
+  p.pflops = fw_flops(n) / sim.makespan / 1e15;
+  const double peak =
+      static_cast<double>(nodes) * m.gpus_per_node * m.srgemm_peak_flops;
+  p.frac_peak = p.pflops * 1e15 / peak;
+  p.eff_bw = effective_bandwidth(m, n, nodes, sim.makespan);
+  p.internode_bytes = sim.internode_bytes;
+  p.max_nic_bytes = sim.max_nic_bytes;
+  return p;
+}
+
+RunPoint simulate_fw(const MachineConfig& m, const Legend& legend, int nodes,
+                     double n, double b) {
+  const GridSetup setup = make_grid(m, nodes, legend.reordered);
+  return simulate_fw_placement(m, legend.variant, setup, nodes, n, b);
+}
+
+}  // namespace parfw::perf

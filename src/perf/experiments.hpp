@@ -1,0 +1,60 @@
+// Shared experiment drivers for the figure-reproduction benches.
+//
+// Each paper legend (Baseline / Pipelined / +Reordering / +Async /
+// Offload, §5.1.2) maps to a (schedule variant, placement) pair; this
+// module builds the grid for a node count, runs the DES, and converts the
+// makespan into the paper's metrics (PFLOP/s, effective bandwidth).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/grid.hpp"
+#include "perf/cost_model.hpp"
+#include "perf/des.hpp"
+
+namespace parfw::perf {
+
+/// The paper's five plot legends (§5.1.2).
+struct Legend {
+  std::string name;
+  dist::Variant variant;
+  bool reordered;  ///< tiled placement (§3.4) vs naive row-major
+};
+std::vector<Legend> paper_legends();
+
+/// (a, b) with a*b == x and a <= b, a as large as possible.
+std::pair<int, int> balanced_factors(int x);
+
+/// Build the process grid + node map for `nodes` Summit nodes.
+/// reordered=true gives the Figure 1 placement (square node grid, square
+/// intranode grid); false gives the naive contiguous row-major packing.
+struct GridSetup {
+  dist::GridSpec grid;
+  std::vector<int> node_of;
+};
+GridSetup make_grid(const MachineConfig& m, int nodes, bool reordered);
+
+/// As above but with every placement parameter explicit (Figure 3 sweep).
+GridSetup make_grid_explicit(int kr, int kc, int qr, int qc, bool reordered);
+
+/// One simulated FW run and its derived metrics.
+struct RunPoint {
+  double seconds = 0;
+  double pflops = 0;        ///< 2n³ / t / 1e15
+  double frac_peak = 0;     ///< vs nodes · 6 GPUs · srgemm_peak
+  double eff_bw = 0;        ///< §5.1.3 effective bandwidth, bytes/s
+  double internode_bytes = 0;
+  double max_nic_bytes = 0;
+};
+
+RunPoint simulate_fw(const MachineConfig& m, const Legend& legend, int nodes,
+                     double n, double b);
+
+/// Figure 3 helper: simulate one explicit placement; returns eff. bw.
+/// comm_only zeroes compute (the Figure 3 measurement regime).
+RunPoint simulate_fw_placement(const MachineConfig& m, dist::Variant variant,
+                               const GridSetup& setup, int nodes, double n,
+                               double b, bool comm_only = false);
+
+}  // namespace parfw::perf

@@ -1,0 +1,9 @@
+#include "perf/machine.hpp"
+
+namespace parfw::perf {
+
+MachineConfig MachineConfig::summit() {
+  return MachineConfig{};  // defaults are the Summit numbers
+}
+
+}  // namespace parfw::perf

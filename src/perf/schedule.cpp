@@ -1,0 +1,425 @@
+#include "perf/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "core/diag_update.hpp"
+#include "util/rng.hpp"
+#include "util/check.hpp"
+
+namespace parfw::perf {
+
+namespace {
+
+/// Builder for per-rank op lists with the same collective expansions
+/// (including node-aware relay order) as the functional mpisim runtime.
+class ProgramBuilder {
+ public:
+  ProgramBuilder(const MachineConfig& m, const std::vector<int>& node_of,
+                 int ranks)
+      : m_(m), node_of_(node_of), progs_(static_cast<std::size_t>(ranks)) {}
+
+  std::vector<RankProgram> take() { return std::move(progs_); }
+
+  void comp(int w, double seconds) {
+    progs_[static_cast<std::size_t>(w)].push_back(
+        Op{Op::Kind::kComp, seconds, -1, 0, 0});
+  }
+  void send(int src, int dst, std::int64_t bytes, std::int32_t tag) {
+    progs_[static_cast<std::size_t>(src)].push_back(
+        Op{Op::Kind::kSend, 0.0, dst, bytes, tag});
+  }
+  void recv(int dst, int src, std::int32_t tag) {
+    progs_[static_cast<std::size_t>(dst)].push_back(
+        Op{Op::Kind::kRecv, 0.0, src, 0, tag});
+  }
+
+  /// Node-aware member order — MUST match mpisim's Comm::relay_order.
+  std::vector<int> relay_order(const std::vector<int>& members,
+                               int root_idx) const {
+    const int p = static_cast<int>(members.size());
+    int max_node = 0;
+    for (int w : members) max_node = std::max(max_node, node_of_[static_cast<std::size_t>(w)]);
+    const long long nnodes = max_node + 1;
+    const int root_node =
+        node_of_[static_cast<std::size_t>(members[static_cast<std::size_t>(root_idx)])];
+    std::vector<int> order{root_idx};
+    std::vector<std::pair<long long, int>> rest;
+    for (int i = 0; i < p; ++i) {
+      if (i == root_idx) continue;
+      const long long nd =
+          (node_of_[static_cast<std::size_t>(members[static_cast<std::size_t>(i)])] -
+           root_node + nnodes) %
+          nnodes;
+      rest.emplace_back(nd * p + i, i);
+    }
+    std::sort(rest.begin(), rest.end());
+    for (const auto& [key, i] : rest) order.push_back(i);
+    return order;
+  }
+
+  using Filter = std::function<bool(int world_rank)>;
+
+  /// Binomial-tree broadcast expansion. Ops are appended only for members
+  /// accepted by `filter` (the pipelined schedule emits root-side and
+  /// receive-side ops at different program points).
+  void expand_tree(const std::vector<int>& members, int root_idx,
+                   std::int64_t bytes, std::int32_t tag, const Filter& filter) {
+    const int p = static_cast<int>(members.size());
+    if (p <= 1 || bytes == 0) return;
+    const std::vector<int> order = relay_order(members, root_idx);
+    for (int v = 0; v < p; ++v) {
+      const int w = members[static_cast<std::size_t>(order[static_cast<std::size_t>(v)])];
+      if (!filter(w)) continue;
+      int mask = 1;
+      while (mask < p) {
+        if ((v & mask) != 0) {
+          recv(w, members[static_cast<std::size_t>(
+                     order[static_cast<std::size_t>(v ^ mask)])],
+               tag);
+          break;
+        }
+        mask <<= 1;
+      }
+      mask >>= 1;
+      while (mask > 0) {
+        if (v + mask < p)
+          send(w,
+               members[static_cast<std::size_t>(
+                   order[static_cast<std::size_t>(v + mask)])],
+               bytes, tag);
+        mask >>= 1;
+      }
+    }
+  }
+
+  /// Segmented ring broadcast with BACKGROUND relays: the payload flows
+  /// along per-rank NIC agents (process ids agent_of(r)), decoupled from
+  /// the ranks' own programs. Rank-side ops: the root posts a zero-byte
+  /// "ready" to its agent once the data exists; every other member waits
+  /// for a zero-byte "done" from its agent at its own program point.
+  /// Agent ops are emitted only when `emit_agents` is set (the pipelined
+  /// schedule touches a collective twice with complementary filters).
+  void expand_ring_background(const std::vector<int>& members, int root_idx,
+                              std::int64_t bytes, std::int32_t tag,
+                              const Filter& filter, bool emit_agents,
+                              const std::function<int(int)>& agent_of) {
+    const int p = static_cast<int>(members.size());
+    if (p <= 1 || bytes == 0) return;
+    const std::vector<int> order = relay_order(members, root_idx);
+    const std::int64_t nseg =
+        std::clamp<std::int64_t>(bytes / (1 << 20), 1, 8);
+    const std::int64_t seg = (bytes + nseg - 1) / nseg;
+    const std::int32_t ready_tag = tag + (1 << 22);
+    const std::int32_t done_tag = tag + (1 << 23);
+
+    for (int v = 0; v < p; ++v) {
+      const int w = members[static_cast<std::size_t>(order[static_cast<std::size_t>(v)])];
+      const int agent = agent_of(w);
+      // Rank-side ops (respect the caller's scheduling filter).
+      if (filter(w)) {
+        if (v == 0)
+          send(w, agent, 0, ready_tag);  // data ready: agent may stream
+        else
+          recv(w, agent, done_tag);      // block until fully received
+      }
+      if (!emit_agents) continue;
+      // Agent-side dataflow.
+      const int succ_agent =
+          v + 1 < p ? agent_of(members[static_cast<std::size_t>(
+                          order[static_cast<std::size_t>(v + 1)])])
+                    : -1;
+      const int pred_agent =
+          v > 0 ? agent_of(members[static_cast<std::size_t>(
+                      order[static_cast<std::size_t>(v - 1)])])
+                : -1;
+      if (v == 0) {
+        recv(agent, w, ready_tag);
+        for (std::int64_t s2 = 0; s2 < nseg; ++s2)
+          send(agent, succ_agent, std::min(seg, bytes - s2 * seg), tag);
+      } else {
+        for (std::int64_t s2 = 0; s2 < nseg; ++s2) {
+          recv(agent, pred_agent, tag);
+          if (succ_agent >= 0)
+            send(agent, succ_agent, std::min(seg, bytes - s2 * seg), tag);
+        }
+        send(agent, w, 0, done_tag);
+      }
+    }
+  }
+
+  /// Segmented ring broadcast expansion.
+  void expand_ring(const std::vector<int>& members, int root_idx,
+                   std::int64_t bytes, std::int32_t tag, const Filter& filter) {
+    const int p = static_cast<int>(members.size());
+    if (p <= 1 || bytes == 0) return;
+    const std::vector<int> order = relay_order(members, root_idx);
+    // Few, large segments keep op counts tractable at 3072 ranks while
+    // still modelling the relay pipelining.
+    const std::int64_t nseg =
+        std::clamp<std::int64_t>(bytes / (1 << 20), 1, 8);
+    const std::int64_t seg = (bytes + nseg - 1) / nseg;
+    for (int v = 0; v < p; ++v) {
+      const int w = members[static_cast<std::size_t>(order[static_cast<std::size_t>(v)])];
+      if (!filter(w)) continue;
+      for (std::int64_t s = 0; s < nseg; ++s) {
+        const std::int64_t len = std::min(seg, bytes - s * seg);
+        if (v > 0)
+          recv(w, members[static_cast<std::size_t>(
+                     order[static_cast<std::size_t>(v - 1)])],
+               tag);
+        if (v + 1 < p)
+          send(w,
+               members[static_cast<std::size_t>(
+                   order[static_cast<std::size_t>(v + 1)])],
+               len, tag);
+      }
+    }
+  }
+
+ private:
+  const MachineConfig& m_;
+  const std::vector<int>& node_of_;
+  std::vector<RankProgram> progs_;
+};
+
+bool accept_all(int) { return true; }
+
+}  // namespace
+
+BuiltProgram build_fw_program(const MachineConfig& m, const FwProblem& prob,
+                              const dist::GridSpec& grid,
+                              const std::vector<int>& node_of) {
+  using dist::Variant;
+  const int pr = grid.rows(), pc = grid.cols();
+  const int P = grid.size();
+  PARFW_CHECK(static_cast<int>(node_of.size()) == P);
+  const bool bg_relays =
+      prob.background_relays && prob.variant == Variant::kAsync;
+  // Background relays add two NIC-agent processes per rank (row-panel and
+  // col-panel chains get separate agents so their op streams never
+  // interleave — provably deadlock-free FIFO chains).
+  const int total_procs = bg_relays ? 3 * P : P;
+  std::vector<int> full_node_of(static_cast<std::size_t>(total_procs));
+  for (int i = 0; i < total_procs; ++i)
+    full_node_of[static_cast<std::size_t>(i)] =
+        node_of[static_cast<std::size_t>(i % P)];
+  auto row_agent = [P](int w) { return P + w; };
+  auto col_agent = [P](int w) { return 2 * P + w; };
+  const double b = prob.b;
+  const std::size_t nb = static_cast<std::size_t>(prob.n / prob.b);
+  PARFW_CHECK_MSG(nb >= static_cast<std::size_t>(std::max(pr, pc)),
+                  "need >= 1 block per process row/column");
+  const double word = m.word_bytes;
+
+  ProgramBuilder builder(m, full_node_of, total_procs);
+  const double comp_scale = prob.comm_only ? 0.0 : 1.0;
+  // Deterministic straggler jitter: factor in [1, 1 + comp_jitter],
+  // hashed from (rank, per-rank op ordinal).
+  std::vector<std::uint64_t> jitter_ctr(static_cast<std::size_t>(P), 0);
+  auto jittered = [&](int w, double secs) {
+    if (prob.comp_jitter <= 0.0 || secs <= 0.0) return secs;
+    std::uint64_t h = 0x9e3779b97f4a7c15ull *
+                      (static_cast<std::uint64_t>(w) * 1000003 +
+                       ++jitter_ctr[static_cast<std::size_t>(w)]);
+    const double u = static_cast<double>(splitmix64(h) >> 11) * 0x1.0p-53;
+    return secs * (1.0 + prob.comp_jitter * u);
+  };
+
+  // Communicator member lists (world ranks).
+  std::vector<std::vector<int>> col_members(static_cast<std::size_t>(pc));
+  std::vector<std::vector<int>> row_members(static_cast<std::size_t>(pr));
+  for (int r = 0; r < pr; ++r)
+    for (int c = 0; c < pc; ++c) {
+      const int w = grid.world_rank({r, c});
+      col_members[static_cast<std::size_t>(c)].push_back(w);  // index r
+      row_members[static_cast<std::size_t>(r)].push_back(w);  // index c
+    }
+
+  // Blocks owned per direction, per grid row/col index.
+  auto owned = [nb](int mine, int p) {
+    const std::size_t ms = static_cast<std::size_t>(mine);
+    return ms >= nb ? 0.0
+                    : static_cast<double>((nb - ms - 1) /
+                                              static_cast<std::size_t>(p) +
+                                          1);
+  };
+
+  // Compute ops run at the full GPU rate; the DES serialises the two
+  // ranks sharing a GPU on the device resource, which yields the
+  // effective per-rank half rate without double counting.
+  const double rate = m.srgemm_flops;
+  const double diag_secs =
+      diag_update_flops(static_cast<std::size_t>(b), DiagStrategy::kLogSquaring) /
+      rate;
+
+  // Per-rank OuterUpdate duration for one iteration.
+  auto outer_secs = [&](int r, int c) {
+    const double mloc = owned(r, pr) * b;
+    const double nloc = owned(c, pc) * b;
+    const double flops = 2.0 * mloc * nloc * b;
+    if (prob.variant != Variant::kOffload) return flops / rate;
+    // Offload: chunked through the device; §4.5 pipeline with 3 streams.
+    // hostUpdate runs at the contended per-rank DRAM share.
+    MachineConfig shared = m;
+    shared.dram_bw = m.dram_bw_shared;
+    const double mx = std::min(prob.offload_mx, std::max(mloc, 1.0));
+    const double nx = std::min(prob.offload_mx, std::max(nloc, 1.0));
+    // Whole-strip phase totals (panels uploaded once, §4.4); fill/drain
+    // adds roughly one chunk's worth of the non-overlapped phases.
+    const OogCost whole = model_oog_cost(shared, mloc, nloc, b);
+    const double chunk_frac = (mx * nx) / (mloc * nloc);
+    const double fill =
+        (whole.t0 + whole.t1 + whole.t2 - whole.total(3)) * chunk_frac;
+    return whole.total(3) + fill;
+  };
+
+  auto panel_secs_row = [&](int c) {
+    return 2.0 * b * b * owned(c, pc) * b / rate;
+  };
+  auto panel_secs_col = [&](int r) {
+    return 2.0 * owned(r, pr) * b * b * b / rate;
+  };
+  auto rowp_bytes = [&](int c) {
+    return static_cast<std::int64_t>(b * owned(c, pc) * b * word);
+  };
+  auto colp_bytes = [&](int r) {
+    return static_cast<std::int64_t>(owned(r, pr) * b * b * word);
+  };
+  const std::int64_t diag_bytes = static_cast<std::int64_t>(b * b * word);
+
+  auto tag_of = [](std::size_t k, int phase) {
+    return static_cast<std::int32_t>(8 * k + static_cast<std::size_t>(phase));
+  };
+
+  const bool pipelined = prob.variant == Variant::kPipelined ||
+                         prob.variant == Variant::kAsync;
+  const bool ring = prob.variant == Variant::kAsync;
+
+  auto diag_phase = [&](std::size_t k) {
+    const int krow = static_cast<int>(k % static_cast<std::size_t>(pr));
+    const int kcol = static_cast<int>(k % static_cast<std::size_t>(pc));
+    { const int w_ = grid.world_rank({krow, kcol}); builder.comp(w_, jittered(w_, comp_scale * diag_secs)); }
+    builder.expand_tree(row_members[static_cast<std::size_t>(krow)], kcol,
+                        diag_bytes, tag_of(k, 0), accept_all);
+    builder.expand_tree(col_members[static_cast<std::size_t>(kcol)], krow,
+                        diag_bytes, tag_of(k, 1), accept_all);
+  };
+
+  auto panel_update_phase = [&](std::size_t k) {
+    const int krow = static_cast<int>(k % static_cast<std::size_t>(pr));
+    const int kcol = static_cast<int>(k % static_cast<std::size_t>(pc));
+    for (int c = 0; c < pc; ++c)
+      { const int w_ = grid.world_rank({krow, c}); builder.comp(w_, jittered(w_, comp_scale * panel_secs_row(c))); }
+    for (int r = 0; r < pr; ++r)
+      { const int w_ = grid.world_rank({r, kcol}); builder.comp(w_, jittered(w_, comp_scale * panel_secs_col(r))); }
+  };
+
+  // Panel broadcast expansions, filtered per direction so the pipelined
+  // schedule emits the root side early and the receive side late —
+  // mirroring dist::parallel_fw exactly.
+  auto row_panel_bcasts = [&](std::size_t k, const ProgramBuilder::Filter& f,
+                              bool emit_agents) {
+    const int krow = static_cast<int>(k % static_cast<std::size_t>(pr));
+    for (int c = 0; c < pc; ++c) {
+      if (bg_relays)
+        builder.expand_ring_background(col_members[static_cast<std::size_t>(c)],
+                                       krow, rowp_bytes(c), tag_of(k, 2), f,
+                                       emit_agents, row_agent);
+      else if (ring)
+        builder.expand_ring(col_members[static_cast<std::size_t>(c)], krow,
+                            rowp_bytes(c), tag_of(k, 2), f);
+      else
+        builder.expand_tree(col_members[static_cast<std::size_t>(c)], krow,
+                            rowp_bytes(c), tag_of(k, 2), f);
+    }
+  };
+  auto col_panel_bcasts = [&](std::size_t k, const ProgramBuilder::Filter& f,
+                              bool emit_agents) {
+    const int kcol = static_cast<int>(k % static_cast<std::size_t>(pc));
+    for (int r = 0; r < pr; ++r) {
+      if (bg_relays)
+        builder.expand_ring_background(row_members[static_cast<std::size_t>(r)],
+                                       kcol, colp_bytes(r), tag_of(k, 3), f,
+                                       emit_agents, col_agent);
+      else if (ring)
+        builder.expand_ring(row_members[static_cast<std::size_t>(r)], kcol,
+                            colp_bytes(r), tag_of(k, 3), f);
+      else
+        builder.expand_tree(row_members[static_cast<std::size_t>(r)], kcol,
+                            colp_bytes(r), tag_of(k, 3), f);
+    }
+  };
+  auto panel_bcast_phase = [&](std::size_t k, const ProgramBuilder::Filter& f) {
+    row_panel_bcasts(k, f, /*emit_agents=*/true);
+    col_panel_bcasts(k, f, /*emit_agents=*/true);
+  };
+
+  auto outer_phase = [&](std::size_t /*k*/) {
+    for (int r = 0; r < pr; ++r)
+      for (int c = 0; c < pc; ++c)
+        { const int w_ = grid.world_rank({r, c}); builder.comp(w_, jittered(w_, comp_scale * outer_secs(r, c))); }
+  };
+
+  if (!pipelined) {
+    for (std::size_t k = 0; k < nb; ++k) {
+      diag_phase(k);
+      panel_update_phase(k);
+      panel_bcast_phase(k, accept_all);
+      outer_phase(k);
+    }
+    return BuiltProgram{builder.take(), std::move(full_node_of)};
+  }
+
+  // Pipelined / async (Algorithm 4 ordering, mirroring dist::parallel_fw).
+  diag_phase(0);
+  panel_update_phase(0);
+  panel_bcast_phase(0, accept_all);
+  for (std::size_t k = 0; k < nb; ++k) {
+    const std::size_t k1 = k + 1;
+    if (k1 < nb) {
+      const int k1row = static_cast<int>(k1 % static_cast<std::size_t>(pr));
+      const int k1col = static_cast<int>(k1 % static_cast<std::size_t>(pc));
+      // Look-ahead OuterUpdate(k) restricted to the (k+1) panels.
+      for (int c = 0; c < pc; ++c)
+        { const int w_ = grid.world_rank({k1row, c});
+          builder.comp(w_, jittered(w_, comp_scale * 2.0 * b * owned(c, pc) * b * b / rate)); }
+      for (int r = 0; r < pr; ++r)
+        { const int w_ = grid.world_rank({r, k1col});
+          builder.comp(w_, jittered(w_, comp_scale * 2.0 * owned(r, pr) * b * b * b / rate)); }
+      diag_phase(k1);
+      panel_update_phase(k1);
+      // Root side of PanelBcast(k+1) before the bulk OuterUpdate(k);
+      // agent dataflow is emitted here (once per collective).
+      auto in_k1row = [&](int w) { return grid.coord_of(w).row == k1row; };
+      auto in_k1col = [&](int w) { return grid.coord_of(w).col == k1col; };
+      row_panel_bcasts(k1, in_k1row, /*emit_agents=*/true);
+      col_panel_bcasts(k1, in_k1col, /*emit_agents=*/true);
+      outer_phase(k);
+      // ...and the receive side after it.
+      row_panel_bcasts(k1, [&](int w) { return !in_k1row(w); },
+                       /*emit_agents=*/false);
+      col_panel_bcasts(k1, [&](int w) { return !in_k1col(w); },
+                       /*emit_agents=*/false);
+    } else {
+      outer_phase(k);
+    }
+  }
+  return BuiltProgram{builder.take(), std::move(full_node_of)};
+}
+
+std::vector<RankProgram> build_bcast_program(const MachineConfig& m, int ranks,
+                                             std::int64_t bytes, bool ring,
+                                             const std::vector<int>& node_of) {
+  ProgramBuilder builder(m, node_of, ranks);
+  std::vector<int> members(static_cast<std::size_t>(ranks));
+  for (int i = 0; i < ranks; ++i) members[static_cast<std::size_t>(i)] = i;
+  if (ring)
+    builder.expand_ring(members, 0, bytes, 1, accept_all);
+  else
+    builder.expand_tree(members, 0, bytes, 1, accept_all);
+  return builder.take();
+}
+
+}  // namespace parfw::perf

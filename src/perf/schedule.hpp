@@ -1,0 +1,75 @@
+// Skeleton schedule generation for the discrete-event simulator.
+//
+// For each ParallelFw variant, build_fw_program() emits per-rank ordered
+// op lists (compute / send / recv) that mirror the control flow of
+// dist::parallel_fw exactly — same phases, same look-ahead, same
+// tree/ring broadcast expansions with the same node-aware relay orders —
+// but carry only metadata (flop counts and byte counts), no matrix data.
+// This is what lets the simulator replay a 256-node, n = 1.6M run on one
+// core (DESIGN.md §1, last row of the substitution table).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/grid.hpp"
+#include "dist/parallel_fw.hpp"
+#include "perf/cost_model.hpp"
+#include "perf/machine.hpp"
+
+namespace parfw::perf {
+
+struct Op {
+  enum class Kind : std::uint8_t { kComp, kSend, kRecv };
+  Kind kind = Kind::kComp;
+  double seconds = 0.0;      ///< kComp: duration on this rank's GPU
+  int peer = -1;             ///< kSend: dst world rank; kRecv: src world rank
+  std::int64_t bytes = 0;    ///< kSend: payload size
+  std::int32_t tag = 0;      ///< kSend/kRecv: match key
+};
+
+using RankProgram = std::vector<Op>;
+
+struct FwProblem {
+  double n = 0;          ///< vertices
+  double b = 768;        ///< block size
+  dist::Variant variant = dist::Variant::kAsync;
+  /// ooGSrGemm chunk size for the offload variant (m_x = n_x).
+  double offload_mx = 4096;
+  /// Model MPI's asynchronous progression of the ring broadcast: panel
+  /// segments are relayed by per-rank NIC "agent" processes instead of the
+  /// rank's own program, so a rank busy computing does not stall the chain
+  /// (§3.3's asynchrony). Only affects the kAsync variant.
+  bool background_relays = true;
+  /// OS-noise / straggler model: each compute op's duration is inflated
+  /// by a deterministic pseudo-random factor in [0, comp_jitter]
+  /// (hashed from rank and op index). §3.3 argues the asynchronous ring
+  /// decouples ranks so one straggler's delay does not propagate; the
+  /// straggler ablation bench measures exactly that.
+  double comp_jitter = 0.0;
+  /// Zero out all compute durations: isolates the communication schedule
+  /// (the paper's Figure 3 placement sweep is measured in this regime —
+  /// its single-node point exceeds the NIC's 25 GB/s, which is only
+  /// possible when t_FW is communication time).
+  bool comm_only = false;
+};
+
+/// A built skeleton: per-process op lists plus the node map covering any
+/// auxiliary "NIC agent" processes the schedule added (background relays).
+struct BuiltProgram {
+  std::vector<RankProgram> programs;
+  std::vector<int> node_of;  ///< sized to programs (ranks + agents)
+};
+
+/// Build the per-rank programs for one FW run on the given grid/placement.
+/// `node_of[w]` maps world ranks to nodes (NIC domains).
+BuiltProgram build_fw_program(const MachineConfig& m, const FwProblem& prob,
+                              const dist::GridSpec& grid,
+                              const std::vector<int>& node_of);
+
+/// Standalone broadcast programs (for the ring-vs-tree DES experiments).
+std::vector<RankProgram> build_bcast_program(const MachineConfig& m, int ranks,
+                                             std::int64_t bytes, bool ring,
+                                             const std::vector<int>& node_of);
+
+}  // namespace parfw::perf

@@ -1,0 +1,124 @@
+// SRGEMM — semiring general matrix-matrix multiply (paper §2.6, §4.1).
+//
+// Computes the accumulating product
+//     C ← C ⊕ (A ⊗ B),   C: m x n,  A: m x k,  B: k x n
+// over an arbitrary semiring. For MinPlus this is the min-plus product
+//     C[i,j] = min(C[i,j], min_k (A[i,k] + B[k,j]))
+// which is the workhorse of blocked Floyd-Warshall: PanelUpdate and
+// OuterUpdate are both SRGEMM calls.
+//
+// The paper's kernel is a CUTLASS-derived CUDA kernel (6.8 TF/s on V100);
+// this is its CPU substitute with the same blocked structure: an L2-sized
+// macro tile, a k-panel loop, and a register-blocked micro-kernel. The
+// multi-threaded driver partitions C by row panels across a thread pool,
+// mirroring how a GPU partitions C across thread blocks.
+#pragma once
+
+#include <cstddef>
+
+#include "semiring/semiring.hpp"
+#include "srgemm/srgemm_kernels.hpp"
+#include "util/matrix.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parfw::srgemm {
+
+/// Kernel selection and tiling parameters. Defaults are tuned for a
+/// ~1 MiB L2: 64x256 C macro-tiles with 256-deep k panels.
+struct Config {
+  std::size_t tile_m = 64;
+  std::size_t tile_n = 256;
+  std::size_t tile_k = 256;
+  /// Pack A/B tiles into contiguous scratch before the register sweep
+  /// (GotoBLAS-style); wins on strided panel views (see bench_srgemm_pack).
+  bool pack = false;
+  /// Pool used to parallelise over C row panels; nullptr = sequential.
+  ThreadPool* pool = nullptr;
+};
+
+/// C ← C ⊕ A ⊗ B. Dimensions are validated; views may alias only if
+/// the semiring is idempotent AND the caller understands blocked-FW
+/// in-place semantics (PanelUpdate aliases A or B with C deliberately,
+/// exactly as Algorithm 2 does).
+template <typename S>
+void multiply(MatrixView<const typename S::value_type> A,
+              MatrixView<const typename S::value_type> B,
+              MatrixView<typename S::value_type> C, const Config& cfg = {}) {
+  PARFW_CHECK_MSG(A.rows() == C.rows() && B.cols() == C.cols() &&
+                      A.cols() == B.rows(),
+                  "srgemm shape mismatch: C(" << C.rows() << "x" << C.cols()
+                      << ") += A(" << A.rows() << "x" << A.cols() << ") * B("
+                      << B.rows() << "x" << B.cols() << ")");
+  if (C.empty() || A.cols() == 0) return;
+
+  const std::size_t m = C.rows();
+  if (cfg.pool != nullptr && cfg.pool->size() > 1 && m >= 2 * cfg.tile_m) {
+    // Row-panel parallelism: each worker owns disjoint rows of C, so no
+    // synchronisation is needed inside the kernel.
+    const std::size_t panels = (m + cfg.tile_m - 1) / cfg.tile_m;
+    cfg.pool->parallel_for(panels, [&](std::size_t p) {
+      const std::size_t r0 = p * cfg.tile_m;
+      const std::size_t nr = std::min(cfg.tile_m, m - r0);
+      if (cfg.pack)
+        detail::tiled_kernel_packed<S>(A.sub(r0, 0, nr, A.cols()), B,
+                                       C.sub(r0, 0, nr, C.cols()), cfg.tile_m,
+                                       cfg.tile_n, cfg.tile_k);
+      else
+        detail::tiled_kernel<S>(A.sub(r0, 0, nr, A.cols()), B,
+                                C.sub(r0, 0, nr, C.cols()), cfg.tile_m,
+                                cfg.tile_n, cfg.tile_k);
+    });
+  } else if (cfg.pack) {
+    detail::tiled_kernel_packed<S>(A, B, C, cfg.tile_m, cfg.tile_n, cfg.tile_k);
+  } else {
+    detail::tiled_kernel<S>(A, B, C, cfg.tile_m, cfg.tile_n, cfg.tile_k);
+  }
+}
+
+/// Reference implementation (naive triple loop) — the oracle the tiled
+/// kernel is validated against, and the fallback for exotic semirings.
+template <typename S>
+void multiply_reference(MatrixView<const typename S::value_type> A,
+                        MatrixView<const typename S::value_type> B,
+                        MatrixView<typename S::value_type> C) {
+  PARFW_CHECK(A.rows() == C.rows() && B.cols() == C.cols() &&
+              A.cols() == B.rows());
+  detail::naive_kernel<S>(A, B, C);
+}
+
+/// Argmin-tracking SRGEMM for path reconstruction:
+///     where C[i,j] improves via index t, set Arg[i,j] = t + arg_offset.
+/// `arg_offset` converts the local k index into a global vertex id.
+/// Used by the predecessor-tracking blocked FW (DESIGN.md §6).
+template <typename S>
+void multiply_argmin(MatrixView<const typename S::value_type> A,
+                     MatrixView<const typename S::value_type> B,
+                     MatrixView<typename S::value_type> C,
+                     MatrixView<std::int64_t> Arg, std::int64_t arg_offset) {
+  PARFW_CHECK(A.rows() == C.rows() && B.cols() == C.cols() &&
+              A.cols() == B.rows());
+  PARFW_CHECK(Arg.rows() == C.rows() && Arg.cols() == C.cols());
+  detail::argmin_kernel<S>(A, B, C, Arg, arg_offset);
+}
+
+/// Element-wise accumulate C ← C ⊕ X (the offload engine's hostUpdate).
+template <typename S>
+void ewise_add(MatrixView<const typename S::value_type> X,
+               MatrixView<typename S::value_type> C) {
+  PARFW_CHECK(X.rows() == C.rows() && X.cols() == C.cols());
+  using T = typename S::value_type;
+  for (std::size_t i = 0; i < C.rows(); ++i) {
+    const T* x = X.data() + i * X.ld();
+    T* c = C.data() + i * C.ld();
+    for (std::size_t j = 0; j < C.cols(); ++j) c[j] = S::add(c[j], x[j]);
+  }
+}
+
+/// FLOP count convention used throughout (matches the paper): an SRGEMM of
+/// shape (m,n,k) performs 2·m·n·k flops (one ⊕ and one ⊗ per MAC).
+inline double flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace parfw::srgemm

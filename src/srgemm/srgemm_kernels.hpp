@@ -1,0 +1,195 @@
+// Kernel bodies for SRGEMM: naive oracle, cache-tiled + register-blocked
+// kernel, and the argmin-tracking variant.
+//
+// The tiled kernel follows the canonical GotoBLAS decomposition adapted to
+// semirings: C is walked in tile_m x tile_n macro tiles; for each macro
+// tile the k dimension is consumed in tile_k panels; inside a panel a
+// 4 x 16 register micro-kernel keeps 64 accumulators live across the
+// k loop. min/+ has no FMA, matching the paper's observation that SRGEMM
+// peak is half the FMA peak (§4.1).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/matrix.hpp"
+
+namespace parfw::srgemm::detail {
+
+template <typename S>
+void naive_kernel(MatrixView<const typename S::value_type> A,
+                  MatrixView<const typename S::value_type> B,
+                  MatrixView<typename S::value_type> C) {
+  using T = typename S::value_type;
+  const std::size_t m = C.rows(), n = C.cols(), k = A.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      T acc = S::zero();
+      for (std::size_t t = 0; t < k; ++t)
+        acc = S::add(acc, S::mul(A(i, t), B(t, j)));
+      C(i, j) = S::add(C(i, j), acc);
+    }
+  }
+}
+
+/// Micro-kernel: accumulate a MR x NR block of C over k in [0, kk).
+/// MR*NR accumulators stay in registers; A is walked down a column strip
+/// and B across a row strip. Plain scalar code — the compiler vectorises
+/// the NR-wide inner statements (min/add map to vminps/vaddps).
+template <typename S, std::size_t MR, std::size_t NR>
+inline void micro_kernel(const typename S::value_type* a, std::size_t lda,
+                         const typename S::value_type* b, std::size_t ldb,
+                         typename S::value_type* c, std::size_t ldc,
+                         std::size_t kk) {
+  using T = typename S::value_type;
+  T acc[MR][NR];
+  for (std::size_t i = 0; i < MR; ++i)
+    for (std::size_t j = 0; j < NR; ++j) acc[i][j] = c[i * ldc + j];
+  for (std::size_t t = 0; t < kk; ++t) {
+    const T* brow = b + t * ldb;
+    for (std::size_t i = 0; i < MR; ++i) {
+      const T av = a[i * lda + t];
+      for (std::size_t j = 0; j < NR; ++j)
+        acc[i][j] = S::add(acc[i][j], S::mul(av, brow[j]));
+    }
+  }
+  for (std::size_t i = 0; i < MR; ++i)
+    for (std::size_t j = 0; j < NR; ++j) c[i * ldc + j] = acc[i][j];
+}
+
+/// Edge handler for fringe blocks smaller than the register tile.
+template <typename S>
+inline void edge_kernel(const typename S::value_type* a, std::size_t lda,
+                        const typename S::value_type* b, std::size_t ldb,
+                        typename S::value_type* c, std::size_t ldc,
+                        std::size_t mm, std::size_t nn, std::size_t kk) {
+  using T = typename S::value_type;
+  for (std::size_t i = 0; i < mm; ++i) {
+    for (std::size_t j = 0; j < nn; ++j) {
+      T acc = c[i * ldc + j];
+      for (std::size_t t = 0; t < kk; ++t)
+        acc = S::add(acc, S::mul(a[i * lda + t], b[t * ldb + j]));
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+/// Packing variant: A macro-tiles and B panels are copied into contiguous
+/// scratch before the register sweep (GotoBLAS-style). Wins when the
+/// operands are strided views of a much wider matrix — the blocked-FW
+/// panel shapes — by keeping the k-loop streams inside one page each.
+template <typename S>
+void tiled_kernel_packed(MatrixView<const typename S::value_type> A,
+                         MatrixView<const typename S::value_type> B,
+                         MatrixView<typename S::value_type> C,
+                         std::size_t tile_m, std::size_t tile_n,
+                         std::size_t tile_k) {
+  using T = typename S::value_type;
+  constexpr std::size_t MR = 4, NR = 16;
+  const std::size_t m = C.rows(), n = C.cols(), k = A.cols();
+  AlignedBuffer<T> a_pack(tile_m * tile_k);
+  AlignedBuffer<T> b_pack(tile_k * tile_n);
+
+  for (std::size_t k0 = 0; k0 < k; k0 += tile_k) {
+    const std::size_t kk = std::min(tile_k, k - k0);
+    for (std::size_t j0 = 0; j0 < n; j0 += tile_n) {
+      const std::size_t nj = std::min(tile_n, n - j0);
+      // Pack B(k0:k0+kk, j0:j0+nj) contiguous (ldb = nj).
+      for (std::size_t t = 0; t < kk; ++t)
+        std::copy_n(B.data() + (k0 + t) * B.ld() + j0, nj,
+                    b_pack.data() + t * nj);
+      for (std::size_t i0 = 0; i0 < m; i0 += tile_m) {
+        const std::size_t mi = std::min(tile_m, m - i0);
+        // Pack A(i0:i0+mi, k0:k0+kk) contiguous (lda = kk).
+        for (std::size_t i = 0; i < mi; ++i)
+          std::copy_n(A.data() + (i0 + i) * A.ld() + k0, kk,
+                      a_pack.data() + i * kk);
+        std::size_t i = 0;
+        for (; i + MR <= mi; i += MR) {
+          std::size_t j = 0;
+          for (; j + NR <= nj; j += NR)
+            micro_kernel<S, MR, NR>(a_pack.data() + i * kk, kk,
+                                    b_pack.data() + j, nj,
+                                    C.data() + (i0 + i) * C.ld() + (j0 + j),
+                                    C.ld(), kk);
+          if (j < nj)
+            edge_kernel<S>(a_pack.data() + i * kk, kk, b_pack.data() + j, nj,
+                           C.data() + (i0 + i) * C.ld() + (j0 + j), C.ld(),
+                           MR, nj - j, kk);
+        }
+        if (i < mi)
+          edge_kernel<S>(a_pack.data() + i * kk, kk, b_pack.data(), nj,
+                         C.data() + (i0 + i) * C.ld() + j0, C.ld(), mi - i,
+                         nj, kk);
+      }
+    }
+  }
+}
+
+template <typename S>
+void tiled_kernel(MatrixView<const typename S::value_type> A,
+                  MatrixView<const typename S::value_type> B,
+                  MatrixView<typename S::value_type> C, std::size_t tile_m,
+                  std::size_t tile_n, std::size_t tile_k) {
+  using T = typename S::value_type;
+  constexpr std::size_t MR = 4, NR = 16;
+  const std::size_t m = C.rows(), n = C.cols(), k = A.cols();
+
+  for (std::size_t i0 = 0; i0 < m; i0 += tile_m) {
+    const std::size_t mi = std::min(tile_m, m - i0);
+    for (std::size_t j0 = 0; j0 < n; j0 += tile_n) {
+      const std::size_t nj = std::min(tile_n, n - j0);
+      for (std::size_t k0 = 0; k0 < k; k0 += tile_k) {
+        const std::size_t kk = std::min(tile_k, k - k0);
+        // Register-tiled sweep of the (mi x nj) macro tile.
+        std::size_t i = 0;
+        for (; i + MR <= mi; i += MR) {
+          const T* a = A.data() + (i0 + i) * A.ld() + k0;
+          std::size_t j = 0;
+          for (; j + NR <= nj; j += NR) {
+            micro_kernel<S, MR, NR>(a, A.ld(),
+                                    B.data() + k0 * B.ld() + (j0 + j), B.ld(),
+                                    C.data() + (i0 + i) * C.ld() + (j0 + j),
+                                    C.ld(), kk);
+          }
+          if (j < nj)
+            edge_kernel<S>(a, A.ld(), B.data() + k0 * B.ld() + (j0 + j),
+                           B.ld(), C.data() + (i0 + i) * C.ld() + (j0 + j),
+                           C.ld(), MR, nj - j, kk);
+        }
+        if (i < mi)
+          edge_kernel<S>(A.data() + (i0 + i) * A.ld() + k0, A.ld(),
+                         B.data() + k0 * B.ld() + j0, B.ld(),
+                         C.data() + (i0 + i) * C.ld() + j0, C.ld(), mi - i,
+                         nj, kk);
+      }
+    }
+  }
+}
+
+template <typename S>
+void argmin_kernel(MatrixView<const typename S::value_type> A,
+                   MatrixView<const typename S::value_type> B,
+                   MatrixView<typename S::value_type> C,
+                   MatrixView<std::int64_t> Arg, std::int64_t arg_offset) {
+  using T = typename S::value_type;
+  const std::size_t m = C.rows(), n = C.cols(), k = A.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      T best = C(i, j);
+      std::int64_t arg = -1;
+      for (std::size_t t = 0; t < k; ++t) {
+        const T cand = S::mul(A(i, t), B(t, j));
+        if (S::less_add(cand, best)) {
+          best = cand;
+          arg = static_cast<std::int64_t>(t) + arg_offset;
+        }
+      }
+      C(i, j) = best;
+      if (arg >= 0) Arg(i, j) = arg;
+    }
+  }
+}
+
+}  // namespace parfw::srgemm::detail

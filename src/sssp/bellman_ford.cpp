@@ -1,0 +1,45 @@
+#include "sssp/sssp.hpp"
+#include "util/check.hpp"
+
+namespace parfw::sssp {
+
+SsspResult bellman_ford(const Graph& g, vertex_t source, bool* negative_cycle) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  PARFW_CHECK(source >= 0 && static_cast<std::size_t>(source) < n);
+
+  SsspResult r;
+  r.dist.assign(n, kInf);
+  r.parent.assign(n, -1);
+  r.dist[static_cast<std::size_t>(source)] = 0.0;
+  if (negative_cycle != nullptr) *negative_cycle = false;
+
+  // n-1 relaxation rounds with early exit on a quiescent round.
+  for (std::size_t round = 0; round + 1 < n || n == 1; ++round) {
+    bool changed = false;
+    for (const Edge& e : g.edges()) {
+      const double du = r.dist[static_cast<std::size_t>(e.src)];
+      if (du == kInf) continue;
+      const double nd = du + e.weight;
+      if (nd < r.dist[static_cast<std::size_t>(e.dst)]) {
+        r.dist[static_cast<std::size_t>(e.dst)] = nd;
+        r.parent[static_cast<std::size_t>(e.dst)] = e.src;
+        changed = true;
+      }
+    }
+    if (!changed) return r;
+    if (round + 2 >= n) break;
+  }
+
+  // One extra round: any further improvement witnesses a negative cycle.
+  for (const Edge& e : g.edges()) {
+    const double du = r.dist[static_cast<std::size_t>(e.src)];
+    if (du == kInf) continue;
+    if (du + e.weight < r.dist[static_cast<std::size_t>(e.dst)]) {
+      if (negative_cycle != nullptr) *negative_cycle = true;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace parfw::sssp

@@ -1,0 +1,84 @@
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "sssp/sssp.hpp"
+#include "util/check.hpp"
+
+namespace parfw::sssp {
+
+SsspResult delta_stepping(const Graph& g, vertex_t source, double delta) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  PARFW_CHECK(source >= 0 && static_cast<std::size_t>(source) < n);
+  const Graph::Csr& csr = g.csr();
+
+  if (delta <= 0.0) {
+    // Meyer–Sanders heuristic: Δ = max weight / average out-degree.
+    double wmax = 1.0;
+    for (const Edge& e : g.edges()) {
+      PARFW_CHECK_MSG(e.weight >= 0.0, "delta-stepping requires non-negative weights");
+      wmax = std::max(wmax, e.weight);
+    }
+    const double avg_deg =
+        n > 0 ? std::max(1.0, static_cast<double>(g.num_edges()) /
+                                  static_cast<double>(n))
+              : 1.0;
+    delta = wmax / avg_deg;
+  }
+
+  SsspResult r;
+  r.dist.assign(n, kInf);
+  r.parent.assign(n, -1);
+  r.dist[static_cast<std::size_t>(source)] = 0.0;
+
+  std::vector<std::deque<vertex_t>> buckets(1);
+  std::vector<std::size_t> in_bucket(n, SIZE_MAX);
+  auto place = [&](vertex_t v, double d) {
+    const std::size_t b = static_cast<std::size_t>(d / delta);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    buckets[b].push_back(v);
+    in_bucket[static_cast<std::size_t>(v)] = b;
+  };
+  place(source, 0.0);
+
+  auto relax = [&](vertex_t v, double d, vertex_t via) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    if (d < r.dist[vi]) {
+      r.dist[vi] = d;
+      r.parent[vi] = via;
+      place(v, d);
+    }
+  };
+
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    // Light-edge phases: settle the bucket to a fixpoint.
+    std::vector<vertex_t> settled;
+    while (!buckets[b].empty()) {
+      std::deque<vertex_t> frontier;
+      frontier.swap(buckets[b]);
+      for (vertex_t u : frontier) {
+        const std::size_t ui = static_cast<std::size_t>(u);
+        if (in_bucket[ui] != b) continue;  // moved to a lighter bucket
+        if (static_cast<std::size_t>(r.dist[ui] / delta) != b) continue;
+        in_bucket[ui] = SIZE_MAX;
+        settled.push_back(u);
+        for (std::size_t e = csr.offsets[ui]; e < csr.offsets[ui + 1]; ++e) {
+          if (csr.weights[e] <= delta)  // light edge
+            relax(csr.targets[e], r.dist[ui] + csr.weights[e], u);
+        }
+      }
+    }
+    // Heavy-edge phase: relax once from every vertex settled in bucket b.
+    for (vertex_t u : settled) {
+      const std::size_t ui = static_cast<std::size_t>(u);
+      for (std::size_t e = csr.offsets[ui]; e < csr.offsets[ui + 1]; ++e) {
+        if (csr.weights[e] > delta)
+          relax(csr.targets[e], r.dist[ui] + csr.weights[e], u);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace parfw::sssp

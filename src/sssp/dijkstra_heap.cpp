@@ -1,0 +1,44 @@
+// Decrease-key Dijkstra on the pairing heap — the Johnson's-algorithm
+// inner loop at its theoretically efficient shape (paper §6: Dijkstra
+// with a Fibonacci-class heap gives Johnson's O(mn + n² log n)).
+#include "sssp/pairing_heap.hpp"
+#include "sssp/sssp.hpp"
+#include "util/check.hpp"
+
+namespace parfw::sssp {
+
+SsspResult dijkstra_decrease_key(const Graph& g, vertex_t source) {
+  const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+  PARFW_CHECK(source >= 0 && static_cast<std::size_t>(source) < n);
+  const Graph::Csr& csr = g.csr();
+
+  SsspResult r;
+  r.dist.assign(n, kInf);
+  r.parent.assign(n, -1);
+  r.dist[static_cast<std::size_t>(source)] = 0.0;
+
+  PairingHeap heap(n);
+  heap.push(static_cast<std::size_t>(source), 0.0);
+
+  while (!heap.empty()) {
+    const std::size_t u = heap.pop();
+    const double du = r.dist[u];
+    for (std::size_t e = csr.offsets[u]; e < csr.offsets[u + 1]; ++e) {
+      const double w = csr.weights[e];
+      PARFW_CHECK_MSG(w >= 0.0, "Dijkstra requires non-negative weights");
+      const std::size_t v = static_cast<std::size_t>(csr.targets[e]);
+      const double nd = du + w;
+      if (nd < r.dist[v]) {
+        r.dist[v] = nd;
+        r.parent[v] = static_cast<vertex_t>(u);
+        if (heap.contains(v))
+          heap.decrease_key(v, nd);
+        else
+          heap.push(v, nd);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace parfw::sssp

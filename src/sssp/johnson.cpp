@@ -1,0 +1,44 @@
+#include <vector>
+
+#include "sssp/sssp.hpp"
+#include "util/check.hpp"
+
+namespace parfw::sssp {
+
+Matrix<double> johnson_apsp(const Graph& g) {
+  const vertex_t n = g.num_vertices();
+  const std::size_t ns = static_cast<std::size_t>(n);
+
+  // Augment with a virtual source q connected to every vertex at weight 0,
+  // run Bellman-Ford from q to get the potential h(v).
+  Graph aug(n + 1);
+  for (const Edge& e : g.edges()) aug.add_edge(e.src, e.dst, e.weight);
+  for (vertex_t v = 0; v < n; ++v) aug.add_edge(n, v, 0.0);
+
+  bool neg_cycle = false;
+  const SsspResult h = bellman_ford(aug, n, &neg_cycle);
+  PARFW_CHECK_MSG(!neg_cycle, "Johnson: graph has a negative cycle");
+
+  // Reweight: w'(u,v) = w(u,v) + h(u) - h(v) >= 0 by the potential property.
+  Graph rw(n);
+  for (const Edge& e : g.edges()) {
+    const double w2 = e.weight + h.dist[static_cast<std::size_t>(e.src)] -
+                      h.dist[static_cast<std::size_t>(e.dst)];
+    rw.add_edge(e.src, e.dst, w2 < 0.0 && w2 > -1e-9 ? 0.0 : w2);
+  }
+
+  Matrix<double> out(ns, ns);
+  for (vertex_t s = 0; s < n; ++s) {
+    const SsspResult r = dijkstra(rw, s);
+    for (vertex_t v = 0; v < n; ++v) {
+      const double d = r.dist[static_cast<std::size_t>(v)];
+      // Undo the reweighting: d(s,v) = d'(s,v) - h(s) + h(v).
+      out(s, v) = d == kInf ? kInf
+                            : d - h.dist[static_cast<std::size_t>(s)] +
+                                  h.dist[static_cast<std::size_t>(v)];
+    }
+  }
+  return out;
+}
+
+}  // namespace parfw::sssp

@@ -1,0 +1,70 @@
+// 64-byte-aligned heap buffer used for matrix storage.
+//
+// The SRGEMM microkernel vectorises over contiguous rows; cache-line
+// alignment keeps tile loads from splitting lines and makes performance
+// measurements stable.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace parfw {
+
+/// Owning, 64-byte aligned, fixed-size array of trivially-destructible T.
+/// Move-only (a matrix handle owns exactly one allocation).
+template <typename T>
+class AlignedBuffer {
+  static constexpr std::size_t kAlign = 64;
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) : size_(n) {
+    if (n == 0) return;
+    const std::size_t bytes = (n * sizeof(T) + kAlign - 1) / kAlign * kAlign;
+    data_ = static_cast<T*>(std::aligned_alloc(kAlign, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace parfw

@@ -1,0 +1,54 @@
+// Lightweight runtime checking macros used across the library.
+//
+// PARFW_CHECK is enabled in all build types: it guards API contracts
+// (dimension mismatches, invalid grids, out-of-memory on the simulated
+// device) whose violation would otherwise corrupt results silently.
+// PARFW_DCHECK compiles away in release builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace parfw {
+
+/// Exception thrown when a PARFW_CHECK fails. Deriving from
+/// std::logic_error: a failed check is a programming/contract error,
+/// not an environmental one.
+class check_error : public std::logic_error {
+ public:
+  explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PARFW_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace parfw
+
+#define PARFW_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::parfw::detail::check_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define PARFW_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::parfw::detail::check_fail(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define PARFW_DCHECK(expr) ((void)0)
+#else
+#define PARFW_DCHECK(expr) PARFW_CHECK(expr)
+#endif

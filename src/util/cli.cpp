@@ -1,0 +1,53 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace parfw {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& allowed) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    PARFW_CHECK_MSG(std::find(allowed.begin(), allowed.end(), arg) !=
+                        allowed.end(),
+                    "unknown flag --" << arg);
+    values_[arg] = value;
+  }
+}
+
+std::string CliArgs::get(const std::string& flag,
+                         const std::string& fallback) const {
+  auto it = values_.find(flag);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& flag,
+                              std::int64_t fallback) const {
+  auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& flag, double fallback) const {
+  auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace parfw

@@ -1,0 +1,34 @@
+// Minimal command-line flag parser for the tools.
+//
+// Supports --flag value, --flag=value and boolean --flag. Unknown flags
+// are an error (fail fast beats silent typos in batch jobs).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parfw {
+
+class CliArgs {
+ public:
+  /// Parse argv. `allowed` lists every legal flag name (without --).
+  CliArgs(int argc, const char* const* argv,
+          const std::vector<std::string>& allowed);
+
+  bool has(const std::string& flag) const { return values_.count(flag) > 0; }
+  std::string get(const std::string& flag, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+  bool get_bool(const std::string& flag) const { return has(flag); }
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace parfw

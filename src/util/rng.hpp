@@ -1,0 +1,60 @@
+// Deterministic random number generation for workloads and tests.
+//
+// A single 64-bit seed fully determines every generated graph, so each
+// experiment in EXPERIMENTS.md is replayable bit-for-bit. We use our own
+// splitmix64/xoshiro-style engine rather than std::mt19937 so that streams
+// can be split per (row, block) without correlation, which the distributed
+// generator relies on to build identical matrices on every rank.
+#pragma once
+
+#include <cstdint>
+
+namespace parfw {
+
+/// splitmix64: used both directly and to seed stream splits.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Small, fast, seedable engine with a jump-free "split" operation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) : state_(seed) {
+    // Warm up so that nearby seeds diverge immediately.
+    (void)next();
+    (void)next();
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() { return splitmix64(state_); }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return n ? next() % n : 0; }
+
+  /// Derive an independent stream for a sub-object (e.g. one matrix row).
+  /// Hashing (seed, tag) keeps distributed generation rank-independent:
+  /// every rank derives the same per-row stream regardless of which rows
+  /// it owns.
+  static Rng split(std::uint64_t seed, std::uint64_t tag) {
+    std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ull + tag * 0xc2b2ae3d27d4eb4full);
+    return Rng(s);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace parfw

@@ -1,0 +1,37 @@
+// Plain-text table formatting for the benchmark harness.
+//
+// Every figure-reproduction bench prints its series as an aligned text
+// table (paper reference column included), so the harness output is
+// self-describing without plotting dependencies.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace parfw {
+
+/// Column-aligned text table. Usage:
+///   Table t({"n", "variant", "GB/s"});
+///   t.add_row({"26008", "baseline", "1.9"});
+///   std::cout << t.str();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline and two-space column gaps.
+  std::string str() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Format a double with `prec` significant decimal places.
+  static std::string num(double v, int prec = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parfw

@@ -1,0 +1,72 @@
+// A fixed-size work-stealing-free thread pool with a shared queue.
+//
+// Used as the execution engine behind the CPU SRGEMM kernels, the simulated
+// accelerator worker, and the mpisim rank threads' helpers. The pool is
+// deliberately simple: tasks are type-erased std::function<void()> pushed to
+// a mutex-protected deque. For the kernel sizes this library runs (tiles of
+// >= 64x64), enqueue overhead is negligible relative to task cost.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parfw {
+
+/// Fixed-size thread pool. Threads are created in the constructor and
+/// joined in the destructor (RAII); submit() is thread-safe.
+class ThreadPool {
+ public:
+  /// Create a pool with `n_threads` workers. n_threads == 0 creates a pool
+  /// that executes submitted tasks inline on the caller's thread, which is
+  /// useful for deterministic unit tests.
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 means inline execution).
+  std::size_t size() const noexcept { return threads_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  template <typename F>
+  std::future<void> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
+    std::future<void> fut = task->get_future();
+    if (threads_.empty()) {
+      (*task)();
+      return fut;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  /// Work is divided into contiguous chunks, one per worker, which matches
+  /// the row-panel decomposition the SRGEMM driver uses.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// A process-wide default pool sized to the hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace parfw

@@ -1,0 +1,27 @@
+// Wall-clock timing helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace parfw {
+
+/// Monotonic stopwatch. Starts on construction; seconds() reads elapsed time.
+class Timer {
+  using clock = std::chrono::steady_clock;
+
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace parfw

@@ -1,0 +1,60 @@
+// CLI parser tests.
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace parfw {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> argv,
+              std::vector<std::string> allowed) {
+  std::vector<const char*> full{"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return CliArgs(static_cast<int>(full.size()), full.data(), allowed);
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  const auto a = parse({"--n", "100", "--p", "0.5"}, {"n", "p"});
+  EXPECT_EQ(a.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(a.get_double("p", 0), 0.5);
+}
+
+TEST(Cli, EqualsSeparatedValues) {
+  const auto a = parse({"--seed=42", "--name=x"}, {"seed", "name"});
+  EXPECT_EQ(a.get_int("seed", 0), 42);
+  EXPECT_EQ(a.get("name", ""), "x");
+}
+
+TEST(Cli, BooleanFlags) {
+  const auto a = parse({"--verbose", "--n", "5"}, {"verbose", "n"});
+  EXPECT_TRUE(a.get_bool("verbose"));
+  EXPECT_FALSE(a.get_bool("missing"));
+  EXPECT_EQ(a.get_int("n", 0), 5);
+}
+
+TEST(Cli, BooleanFlagFollowedByFlag) {
+  const auto a = parse({"--paths", "--block", "32"}, {"paths", "block"});
+  EXPECT_TRUE(a.get_bool("paths"));
+  EXPECT_EQ(a.get_int("block", 0), 32);
+}
+
+TEST(Cli, Fallbacks) {
+  const auto a = parse({}, {"x"});
+  EXPECT_EQ(a.get("x", "dflt"), "dflt");
+  EXPECT_EQ(a.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("x", 1.5), 1.5);
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto a = parse({"file1", "--n", "3", "file2"}, {"n"});
+  EXPECT_EQ(a.positional(),
+            (std::vector<std::string>{"file1", "file2"}));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  EXPECT_THROW(parse({"--bogus", "1"}, {"n"}), check_error);
+}
+
+}  // namespace
+}  // namespace parfw

@@ -1,0 +1,399 @@
+// Tests for the extension features: component-wise APSP, Seidel's
+// algorithm, checkpoint/restart, bit-packed transitive closure.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <sstream>
+
+#include "core/bitset_closure.hpp"
+#include "core/block_sparse_fw.hpp"
+#include "core/checkpoint.hpp"
+#include "core/component_apsp.hpp"
+#include "core/floyd_warshall.hpp"
+#include "core/incremental.hpp"
+#include "core/seidel.hpp"
+#include "graph/generators.hpp"
+#include "sssp/sssp.hpp"
+
+namespace parfw {
+namespace {
+
+using S = MinPlus<double>;
+
+// --- component_apsp -----------------------------------------------------------
+
+TEST(ComponentApsp, MatchesDenseSolveOnMultiComponentGraph) {
+  // Integral weights keep min-plus sums order-independent (exact).
+  const auto g = gen::multi_component(4, 20, 0.3, 11);
+  auto dense = g.distance_matrix<S>();
+  floyd_warshall<S>(dense.view());
+  const auto split = component_apsp<S>(g, {.algorithm = ApspAlgorithm::kBlocked,
+                                           .block_size = 8});
+  // Blocked vs sequential sum orders differ; double rounding only.
+  EXPECT_LT(max_abs_diff<double>(dense.view(), split.dist.view()), 1e-9);
+}
+
+TEST(ComponentApsp, SingleComponentDegeneratesToPlainApsp) {
+  const auto g = gen::erdos_renyi(50, 0.2, 12);
+  const auto a = apsp<S>(g, {.algorithm = ApspAlgorithm::kSequential});
+  const auto b = component_apsp<S>(g, {.algorithm = ApspAlgorithm::kSequential});
+  // Same algorithm, same order (single component is an identity remap).
+  EXPECT_EQ(max_abs_diff<double>(a.dist.view(), b.dist.view()), 0.0);
+}
+
+TEST(ComponentApsp, PathsRemapToOriginalIds) {
+  const auto g = gen::multi_component(3, 12, 0.5, 13);
+  ApspOptions opt{.algorithm = ApspAlgorithm::kSequential, .track_paths = true};
+  const auto r = component_apsp<S>(g, opt);
+  const auto w = g.distance_matrix<S>();
+  for (vertex_t s = 0; s < g.num_vertices(); ++s)
+    for (vertex_t t = 0; t < g.num_vertices(); ++t) {
+      if (s == t || value_traits<double>::is_inf(r.dist(s, t))) continue;
+      const auto p = r.path(s, t);
+      ASSERT_FALSE(p.empty());
+      double len = 0;
+      for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+        ASSERT_FALSE(value_traits<double>::is_inf(w(p[i], p[i + 1])));
+        len += w(p[i], p[i + 1]);
+      }
+      EXPECT_NEAR(len, r.dist(s, t), 1e-9);
+    }
+}
+
+TEST(ComponentApsp, IsolatedVerticesStayUnreachable) {
+  Graph g(5);
+  g.add_edge(0, 1, 2.0);
+  const auto r = component_apsp<S>(g);
+  EXPECT_EQ(r.dist(0, 1), 2.0);
+  EXPECT_TRUE(value_traits<double>::is_inf(r.dist(0, 2)));
+  EXPECT_EQ(r.dist(3, 3), 0.0);
+}
+
+TEST(ComponentApsp, FlopSavingsEstimate) {
+  // 4 balanced components of size m: flops = 4·2m³ vs dense 2(4m)³ = 128m³:
+  // a 16x saving.
+  std::vector<vertex_t> labels;
+  for (vertex_t c = 0; c < 4; ++c)
+    for (int i = 0; i < 10; ++i) labels.push_back(c);
+  const double split = component_apsp_flops(labels);
+  const double dense = 2.0 * 40.0 * 40.0 * 40.0;
+  EXPECT_DOUBLE_EQ(dense / split, 16.0);
+}
+
+// --- Seidel ----------------------------------------------------------------
+
+TEST(Seidel, MatchesBfsDistancesOnConnectedGraphs) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    // Connected undirected graph: grid plus random chords.
+    Graph g = gen::grid2d(5, 6, seed);
+    Rng rng(seed * 7 + 1);
+    Graph uw(g.num_vertices());
+    for (const Edge& e : g.edges()) uw.add_edge(e.src, e.dst, 1.0);
+    for (int extra = 0; extra < 10; ++extra) {
+      const auto a = static_cast<vertex_t>(rng.next_below(30));
+      const auto b = static_cast<vertex_t>(rng.next_below(30));
+      if (a != b) uw.add_undirected_edge(a, b, 1.0);
+    }
+    auto fw = uw.distance_matrix<S>();
+    floyd_warshall<S>(fw.view());
+    const auto sd = seidel_apsp(uw);
+    EXPECT_EQ(max_abs_diff<double>(fw.view(), sd.view()), 0.0) << "seed " << seed;
+  }
+}
+
+TEST(Seidel, CompleteGraphBaseCase) {
+  Graph g(6);
+  for (vertex_t i = 0; i < 6; ++i)
+    for (vertex_t j = 0; j < 6; ++j)
+      if (i != j) g.add_edge(i, j, 1.0);
+  const auto d = seidel_apsp(g);
+  for (vertex_t i = 0; i < 6; ++i)
+    for (vertex_t j = 0; j < 6; ++j)
+      EXPECT_EQ(d(i, j), i == j ? 0.0 : 1.0);
+}
+
+TEST(Seidel, RingDiameter) {
+  // Undirected ring of 16: max distance 8, dist(i,j) = cyclic distance.
+  Graph g(16);
+  for (vertex_t i = 0; i < 16; ++i) g.add_undirected_edge(i, (i + 1) % 16, 1.0);
+  const auto d = seidel_apsp(g);
+  for (vertex_t i = 0; i < 16; ++i)
+    for (vertex_t j = 0; j < 16; ++j) {
+      const vertex_t fwd = (j - i + 16) % 16;
+      EXPECT_EQ(d(i, j), static_cast<double>(std::min(fwd, 16 - fwd)));
+    }
+}
+
+TEST(Seidel, RejectsDirectedGraph) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);  // one-directional
+  g.add_undirected_edge(1, 2, 1.0);
+  EXPECT_THROW(seidel_apsp(g), check_error);
+}
+
+TEST(Seidel, RejectsDisconnectedGraph) {
+  Graph g(4);
+  g.add_undirected_edge(0, 1, 1.0);
+  g.add_undirected_edge(2, 3, 1.0);
+  EXPECT_THROW(seidel_apsp(g), check_error);
+}
+
+// --- checkpoint/restart -----------------------------------------------------
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  DenseEntryGen<float> gen(31, 0.8);
+  auto m = gen.full(24);
+  std::stringstream ss;
+  save_checkpoint<float>(ss, m.view(), /*next_block=*/3, /*block_size=*/8);
+  const auto loaded = load_checkpoint<float>(ss);
+  EXPECT_EQ(loaded.next_block, 3u);
+  EXPECT_EQ(loaded.block_size, 8u);
+  EXPECT_EQ(max_abs_diff<float>(m.view(), loaded.dist.view()), 0.0);
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  std::stringstream ss("not a checkpoint at all");
+  EXPECT_THROW(load_checkpoint<float>(ss), check_error);
+}
+
+TEST(Checkpoint, RejectsWrongElementType) {
+  Matrix<float> m(4, 4, 1.0f);
+  std::stringstream ss;
+  save_checkpoint<float>(ss, m.view(), 0, 2);
+  EXPECT_THROW(load_checkpoint<double>(ss), check_error);
+}
+
+TEST(Checkpoint, ResumeReproducesUninterruptedRun) {
+  using Sf = MinPlus<float>;
+  DenseEntryGen<float> gen(32, 0.9, 1.0f, 50.0f, /*integral=*/true);
+  const std::size_t n = 64, b = 8;
+
+  // Uninterrupted run.
+  auto full = gen.full(static_cast<vertex_t>(n));
+  blocked_floyd_warshall<Sf>(full.view(), {.block_size = b});
+
+  // Interrupted run: checkpoint at every iteration, "crash" after 3.
+  auto crashing = gen.full(static_cast<vertex_t>(n));
+  std::stringstream ckpt;
+  blocked_floyd_warshall_range<Sf>(
+      crashing.view(), 0, {.block_size = b},
+      [&](std::size_t k_done, MatrixView<float> view) {
+        if (k_done == 3) {
+          ckpt.str("");
+          save_checkpoint<float>(ckpt, MatrixView<const float>(view), k_done, b);
+        }
+      });
+  // (the run above actually completed; simulate the crash by reloading the
+  // snapshot taken at k=3 and resuming from there)
+  auto restored = load_checkpoint<float>(ckpt);
+  EXPECT_EQ(restored.next_block, 3u);
+  blocked_floyd_warshall_range<Sf>(restored.dist.view(), restored.next_block,
+                                   {.block_size = restored.block_size});
+  EXPECT_EQ(max_abs_diff<float>(full.view(), restored.dist.view()), 0.0);
+}
+
+TEST(Checkpoint, ResumeFromEveryIteration) {
+  // For every possible interruption point: snapshot the state there, load
+  // it back, resume, and compare against the uninterrupted run.
+  using Sf = MinPlus<float>;
+  DenseEntryGen<float> gen(33, 1.0, 1.0f, 30.0f, /*integral=*/true);
+  const std::size_t n = 40, b = 8, nb = n / b;
+  auto full = gen.full(static_cast<vertex_t>(n));
+  blocked_floyd_warshall<Sf>(full.view(), {.block_size = b});
+
+  for (std::size_t stop = 1; stop <= nb; ++stop) {
+    std::stringstream ss;
+    auto scratch = gen.full(static_cast<vertex_t>(n));
+    blocked_floyd_warshall_range<Sf>(
+        scratch.view(), 0, {.block_size = b},
+        [&](std::size_t k_done, MatrixView<float> v) {
+          if (k_done == stop)
+            save_checkpoint<float>(ss, MatrixView<const float>(v), k_done, b);
+        });
+    auto loaded = load_checkpoint<float>(ss);
+    EXPECT_EQ(loaded.next_block, stop);
+    blocked_floyd_warshall_range<Sf>(loaded.dist.view(), loaded.next_block,
+                                     {.block_size = loaded.block_size});
+    EXPECT_EQ(max_abs_diff<float>(full.view(), loaded.dist.view()), 0.0)
+        << "resume from " << stop;
+  }
+}
+
+// --- incremental vertex insertion ---------------------------------------------
+
+TEST(InsertVertex, MatchesRecomputeFromScratch) {
+  for (std::uint64_t seed : {41u, 42u, 43u}) {
+    const vertex_t n = 30;
+    auto g = gen::erdos_renyi(n, 0.2, seed, 1.0, 100.0, /*integral=*/true);
+    auto closed = g.distance_matrix<S>();
+    floyd_warshall<S>(closed.view());
+
+    // New vertex with a handful of integral-weight edges each way.
+    Rng rng(seed + 99);
+    std::vector<double> in_e(static_cast<std::size_t>(n), S::zero());
+    std::vector<double> out_e(static_cast<std::size_t>(n), S::zero());
+    Graph g2(n + 1);
+    for (const Edge& e : g.edges()) g2.add_edge(e.src, e.dst, e.weight);
+    for (int k = 0; k < 6; ++k) {
+      const auto u = static_cast<vertex_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+      const double w1 = static_cast<double>(1 + rng.next_below(50));
+      const double w2 = static_cast<double>(1 + rng.next_below(50));
+      out_e[static_cast<std::size_t>(u)] =
+          std::min(out_e[static_cast<std::size_t>(u)], w1);
+      in_e[static_cast<std::size_t>(u)] =
+          std::min(in_e[static_cast<std::size_t>(u)], w2);
+      g2.add_edge(n, u, w1);
+      g2.add_edge(u, n, w2);
+    }
+    const auto grown = insert_vertex<S>(
+        closed.view(), std::span<const double>(in_e),
+        std::span<const double>(out_e));
+
+    auto expected = g2.distance_matrix<S>();
+    floyd_warshall<S>(expected.view());
+    EXPECT_EQ(max_abs_diff<double>(expected.view(), grown.view()), 0.0)
+        << "seed " << seed;
+  }
+}
+
+TEST(InsertVertex, IsolatedVertexLeavesMatrixUntouched) {
+  const auto g = gen::erdos_renyi(15, 0.3, 50, 1.0, 100.0, true);
+  auto closed = g.distance_matrix<S>();
+  floyd_warshall<S>(closed.view());
+  std::vector<double> none(15, S::zero());
+  const auto grown =
+      insert_vertex<S>(closed.view(), std::span<const double>(none),
+                       std::span<const double>(none));
+  EXPECT_EQ(grown.rows(), 16u);
+  EXPECT_EQ(max_abs_diff<double>(closed.view(), grown.sub(0, 0, 15, 15)), 0.0);
+  EXPECT_TRUE(value_traits<double>::is_inf(grown(15, 0)));
+  EXPECT_TRUE(value_traits<double>::is_inf(grown(0, 15)));
+  EXPECT_EQ(grown(15, 15), 0.0);
+}
+
+TEST(InsertVertex, NewShortcutImprovesOldPairs) {
+  // Two chains joined only through the new hub vertex.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  auto closed = g.distance_matrix<S>();
+  floyd_warshall<S>(closed.view());
+  ASSERT_TRUE(value_traits<double>::is_inf(closed(0, 3)));
+  std::vector<double> in_e(4, S::zero()), out_e(4, S::zero());
+  in_e[1] = 2.0;   // 1 -> v
+  out_e[2] = 3.0;  // v -> 2
+  const auto grown = insert_vertex<S>(closed.view(),
+                                      std::span<const double>(in_e),
+                                      std::span<const double>(out_e));
+  EXPECT_EQ(grown(0, 3), 1.0 + 2.0 + 3.0 + 1.0);  // 0-1-v-2-3
+  EXPECT_EQ(grown(1, 2), 5.0);
+}
+
+// --- bit-packed transitive closure ----------------------------------------------
+
+TEST(BitsetClosure, MatchesBooleanFloydWarshall) {
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    const auto g = gen::erdos_renyi(70, 0.04, seed);
+    const std::size_t n = static_cast<std::size_t>(g.num_vertices());
+    // Oracle: byte-matrix or-and FW.
+    Matrix<std::uint8_t> m(n, n, 0);
+    for (std::size_t v = 0; v < n; ++v) m(v, v) = 1;
+    for (const Edge& e : g.edges()) m(e.src, e.dst) = 1;
+    floyd_warshall<BoolOrAnd>(m.view());
+
+    const BitMatrix reach = transitive_closure(g);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ASSERT_EQ(reach.get(i, j), m(i, j) == 1)
+            << "(" << i << "," << j << ") seed " << seed;
+  }
+}
+
+TEST(BitsetClosure, CountAndBasicShapes) {
+  const auto ring = gen::ring(65);  // crosses the 64-bit word boundary
+  const BitMatrix r = transitive_closure(ring);
+  EXPECT_EQ(r.count(), 65u * 65u);  // a cycle reaches everything
+
+  Graph chain(65);
+  for (vertex_t i = 0; i + 1 < 65; ++i) chain.add_edge(i, i + 1, 1.0);
+  const BitMatrix c = transitive_closure(chain);
+  EXPECT_EQ(c.count(), 65u * 66u / 2u);  // upper triangle incl. diagonal
+  EXPECT_TRUE(c.get(0, 64));
+  EXPECT_FALSE(c.get(64, 0));
+}
+
+TEST(BitsetClosure, AgreesWithConnectedComponentsOnSymmetricGraphs) {
+  const auto g = gen::multi_component(3, 21, 0.3, 44);
+  // Symmetrise.
+  Graph sym(g.num_vertices());
+  for (const Edge& e : g.edges()) sym.add_undirected_edge(e.src, e.dst, 1.0);
+  const BitMatrix reach = transitive_closure(sym);
+  const auto labels = connected_components(sym);
+  for (vertex_t i = 0; i < sym.num_vertices(); ++i)
+    for (vertex_t j = 0; j < sym.num_vertices(); ++j)
+      EXPECT_EQ(reach.get(static_cast<std::size_t>(i),
+                          static_cast<std::size_t>(j)),
+                labels[static_cast<std::size_t>(i)] ==
+                    labels[static_cast<std::size_t>(j)]);
+}
+
+// --- block-sparse FW ----------------------------------------------------------
+
+class BlockSparseParam
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+// (edge probability, block size)
+
+TEST_P(BlockSparseParam, MatchesSequentialFw) {
+  const auto [p, b] = GetParam();
+  const auto g = gen::erdos_renyi(72, p, 808 + static_cast<std::uint64_t>(b),
+                                  1.0, 60.0, /*integral=*/true);
+  auto expected = g.distance_matrix<S>();
+  floyd_warshall<S>(expected.view());
+  auto got = g.distance_matrix<S>();
+  const auto stats = block_sparse_floyd_warshall<S>(
+      got.view(), static_cast<std::size_t>(b));
+  EXPECT_EQ(max_abs_diff<double>(expected.view(), got.view()), 0.0)
+      << "p=" << p << " b=" << b;
+  EXPECT_LE(stats.products_skipped, stats.products_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockSparseParam,
+    ::testing::Combine(::testing::Values(0.002, 0.01, 0.05, 0.3),
+                       ::testing::Values(8, 12, 24)));
+
+TEST(BlockSparseFw, SkipsMostProductsOnVerySparseInput) {
+  // A few disjoint short chains: almost every block pair stays empty.
+  Graph g(96);
+  for (vertex_t c = 0; c < 4; ++c)
+    for (vertex_t i = 0; i < 10; ++i)
+      g.add_edge(c * 24 + i, c * 24 + i + 1, 1.0);
+  auto expected = g.distance_matrix<S>();
+  floyd_warshall<S>(expected.view());
+  auto got = g.distance_matrix<S>();
+  const auto stats = block_sparse_floyd_warshall<S>(got.view(), 8);
+  EXPECT_EQ(max_abs_diff<double>(expected.view(), got.view()), 0.0);
+  EXPECT_GT(stats.skip_fraction(), 0.5);
+}
+
+TEST(BlockSparseFw, DenseInputSkipsNothing) {
+  const auto g = gen::dense_uniform(40, 3, 1.0, 50.0, true);
+  auto expected = g.distance_matrix<S>();
+  floyd_warshall<S>(expected.view());
+  auto got = g.distance_matrix<S>();
+  const auto stats = block_sparse_floyd_warshall<S>(got.view(), 8);
+  EXPECT_EQ(max_abs_diff<double>(expected.view(), got.view()), 0.0);
+  EXPECT_EQ(stats.products_skipped, 0u);
+}
+
+TEST(BlockSparseFw, RaggedLastBlock) {
+  const auto g = gen::erdos_renyi(50, 0.1, 909, 1.0, 40.0, true);
+  auto expected = g.distance_matrix<S>();
+  floyd_warshall<S>(expected.view());
+  auto got = g.distance_matrix<S>();
+  block_sparse_floyd_warshall<S>(got.view(), 16);  // 50 = 3*16 + 2
+  EXPECT_EQ(max_abs_diff<double>(expected.view(), got.view()), 0.0);
+}
+
+}  // namespace
+}  // namespace parfw

@@ -1,0 +1,329 @@
+// Core FW tests: sequential FW vs closed forms and SSSP oracles, blocked
+// FW vs sequential across block sizes, diag-update strategies, path
+// reconstruction, negative cycles, incremental updates, other semirings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/apsp.hpp"
+#include "core/blocked_fw.hpp"
+#include "core/blocked_fw_paths.hpp"
+#include "core/diag_update.hpp"
+#include "core/floyd_warshall.hpp"
+#include "core/incremental.hpp"
+#include "graph/connected_components.hpp"
+#include "graph/generators.hpp"
+#include "sssp/sssp.hpp"
+
+namespace parfw {
+namespace {
+
+using S = MinPlus<double>;
+
+Matrix<double> fw_oracle(const Graph& g) {
+  auto d = g.distance_matrix<S>();
+  floyd_warshall<S>(d.view());
+  return d;
+}
+
+TEST(FloydWarshall, RingClosedForm) {
+  // Directed unit ring: dist(i, j) = (j - i) mod n.
+  const vertex_t n = 12;
+  const auto d = fw_oracle(gen::ring(n));
+  for (vertex_t i = 0; i < n; ++i)
+    for (vertex_t j = 0; j < n; ++j)
+      EXPECT_EQ(d(i, j), static_cast<double>((j - i + n) % n));
+}
+
+TEST(FloydWarshall, MatchesDijkstraOnRandomGraphs) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto g = gen::erdos_renyi(60, 0.15, seed, 1.0, 100.0, /*integral=*/true);
+    const auto fw = fw_oracle(g);
+    const auto dj = sssp::dijkstra_apsp(g);
+    EXPECT_EQ(max_abs_diff<double>(fw.view(), dj.view()), 0.0) << "seed " << seed;
+  }
+}
+
+TEST(FloydWarshall, UnreachableStaysInfinite) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const auto d = fw_oracle(g);
+  EXPECT_TRUE(value_traits<double>::is_inf(d(0, 2)));
+  EXPECT_TRUE(value_traits<double>::is_inf(d(3, 0)));
+  EXPECT_EQ(d(0, 1), 1.0);
+}
+
+TEST(FloydWarshall, NegativeEdgesNoCycle) {
+  Graph g(4);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, -3.0);
+  g.add_edge(2, 3, 2.0);
+  g.add_edge(0, 3, 10.0);
+  const auto d = fw_oracle(g);
+  EXPECT_EQ(d(0, 3), 4.0);  // 5 - 3 + 2 beats the direct 10
+  EXPECT_FALSE(has_negative_cycle<S>(d.view()));
+}
+
+TEST(FloydWarshall, NegativeCycleDetected) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, -2.0);
+  g.add_edge(2, 0, 0.5);
+  const auto d = fw_oracle(g);
+  EXPECT_TRUE(has_negative_cycle<S>(d.view()));
+}
+
+TEST(FloydWarshall, MultiComponentMatchesPerComponentSolve) {
+  const auto g = gen::multi_component(3, 15, 0.4, 9);
+  const auto d = fw_oracle(g);
+  const auto labels = connected_components(g);
+  for (vertex_t i = 0; i < g.num_vertices(); ++i)
+    for (vertex_t j = 0; j < g.num_vertices(); ++j)
+      if (labels[i] != labels[j]) {
+        EXPECT_TRUE(value_traits<double>::is_inf(d(i, j)));
+      }
+}
+
+// --- Blocked FW ----------------------------------------------------------
+
+class BlockedFwParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+// (n, block_size, diag_strategy)
+
+TEST_P(BlockedFwParam, MatchesSequential) {
+  const auto [n, b, diag] = GetParam();
+  const auto g = gen::erdos_renyi(n, 0.2, 1234 + n + b, 1.0, 100.0, /*integral=*/true);
+  const auto expected = fw_oracle(g);
+  auto d = g.distance_matrix<S>();
+  BlockedFwOptions opt;
+  opt.block_size = static_cast<std::size_t>(b);
+  opt.diag = static_cast<DiagStrategy>(diag);
+  blocked_floyd_warshall<S>(d.view(), opt);
+  EXPECT_EQ(max_abs_diff<double>(expected.view(), d.view()), 0.0)
+      << "n=" << n << " b=" << b << " diag=" << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockedFwParam,
+    ::testing::Combine(::testing::Values(1, 7, 32, 64, 97, 130),
+                       ::testing::Values(1, 8, 16, 33, 64, 200),
+                       ::testing::Values(0, 1)));  // kClassic, kLogSquaring
+
+TEST(BlockedFw, ParallelPoolMatchesSequential) {
+  ThreadPool pool(4);
+  const auto g = gen::erdos_renyi(150, 0.15, 55, 1.0, 100.0, /*integral=*/true);
+  const auto expected = fw_oracle(g);
+  auto d = g.distance_matrix<S>();
+  BlockedFwOptions opt;
+  opt.block_size = 32;
+  opt.pool = &pool;
+  blocked_floyd_warshall<S>(d.view(), opt);
+  EXPECT_EQ(max_abs_diff<double>(expected.view(), d.view()), 0.0);
+}
+
+TEST(BlockedFw, FloatPrecisionMatchesSequentialBitwise) {
+  using Sf = MinPlus<float>;
+  const auto g = gen::erdos_renyi(80, 0.25, 77, 1.0, 100.0, /*integral=*/true);
+  auto a = g.distance_matrix<Sf>();
+  auto b = a.clone();
+  floyd_warshall<Sf>(a.view());
+  blocked_floyd_warshall<Sf>(b.view(), {.block_size = 17});
+  // min/+ over identical inputs is exact: results must agree bitwise.
+  EXPECT_EQ(max_abs_diff<float>(a.view(), b.view()), 0.0);
+}
+
+// --- DiagUpdate ------------------------------------------------------------
+
+TEST(DiagUpdate, LogSquaringStepCount) {
+  EXPECT_EQ(log_squaring_steps(1), 0u);
+  EXPECT_EQ(log_squaring_steps(2), 1u);
+  EXPECT_EQ(log_squaring_steps(3), 1u);
+  EXPECT_EQ(log_squaring_steps(5), 2u);
+  EXPECT_EQ(log_squaring_steps(9), 3u);
+  EXPECT_EQ(log_squaring_steps(64), 6u);
+  EXPECT_EQ(log_squaring_steps(65), 6u);
+  EXPECT_EQ(log_squaring_steps(66), 7u);
+}
+
+TEST(DiagUpdate, LogSquaringEqualsClassic) {
+  for (int n : {1, 2, 3, 16, 45, 64}) {
+    const auto g = gen::erdos_renyi(n, 0.3, 300 + n, 1.0, 100.0, /*integral=*/true);
+    auto a = g.distance_matrix<S>();
+    auto b = a.clone();
+    diag_update<S>(a.view(), DiagStrategy::kClassic);
+    diag_update<S>(b.view(), DiagStrategy::kLogSquaring);
+    EXPECT_EQ(max_abs_diff<double>(a.view(), b.view()), 0.0) << "n=" << n;
+  }
+}
+
+TEST(DiagUpdate, FlopModel) {
+  EXPECT_DOUBLE_EQ(diag_update_flops(64, DiagStrategy::kClassic),
+                   2.0 * 64 * 64 * 64);
+  EXPECT_DOUBLE_EQ(diag_update_flops(64, DiagStrategy::kLogSquaring),
+                   2.0 * 64 * 64 * 64 * 6);
+}
+
+// --- Paths -----------------------------------------------------------------
+
+TEST(Paths, ReconstructedPathsAreValidAndOptimal) {
+  const auto g = gen::erdos_renyi(40, 0.2, 91);
+  ApspOptions opt;
+  opt.algorithm = ApspAlgorithm::kSequential;
+  opt.track_paths = true;
+  const auto r = apsp<S>(g, opt);
+  const auto w = g.distance_matrix<S>();  // edge weights
+  for (vertex_t s = 0; s < 40; ++s) {
+    for (vertex_t t = 0; t < 40; ++t) {
+      if (value_traits<double>::is_inf(r.dist(s, t))) {
+        if (s != t) {
+          EXPECT_TRUE(r.path(s, t).empty());
+        }
+        continue;
+      }
+      const auto p = r.path(s, t);
+      ASSERT_FALSE(p.empty());
+      EXPECT_EQ(p.front(), s);
+      EXPECT_EQ(p.back(), t);
+      double len = 0;
+      for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+        ASSERT_FALSE(value_traits<double>::is_inf(w(p[i], p[i + 1])))
+            << "path uses a non-edge";
+        len += w(p[i], p[i + 1]);
+      }
+      EXPECT_NEAR(len, r.dist(s, t), 1e-9) << s << "->" << t;
+    }
+  }
+}
+
+TEST(Paths, BlockedPathsMatchSequentialDistances) {
+  const auto g = gen::erdos_renyi(50, 0.25, 92, 1.0, 100.0, /*integral=*/true);
+  ApspOptions seq{.algorithm = ApspAlgorithm::kSequential, .track_paths = true};
+  ApspOptions blk{.algorithm = ApspAlgorithm::kBlocked,
+                  .block_size = 13,
+                  .track_paths = true};
+  const auto a = apsp<S>(g, seq);
+  const auto b = apsp<S>(g, blk);
+  EXPECT_EQ(max_abs_diff<double>(a.dist.view(), b.dist.view()), 0.0);
+  // Both predecessor matrices must induce optimal valid paths.
+  const auto w = g.distance_matrix<S>();
+  for (vertex_t s = 0; s < 50; ++s)
+    for (vertex_t t = 0; t < 50; ++t) {
+      if (value_traits<double>::is_inf(b.dist(s, t)) || s == t) continue;
+      const auto p = b.path(s, t);
+      ASSERT_FALSE(p.empty());
+      double len = 0;
+      for (std::size_t i = 0; i + 1 < p.size(); ++i) len += w(p[i], p[i + 1]);
+      EXPECT_NEAR(len, b.dist(s, t), 1e-9);
+    }
+}
+
+TEST(Paths, SelfPathIsSingleton) {
+  const auto g = gen::ring(5);
+  const auto r = apsp<S>(g, {.algorithm = ApspAlgorithm::kSequential,
+                             .track_paths = true});
+  EXPECT_EQ(r.path(2, 2), (std::vector<std::int64_t>{2}));
+}
+
+// --- High-level API ----------------------------------------------------------
+
+TEST(Apsp, AlgorithmsAgree) {
+  const auto g = gen::erdos_renyi(96, 0.2, 10, 1.0, 100.0, /*integral=*/true);
+  const auto a = apsp<S>(g, {.algorithm = ApspAlgorithm::kSequential});
+  const auto b = apsp<S>(g, {.algorithm = ApspAlgorithm::kBlocked, .block_size = 24});
+  const auto c = apsp<S>(g, {.algorithm = ApspAlgorithm::kBlockedParallel});
+  EXPECT_EQ(max_abs_diff<double>(a.dist.view(), b.dist.view()), 0.0);
+  EXPECT_EQ(max_abs_diff<double>(a.dist.view(), c.dist.view()), 0.0);
+}
+
+TEST(Apsp, RejectNegativeCycleOption) {
+  Graph g(2);
+  g.add_edge(0, 1, -3.0);
+  g.add_edge(1, 0, 1.0);
+  ApspOptions opt;
+  opt.algorithm = ApspAlgorithm::kSequential;
+  opt.reject_negative_cycles = true;
+  EXPECT_THROW(apsp<S>(g, opt), check_error);
+}
+
+TEST(Apsp, MaxMinWidestPath) {
+  // Widest path on a ring with one weak link: the bottleneck between any
+  // ordered pair is the minimum edge capacity along the only path.
+  using W = MaxMin<double>;
+  Graph g(4);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 3.0);
+  g.add_edge(2, 3, 8.0);
+  g.add_edge(3, 0, 6.0);
+  auto d = g.distance_matrix<W>();
+  floyd_warshall<W>(d.view());
+  EXPECT_EQ(d(0, 2), 3.0);
+  EXPECT_EQ(d(0, 3), 3.0);
+  EXPECT_EQ(d(2, 1), 6.0);
+  auto blocked = g.distance_matrix<W>();
+  blocked_floyd_warshall<W>(blocked.view(), {.block_size = 2});
+  EXPECT_EQ(max_abs_diff<double>(d.view(), blocked.view()), 0.0);
+}
+
+TEST(Apsp, TransitiveClosure) {
+  using B = BoolOrAnd;
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(3, 4, 1.0);
+  Matrix<std::uint8_t> m(5, 5, B::zero());
+  for (vertex_t v = 0; v < 5; ++v) m(v, v) = B::one();
+  for (const Edge& e : g.edges()) m(e.src, e.dst) = B::one();
+  blocked_floyd_warshall<B>(m.view(), {.block_size = 2});
+  EXPECT_EQ(m(0, 2), 1);
+  EXPECT_EQ(m(0, 4), 0);
+  EXPECT_EQ(m(3, 4), 1);
+  EXPECT_EQ(m(2, 0), 0);
+}
+
+// --- Incremental -------------------------------------------------------------
+
+TEST(Incremental, EdgeDecreaseMatchesRecompute) {
+  auto g = gen::erdos_renyi(50, 0.15, 200);
+  auto closed = fw_oracle(g);
+  // Improve an existing pair sharply and fold it in.
+  const EdgeUpdate u{3, 17, 0.01};
+  const auto outcome = incremental_update<S>(closed.view(), u);
+  EXPECT_EQ(outcome, IncrementalOutcome::kApplied);
+  g.add_edge(3, 17, 0.01);
+  const auto expected = fw_oracle(g);
+  EXPECT_LT(max_abs_diff<double>(expected.view(), closed.view()), 1e-12);
+}
+
+TEST(Incremental, NoEffectWhenNotImproving) {
+  const auto g = gen::dense_uniform(20, 5, 1.0, 10.0);
+  auto closed = fw_oracle(g);
+  const auto before = closed.clone();
+  // Weight far above the current distance: flagged as a (potential) increase.
+  EXPECT_EQ(incremental_update<S>(closed.view(), {0, 1, 1e6}),
+            IncrementalOutcome::kNeedsRecompute);
+  // Weight exactly equal to the closure value: a genuine no-op.
+  EXPECT_EQ(incremental_update<S>(closed.view(), {0, 1, closed(0, 1)}),
+            IncrementalOutcome::kNoEffect);
+  EXPECT_EQ(max_abs_diff<double>(before.view(), closed.view()), 0.0);
+}
+
+TEST(Incremental, BatchAppliesDecreases) {
+  auto g = gen::erdos_renyi(40, 0.2, 300);
+  auto closed = fw_oracle(g);
+  const EdgeUpdate batch[] = {{1, 2, 0.5}, {5, 9, 0.25}, {30, 4, 0.125}};
+  bool recompute = false;
+  const std::size_t applied =
+      incremental_update_batch<S>(closed.view(), batch, &recompute);
+  EXPECT_EQ(applied, 3u);
+  EXPECT_FALSE(recompute);
+  for (const auto& u : batch) {
+    g.add_edge(u.src, u.dst, u.new_weight);
+  }
+  const auto expected = fw_oracle(g);
+  EXPECT_LT(max_abs_diff<double>(expected.view(), closed.view()), 1e-12);
+}
+
+}  // namespace
+}  // namespace parfw

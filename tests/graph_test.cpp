@@ -1,0 +1,180 @@
+// Graph substrate tests: containers, generators, I/O round trips,
+// connected components, deterministic distributed-safe entry generation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/connected_components.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace parfw {
+namespace {
+
+TEST(Graph, DistanceMatrixInit) {
+  Graph g(3);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 1, 3.0);  // duplicate keeps the minimum
+  auto d = g.distance_matrix<MinPlus<double>>();
+  EXPECT_EQ(d(0, 1), 3.0);
+  EXPECT_EQ(d(1, 2), 2.0);
+  EXPECT_EQ(d(0, 0), 0.0);
+  EXPECT_EQ(d(0, 2), value_traits<double>::infinity());
+}
+
+TEST(Graph, CsrStructure) {
+  Graph g(4);
+  g.add_edge(2, 0, 1.0);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 3, 3.0);
+  const auto& csr = g.csr();
+  EXPECT_EQ(csr.offsets.size(), 5u);
+  EXPECT_EQ(csr.offsets[1] - csr.offsets[0], 2u);  // vertex 0 has 2 out-edges
+  EXPECT_EQ(csr.offsets[3] - csr.offsets[2], 1u);  // vertex 2 has 1
+}
+
+TEST(Graph, EdgeOutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), check_error);
+  EXPECT_THROW(g.add_edge(-1, 0, 1.0), check_error);
+}
+
+TEST(Generators, ErdosRenyiEdgeCountNearExpectation) {
+  const auto g = gen::erdos_renyi(200, 0.1, 7);
+  const double expected = 200.0 * 199.0 * 0.1;
+  EXPECT_GT(static_cast<double>(g.num_edges()), expected * 0.8);
+  EXPECT_LT(static_cast<double>(g.num_edges()), expected * 1.2);
+}
+
+TEST(Generators, DenseUniformIsComplete) {
+  const auto g = gen::dense_uniform(30, 3);
+  EXPECT_EQ(g.num_edges(), 30u * 29u);
+}
+
+TEST(Generators, Deterministic) {
+  const auto a = gen::erdos_renyi(50, 0.3, 99);
+  const auto b = gen::erdos_renyi(50, 0.3, 99);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edges()[i].src, b.edges()[i].src);
+    EXPECT_EQ(a.edges()[i].dst, b.edges()[i].dst);
+    EXPECT_EQ(a.edges()[i].weight, b.edges()[i].weight);
+  }
+}
+
+TEST(Generators, RingClosedForm) {
+  const auto g = gen::ring(10);
+  EXPECT_EQ(g.num_edges(), 10u);
+  for (const Edge& e : g.edges()) EXPECT_EQ(e.weight, 1.0);
+}
+
+TEST(Generators, Grid2dDegrees) {
+  const auto g = gen::grid2d(4, 5, 11);
+  // Undirected grid: 4*(5-1) + 5*(4-1) = 31 undirected edges = 62 directed.
+  EXPECT_EQ(g.num_edges(), 62u);
+  EXPECT_EQ(g.num_vertices(), 20);
+}
+
+TEST(Generators, PreferentialAttachmentConnected) {
+  const auto g = gen::preferential_attachment(100, 2, 13);
+  const auto labels = connected_components(g);
+  EXPECT_EQ(num_components(labels), 1);
+}
+
+TEST(ConnectedComponents, MultiComponentLabels) {
+  const auto g = gen::multi_component(4, 25, 0.5, 17);
+  const auto labels = connected_components(g);
+  // With p=0.5 on 25 vertices each part is almost surely connected.
+  EXPECT_EQ(num_components(labels), 4);
+  // Vertices in different parts never share a label.
+  EXPECT_NE(labels[0], labels[25]);
+  EXPECT_NE(labels[25], labels[50]);
+}
+
+TEST(ConnectedComponents, IsolatedVertices) {
+  Graph g(5);
+  g.add_edge(1, 2, 1.0);
+  const auto labels = connected_components(g);
+  EXPECT_EQ(num_components(labels), 4);
+  EXPECT_EQ(labels[1], labels[2]);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const auto g = gen::erdos_renyi(20, 0.2, 5);
+  std::stringstream ss;
+  io::write_edge_list(g, ss);
+  const Graph h = io::read_edge_list(ss);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(h.edges()[i].src, g.edges()[i].src);
+    EXPECT_EQ(h.edges()[i].dst, g.edges()[i].dst);
+    EXPECT_NEAR(h.edges()[i].weight, g.edges()[i].weight, 1e-9);
+  }
+}
+
+TEST(Io, EdgeListCommentsAndBlanks) {
+  std::stringstream ss("# a comment\n\n3 2\n0 1 1.5\n# mid comment\n1 2 2.5\n");
+  const Graph g = io::read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edges()[1].weight, 2.5);
+}
+
+TEST(Io, EdgeListTruncatedThrows) {
+  std::stringstream ss("3 5\n0 1 1.0\n");
+  EXPECT_THROW(io::read_edge_list(ss), check_error);
+}
+
+TEST(Io, DimacsRoundTrip) {
+  const auto g = gen::erdos_renyi(15, 0.3, 23);
+  std::stringstream ss;
+  io::write_dimacs(g, ss);
+  const Graph h = io::read_dimacs(ss);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.edges()[0].src, g.edges()[0].src);
+}
+
+TEST(DenseEntryGen, RankIndependentDeterminism) {
+  // Any block materialised anywhere must equal the same region of full().
+  DenseEntryGen<float> gen(777, 0.9, 1.0f, 50.0f);
+  auto full = gen.full(40);
+  Matrix<float> block(8, 8);
+  gen.fill_block(16, 24, block.view());
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      EXPECT_EQ(block(i, j), full(16 + i, 24 + j));
+}
+
+TEST(DenseEntryGen, DiagonalIsZeroAndWeightsInRange) {
+  DenseEntryGen<float> gen(3, 1.0, 2.0f, 9.0f);
+  auto m = gen.full(25);
+  for (std::size_t i = 0; i < 25; ++i) {
+    EXPECT_EQ(m(i, i), 0.0f);
+    for (std::size_t j = 0; j < 25; ++j) {
+      if (i == j) continue;
+      EXPECT_GE(m(i, j), 2.0f);
+      EXPECT_LT(m(i, j), 9.0f);
+    }
+  }
+}
+
+TEST(DenseEntryGen, DensityControlsInfinities) {
+  DenseEntryGen<float> gen(5, 0.3);
+  auto m = gen.full(60);
+  std::size_t finite = 0, total = 0;
+  for (std::size_t i = 0; i < 60; ++i)
+    for (std::size_t j = 0; j < 60; ++j) {
+      if (i == j) continue;
+      ++total;
+      if (!value_traits<float>::is_inf(m(i, j))) ++finite;
+    }
+  const double frac = static_cast<double>(finite) / static_cast<double>(total);
+  EXPECT_NEAR(frac, 0.3, 0.05);
+}
+
+}  // namespace
+}  // namespace parfw

@@ -1,0 +1,151 @@
+// Pairing-heap tests: heap invariants, decrease-key semantics, randomised
+// comparison against std::priority_queue behaviour, and the decrease-key
+// Dijkstra against the lazy-deletion reference.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "sssp/pairing_heap.hpp"
+#include "sssp/sssp.hpp"
+#include "util/rng.hpp"
+
+namespace parfw::sssp {
+namespace {
+
+TEST(PairingHeap, PushPopSortedOrder) {
+  PairingHeap h(10);
+  const double keys[] = {5.0, 1.0, 9.0, 3.0, 7.0};
+  for (std::size_t i = 0; i < 5; ++i) h.push(i, keys[i]);
+  std::vector<double> out;
+  while (!h.empty()) out.push_back(h.key(h.pop()));
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(PairingHeap, DecreaseKeyPromotes) {
+  PairingHeap h(4);
+  h.push(0, 10.0);
+  h.push(1, 20.0);
+  h.push(2, 30.0);
+  h.decrease_key(2, 5.0);
+  EXPECT_EQ(h.pop(), 2u);
+  EXPECT_EQ(h.pop(), 0u);
+  EXPECT_EQ(h.pop(), 1u);
+}
+
+TEST(PairingHeap, DecreaseKeyIgnoresIncreases) {
+  PairingHeap h(2);
+  h.push(0, 1.0);
+  h.push(1, 2.0);
+  h.decrease_key(1, 50.0);  // not a decrease: no-op
+  EXPECT_EQ(h.key(1), 2.0);
+  EXPECT_EQ(h.pop(), 0u);
+}
+
+TEST(PairingHeap, ContainsTracksMembership) {
+  PairingHeap h(3);
+  EXPECT_FALSE(h.contains(1));
+  h.push(1, 4.0);
+  EXPECT_TRUE(h.contains(1));
+  h.pop();
+  EXPECT_FALSE(h.contains(1));
+}
+
+TEST(PairingHeap, Reinsertion) {
+  PairingHeap h(2);
+  h.push(0, 3.0);
+  h.pop();
+  h.push(0, 1.0);  // ids can come back after pop
+  EXPECT_EQ(h.pop(), 0u);
+}
+
+TEST(PairingHeap, GuardsMisuse) {
+  PairingHeap h(2);
+  EXPECT_THROW(h.pop(), check_error);
+  EXPECT_THROW(h.decrease_key(0, 1.0), check_error);
+  h.push(0, 1.0);
+  EXPECT_THROW(h.push(0, 2.0), check_error);
+}
+
+TEST(PairingHeap, RandomisedAgainstStdPriorityQueue) {
+  // Interleave pushes, pops and decrease-keys; compare pop sequences
+  // against a reference that re-sorts after decreases.
+  Rng rng(123);
+  const std::size_t n = 300;
+  PairingHeap h(n);
+  std::vector<double> key(n, 0.0);
+  std::vector<bool> alive(n, false);
+  std::size_t next_id = 0;
+
+  auto reference_min = [&]() {
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i)
+      if (alive[i] && (best == n || key[i] < key[best])) best = i;
+    return best;
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto action = rng.next_below(3);
+    if (action == 0 && next_id < n) {
+      key[next_id] = rng.next_double() * 1000;
+      h.push(next_id, key[next_id]);
+      alive[next_id] = true;
+      ++next_id;
+    } else if (action == 1 && !h.empty()) {
+      const std::size_t got = h.pop();
+      const std::size_t want = reference_min();
+      ASSERT_EQ(key[got], key[want]);  // equal keys may tie-break anyhow
+      alive[got] = false;
+    } else if (action == 2) {
+      // decrease a random live id
+      std::vector<std::size_t> live;
+      for (std::size_t i = 0; i < n; ++i)
+        if (alive[i]) live.push_back(i);
+      if (live.empty()) continue;
+      const std::size_t id = live[rng.next_below(live.size())];
+      const double nk = key[id] * rng.next_double();
+      h.decrease_key(id, nk);
+      key[id] = std::min(key[id], nk);
+    }
+  }
+  // Drain and verify global order.
+  double last = -1;
+  while (!h.empty()) {
+    const double k = h.key(h.pop());
+    EXPECT_GE(k, last);
+    last = k;
+  }
+}
+
+TEST(DijkstraDecreaseKey, MatchesLazyDijkstra) {
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    const auto g = gen::erdos_renyi(150, 0.06, seed);
+    for (vertex_t src : {0, 37, 149}) {
+      const auto a = dijkstra(g, src);
+      const auto b = dijkstra_decrease_key(g, src);
+      ASSERT_EQ(a.dist.size(), b.dist.size());
+      for (std::size_t v = 0; v < a.dist.size(); ++v)
+        EXPECT_EQ(a.dist[v], b.dist[v]) << "v=" << v << " seed=" << seed;
+    }
+  }
+}
+
+TEST(DijkstraDecreaseKey, GridGraph) {
+  const auto g = gen::grid2d(9, 7, 61);
+  const auto a = dijkstra(g, 5);
+  const auto b = dijkstra_decrease_key(g, 5);
+  for (std::size_t v = 0; v < a.dist.size(); ++v)
+    EXPECT_EQ(a.dist[v], b.dist[v]);
+}
+
+TEST(DijkstraDecreaseKey, NegativeWeightThrows) {
+  Graph g(2);
+  g.add_edge(0, 1, -0.5);
+  EXPECT_THROW(dijkstra_decrease_key(g, 0), check_error);
+}
+
+}  // namespace
+}  // namespace parfw::sssp

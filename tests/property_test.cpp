@@ -1,0 +1,136 @@
+// Property-based tests: invariants every correct APSP closure must
+// satisfy, checked across randomised graphs, solvers and semirings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/apsp.hpp"
+#include "core/blocked_fw.hpp"
+#include "core/rkleene.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace parfw {
+namespace {
+
+using S = MinPlus<double>;
+
+class ClosureProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClosureProperties, TriangleInequalityHolds) {
+  const auto g = gen::erdos_renyi(45, 0.15, GetParam());
+  const auto r = apsp<S>(g, {.algorithm = ApspAlgorithm::kBlocked,
+                             .block_size = 16});
+  const auto& d = r.dist;
+  for (std::size_t i = 0; i < 45; ++i)
+    for (std::size_t k = 0; k < 45; ++k)
+      for (std::size_t j = 0; j < 45; ++j)
+        EXPECT_LE(d(i, j), d(i, k) + d(k, j) + 1e-9);
+}
+
+TEST_P(ClosureProperties, ClosureIsAFixpoint) {
+  // Running FW again on a closed matrix must change nothing.
+  const auto g = gen::erdos_renyi(40, 0.2, GetParam(), 1.0, 100.0, true);
+  auto d = g.distance_matrix<S>();
+  floyd_warshall<S>(d.view());
+  auto again = d.clone();
+  floyd_warshall<S>(again.view());
+  EXPECT_EQ(max_abs_diff<double>(d.view(), again.view()), 0.0);
+  blocked_floyd_warshall<S>(again.view(), {.block_size = 8});
+  EXPECT_EQ(max_abs_diff<double>(d.view(), again.view()), 0.0);
+}
+
+TEST_P(ClosureProperties, ClosureDominatedByEdgesAndOneStepExpansion) {
+  // d(i,j) <= w(i,j), and d(i,j) == min over u of w(i,u) + d(u,j) for
+  // reachable pairs (Bellman optimality).
+  const auto g = gen::erdos_renyi(35, 0.2, GetParam() + 5000, 1.0, 100.0, true);
+  const auto w = g.distance_matrix<S>();
+  auto d = w.clone();
+  floyd_warshall<S>(d.view());
+  const std::size_t n = 35;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_LE(d(i, j), w(i, j));
+      if (i == j || value_traits<double>::is_inf(d(i, j))) continue;
+      double best = value_traits<double>::infinity();
+      for (std::size_t u = 0; u < n; ++u)
+        best = std::min(best, w(i, u) + d(u, j));
+      EXPECT_EQ(d(i, j), best) << i << "->" << j;
+    }
+}
+
+TEST_P(ClosureProperties, MonotoneInEdgeWeights) {
+  // Lowering any single edge weight can only lower (or keep) distances.
+  auto g = gen::erdos_renyi(30, 0.25, GetParam() + 9000, 2.0, 100.0, true);
+  auto before = g.distance_matrix<S>();
+  floyd_warshall<S>(before.view());
+  Rng rng(GetParam());
+  const auto& e = g.edges()[rng.next_below(g.num_edges())];
+  g.add_edge(e.src, e.dst, 1.0);  // strictly better duplicate
+  auto after = g.distance_matrix<S>();
+  floyd_warshall<S>(after.view());
+  for (std::size_t i = 0; i < 30; ++i)
+    for (std::size_t j = 0; j < 30; ++j)
+      EXPECT_LE(after(i, j), before(i, j));
+}
+
+TEST_P(ClosureProperties, SolverFamilyAgreesBitwise) {
+  // Sequential FW, blocked FW (two block sizes), and R-Kleene must agree
+  // exactly on integral weights.
+  const auto g = gen::erdos_renyi(52, 0.2, GetParam() + 12000, 1.0, 90.0, true);
+  auto seq = g.distance_matrix<S>();
+  floyd_warshall<S>(seq.view());
+
+  auto blocked = g.distance_matrix<S>();
+  blocked_floyd_warshall<S>(blocked.view(), {.block_size = 13});
+  EXPECT_EQ(max_abs_diff<double>(seq.view(), blocked.view()), 0.0);
+
+  auto rk = g.distance_matrix<S>();
+  rkleene_apsp<S>(rk.view(), {.base_size = 8});
+  EXPECT_EQ(max_abs_diff<double>(seq.view(), rk.view()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosureProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- R-Kleene specifics -------------------------------------------------------
+
+TEST(RKleene, OddSizesAndTinyBases) {
+  for (int n : {1, 2, 3, 17, 33, 65}) {
+    const auto g = gen::erdos_renyi(n, 0.3, 700 + n, 1.0, 50.0, true);
+    auto seq = g.distance_matrix<S>();
+    floyd_warshall<S>(seq.view());
+    auto rk = g.distance_matrix<S>();
+    rkleene_apsp<S>(rk.view(), {.base_size = 2});
+    EXPECT_EQ(max_abs_diff<double>(seq.view(), rk.view()), 0.0) << "n=" << n;
+  }
+}
+
+TEST(RKleene, MaxMinSemiring) {
+  using W = MaxMin<float>;
+  DenseEntryGen<float> gen(71, 0.5, 1.0f, 100.0f, true);
+  const std::size_t n = 48;
+  Matrix<float> a(n, n, W::zero());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) = W::one();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const float w = gen(static_cast<vertex_t>(i), static_cast<vertex_t>(j));
+      if (!value_traits<float>::is_inf(w)) a(i, j) = w;
+    }
+  auto expected = a.clone();
+  floyd_warshall<W>(expected.view());
+  rkleene_apsp<W>(a.view(), {.base_size = 8});
+  EXPECT_EQ(max_abs_diff<float>(expected.view(), a.view()), 0.0);
+}
+
+TEST(RKleene, EmptyAndDegenerate) {
+  Matrix<double> empty(0, 0);
+  rkleene_apsp<S>(empty.view());  // must not crash
+  Matrix<double> one(1, 1, 0.0);
+  rkleene_apsp<S>(one.view());
+  EXPECT_EQ(one(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace parfw

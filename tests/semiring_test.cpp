@@ -1,0 +1,107 @@
+// Unit tests for the semiring algebra layer: identities, annihilators,
+// associativity/distributivity spot checks, saturating integer arithmetic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "semiring/semiring.hpp"
+#include "util/rng.hpp"
+
+namespace parfw {
+namespace {
+
+TEST(MinPlus, Identities) {
+  using S = MinPlus<float>;
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(S::zero(), inf);
+  EXPECT_EQ(S::one(), 0.0f);
+  EXPECT_EQ(S::add(3.0f, 5.0f), 3.0f);
+  EXPECT_EQ(S::mul(3.0f, 5.0f), 8.0f);
+  // zero is the ⊕ identity and the ⊗ annihilator
+  EXPECT_EQ(S::add(S::zero(), 7.0f), 7.0f);
+  EXPECT_EQ(S::mul(S::zero(), 7.0f), inf);
+  // one is the ⊗ identity
+  EXPECT_EQ(S::mul(S::one(), 7.0f), 7.0f);
+}
+
+TEST(MinPlus, IsIdempotent) {
+  EXPECT_TRUE((is_idempotent<MinPlus<float>>()));
+  EXPECT_TRUE((is_idempotent<MinPlus<double>>()));
+  EXPECT_TRUE((is_idempotent<MinPlus<std::int32_t>>()));
+  EXPECT_TRUE((is_idempotent<MaxMin<float>>()));
+  EXPECT_TRUE(is_idempotent<BoolOrAnd>());
+  EXPECT_FALSE((is_idempotent<PlusTimes<double>>()));
+}
+
+TEST(MinPlus, LessAddMatchesAdd) {
+  using S = MinPlus<double>;
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double x = rng.next_double() * 100 - 50;
+    const double y = rng.next_double() * 100 - 50;
+    EXPECT_EQ(S::less_add(x, y), S::add(x, y) == x && x != y);
+  }
+}
+
+TEST(MinPlusInt32, SaturatingAddDoesNotOverflow) {
+  using S = MinPlus<std::int32_t>;
+  const std::int32_t inf = value_traits<std::int32_t>::infinity();
+  EXPECT_EQ(S::mul(inf, inf), inf);
+  EXPECT_EQ(S::mul(inf, 1000), inf);
+  EXPECT_EQ(S::mul(inf - 1, inf - 1), inf);  // would wrap without saturation
+  EXPECT_TRUE(value_traits<std::int32_t>::is_inf(S::mul(inf, -5)));
+  EXPECT_EQ(S::mul(3, 4), 7);
+}
+
+TEST(MinPlusInt64, SaturatingAdd) {
+  using S = MinPlus<std::int64_t>;
+  const std::int64_t inf = value_traits<std::int64_t>::infinity();
+  EXPECT_EQ(S::mul(inf, inf), inf);
+  EXPECT_EQ(S::mul(inf, 12345), inf);
+  EXPECT_EQ(S::mul(std::int64_t{1} << 40, std::int64_t{1} << 40),
+            (std::int64_t{1} << 41));
+}
+
+TEST(MaxMin, WidestPathAlgebra) {
+  using S = MaxMin<float>;
+  EXPECT_EQ(S::zero(), 0.0f);
+  EXPECT_EQ(S::add(3.0f, 5.0f), 5.0f);   // max
+  EXPECT_EQ(S::mul(3.0f, 5.0f), 3.0f);   // min (bottleneck)
+  EXPECT_EQ(S::mul(S::one(), 7.0f), 7.0f);
+  EXPECT_EQ(S::add(S::zero(), 7.0f), 7.0f);
+}
+
+TEST(BoolOrAnd, ReachabilityAlgebra) {
+  using S = BoolOrAnd;
+  EXPECT_EQ(S::add(0, 0), 0);
+  EXPECT_EQ(S::add(0, 1), 1);
+  EXPECT_EQ(S::mul(1, 1), 1);
+  EXPECT_EQ(S::mul(1, 0), 0);
+}
+
+/// Distributivity x⊗(y⊕z) == (x⊗y)⊕(x⊗z) — the semiring law blocked FW
+/// silently relies on when it reorders updates.
+template <typename S>
+void check_distributivity(double lo, double hi) {
+  using T = typename S::value_type;
+  Rng rng(42);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Integral values keep ⊗ (addition) exact in IEEE arithmetic, so the
+    // laws can be checked with equality rather than tolerances.
+    const T x = static_cast<T>(static_cast<long long>(lo + rng.next_double() * (hi - lo)));
+    const T y = static_cast<T>(static_cast<long long>(lo + rng.next_double() * (hi - lo)));
+    const T z = static_cast<T>(static_cast<long long>(lo + rng.next_double() * (hi - lo)));
+    EXPECT_EQ(S::mul(x, S::add(y, z)), S::add(S::mul(x, y), S::mul(x, z)));
+    EXPECT_EQ(S::mul(S::add(y, z), x), S::add(S::mul(y, x), S::mul(z, x)));
+    EXPECT_EQ(S::add(S::add(x, y), z), S::add(x, S::add(y, z)));
+    EXPECT_EQ(S::mul(S::mul(x, y), z), S::mul(x, S::mul(y, z)));
+  }
+}
+
+TEST(SemiringLaws, MinPlusFloat) { check_distributivity<MinPlus<float>>(-100, 100); }
+TEST(SemiringLaws, MinPlusDouble) { check_distributivity<MinPlus<double>>(-1e6, 1e6); }
+TEST(SemiringLaws, MaxMinFloat) { check_distributivity<MaxMin<float>>(0, 100); }
+
+}  // namespace
+}  // namespace parfw

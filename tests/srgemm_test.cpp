@@ -1,0 +1,210 @@
+// SRGEMM kernel tests: tiled kernel vs naive oracle across shapes and
+// semirings, argmin tracking, element-wise ops, parallel driver.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "semiring/semiring.hpp"
+#include "srgemm/srgemm.hpp"
+#include "util/rng.hpp"
+
+namespace parfw {
+namespace {
+
+template <typename T>
+Matrix<T> random_matrix(std::size_t r, std::size_t c, std::uint64_t seed,
+                        double inf_prob = 0.0) {
+  Matrix<T> m(r, c);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j)
+      m(i, j) = rng.next_double() < inf_prob
+                    ? value_traits<T>::infinity()
+                    : static_cast<T>(rng.next_double() * 100.0);
+  return m;
+}
+
+using Shape = std::tuple<int, int, int>;  // m, n, k
+
+class SrgemmShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(SrgemmShapes, TiledMatchesNaiveMinPlusFloat) {
+  using S = MinPlus<float>;
+  const auto [m, n, k] = GetParam();
+  auto A = random_matrix<float>(m, k, 1, 0.1);
+  auto B = random_matrix<float>(k, n, 2, 0.1);
+  auto C0 = random_matrix<float>(m, n, 3, 0.2);
+  auto C1 = C0.clone();
+  srgemm::multiply_reference<S>(A.view(), B.view(), C0.view());
+  srgemm::multiply<S>(A.view(), B.view(), C1.view());
+  EXPECT_EQ(max_abs_diff<float>(C0.view(), C1.view()), 0.0)
+      << "shape " << m << "x" << n << "x" << k;
+}
+
+TEST_P(SrgemmShapes, TiledMatchesNaivePlusTimesDouble) {
+  // The non-idempotent semiring catches double-accumulation bugs that
+  // min-plus would silently absorb.
+  using S = PlusTimes<double>;
+  const auto [m, n, k] = GetParam();
+  auto A = random_matrix<double>(m, k, 4);
+  auto B = random_matrix<double>(k, n, 5);
+  auto C0 = random_matrix<double>(m, n, 6);
+  auto C1 = C0.clone();
+  srgemm::multiply_reference<S>(A.view(), B.view(), C0.view());
+  srgemm::multiply<S>(A.view(), B.view(), C1.view());
+  EXPECT_LT(max_abs_diff<double>(C0.view(), C1.view()), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SrgemmShapes,
+    ::testing::Values(Shape{1, 1, 1}, Shape{4, 16, 8}, Shape{5, 17, 9},
+                      Shape{64, 64, 64}, Shape{63, 65, 31}, Shape{128, 40, 70},
+                      Shape{3, 200, 1}, Shape{200, 3, 257}, Shape{33, 47, 129},
+                      Shape{100, 100, 100}));
+
+TEST(Srgemm, MaxMinSemiring) {
+  using S = MaxMin<float>;
+  auto A = random_matrix<float>(20, 30, 7);
+  auto B = random_matrix<float>(30, 25, 8);
+  Matrix<float> C0(20, 25, S::zero());
+  auto C1 = C0.clone();
+  srgemm::multiply_reference<S>(A.view(), B.view(), C0.view());
+  srgemm::multiply<S>(A.view(), B.view(), C1.view());
+  EXPECT_EQ(max_abs_diff<float>(C0.view(), C1.view()), 0.0);
+}
+
+TEST(Srgemm, MinPlusIdentityMatrix) {
+  // A ⊗ I == A over min-plus: I has one() on the diagonal, zero() elsewhere.
+  using S = MinPlus<float>;
+  const std::size_t n = 37;
+  auto A = random_matrix<float>(n, n, 11);
+  Matrix<float> I(n, n, S::zero());
+  for (std::size_t i = 0; i < n; ++i) I(i, i) = S::one();
+  Matrix<float> C(n, n, S::zero());
+  srgemm::multiply<S>(A.view(), I.view(), C.view());
+  EXPECT_EQ(max_abs_diff<float>(A.view(), C.view()), 0.0);
+}
+
+TEST(Srgemm, AccumulatesIntoC) {
+  // Entries of C better than any product path must survive.
+  using S = MinPlus<float>;
+  Matrix<float> A(2, 2, 10.0f), B(2, 2, 10.0f);
+  Matrix<float> C(2, 2, 1.0f);
+  srgemm::multiply<S>(A.view(), B.view(), C.view());
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_EQ(C(i, j), 1.0f);
+}
+
+TEST(Srgemm, ParallelDriverMatchesSequential) {
+  using S = MinPlus<float>;
+  ThreadPool pool(4);
+  auto A = random_matrix<float>(300, 90, 21, 0.05);
+  auto B = random_matrix<float>(90, 210, 22, 0.05);
+  auto C0 = random_matrix<float>(300, 210, 23);
+  auto C1 = C0.clone();
+  srgemm::Config seq{};
+  srgemm::Config par{};
+  par.pool = &pool;
+  srgemm::multiply<S>(A.view(), B.view(), C0.view(), seq);
+  srgemm::multiply<S>(A.view(), B.view(), C1.view(), par);
+  EXPECT_EQ(max_abs_diff<float>(C0.view(), C1.view()), 0.0);
+}
+
+TEST(Srgemm, PackedKernelMatchesUnpacked) {
+  using S = MinPlus<float>;
+  for (auto [m, n, k] : {std::tuple{65, 130, 70}, std::tuple{4, 16, 256},
+                         std::tuple{129, 257, 300}}) {
+    auto A = random_matrix<float>(m, k, 71, 0.05);
+    auto B = random_matrix<float>(k, n, 72, 0.05);
+    auto C0 = random_matrix<float>(m, n, 73);
+    auto C1 = C0.clone();
+    srgemm::Config packed{};
+    packed.pack = true;
+    srgemm::multiply<S>(A.view(), B.view(), C0.view());
+    srgemm::multiply<S>(A.view(), B.view(), C1.view(), packed);
+    EXPECT_EQ(max_abs_diff<float>(C0.view(), C1.view()), 0.0)
+        << m << "x" << n << "x" << k;
+  }
+}
+
+TEST(Srgemm, PackedKernelOnStridedViews) {
+  using S = MinPlus<float>;
+  auto big = random_matrix<float>(300, 300, 74);
+  auto expected = big.clone();
+  srgemm::Config packed{};
+  packed.pack = true;
+  srgemm::multiply<S>(expected.sub(0, 0, 100, 50), expected.sub(0, 100, 50, 80),
+                      expected.sub(100, 100, 100, 80));
+  srgemm::multiply<S>(big.sub(0, 0, 100, 50), big.sub(0, 100, 50, 80),
+                      big.sub(100, 100, 100, 80), packed);
+  EXPECT_EQ(max_abs_diff<float>(expected.view(), big.view()), 0.0);
+}
+
+TEST(Srgemm, ShapeMismatchThrows) {
+  using S = MinPlus<float>;
+  Matrix<float> A(3, 4), B(5, 6), C(3, 6);
+  EXPECT_THROW(srgemm::multiply<S>(A.view(), B.view(), C.view()), check_error);
+}
+
+TEST(Srgemm, StridedViewsWork) {
+  // Operate on sub-blocks of larger allocations (the blocked-FW pattern).
+  using S = MinPlus<float>;
+  auto big = random_matrix<float>(100, 100, 31);
+  auto A = big.sub(10, 10, 20, 30);
+  auto B = big.sub(40, 40, 30, 25);
+  Matrix<float> C0(20, 25, S::zero());
+  auto C1 = C0.clone();
+  srgemm::multiply_reference<S>(A, B, C0.view());
+  srgemm::multiply<S>(A, B, C1.view());
+  EXPECT_EQ(max_abs_diff<float>(C0.view(), C1.view()), 0.0);
+}
+
+TEST(Srgemm, ArgminTracksWitness) {
+  using S = MinPlus<float>;
+  const std::size_t m = 17, n = 19, k = 23;
+  auto A = random_matrix<float>(m, k, 41);
+  auto B = random_matrix<float>(k, n, 42);
+  Matrix<float> C(m, n, S::zero());
+  Matrix<std::int64_t> Arg(m, n, -1);
+  srgemm::multiply_argmin<S>(A.view(), B.view(), C.view(), Arg.view(),
+                             /*arg_offset=*/100);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int64_t t = Arg(i, j) - 100;
+      ASSERT_GE(t, 0);
+      ASSERT_LT(t, static_cast<std::int64_t>(k));
+      // The witness reproduces the stored value, and no index beats it.
+      EXPECT_EQ(C(i, j), A(i, t) + B(t, j));
+      for (std::size_t u = 0; u < k; ++u)
+        EXPECT_LE(C(i, j), A(i, u) + B(u, j));
+    }
+}
+
+TEST(Srgemm, EwiseAdd) {
+  using S = MinPlus<float>;
+  auto X = random_matrix<float>(13, 17, 51);
+  auto C = random_matrix<float>(13, 17, 52);
+  auto expected = C.clone();
+  for (std::size_t i = 0; i < 13; ++i)
+    for (std::size_t j = 0; j < 17; ++j)
+      expected(i, j) = std::min(expected(i, j), X(i, j));
+  srgemm::ewise_add<S>(X.view(), C.view());
+  EXPECT_EQ(max_abs_diff<float>(expected.view(), C.view()), 0.0);
+}
+
+TEST(Srgemm, FlopCountConvention) {
+  EXPECT_DOUBLE_EQ(srgemm::flops(10, 20, 30), 2.0 * 10 * 20 * 30);
+}
+
+TEST(Srgemm, EmptyProductIsNoop) {
+  using S = MinPlus<float>;
+  Matrix<float> A(5, 0), B(0, 7);
+  auto C = random_matrix<float>(5, 7, 61);
+  auto before = C.clone();
+  srgemm::multiply<S>(A.view(), B.view(), C.view());
+  EXPECT_EQ(max_abs_diff<float>(before.view(), C.view()), 0.0);
+}
+
+}  // namespace
+}  // namespace parfw
