@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_diag_update"
+  "../bench/bench_diag_update.pdb"
+  "CMakeFiles/bench_diag_update.dir/bench_diag_update.cpp.o"
+  "CMakeFiles/bench_diag_update.dir/bench_diag_update.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diag_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_comm_strategies"
+  "../bench/bench_fig4_comm_strategies.pdb"
+  "CMakeFiles/bench_fig4_comm_strategies.dir/bench_fig4_comm_strategies.cpp.o"
+  "CMakeFiles/bench_fig4_comm_strategies.dir/bench_fig4_comm_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_comm_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_oog_buffer"
+  "../bench/bench_fig6_oog_buffer.pdb"
+  "CMakeFiles/bench_fig6_oog_buffer.dir/bench_fig6_oog_buffer.cpp.o"
+  "CMakeFiles/bench_fig6_oog_buffer.dir/bench_fig6_oog_buffer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_oog_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

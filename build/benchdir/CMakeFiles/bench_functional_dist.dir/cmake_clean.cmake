@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_functional_dist"
+  "../bench/bench_functional_dist.pdb"
+  "CMakeFiles/bench_functional_dist.dir/bench_functional_dist.cpp.o"
+  "CMakeFiles/bench_functional_dist.dir/bench_functional_dist.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_functional_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

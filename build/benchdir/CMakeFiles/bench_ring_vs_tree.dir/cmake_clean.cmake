@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ring_vs_tree"
+  "../bench/bench_ring_vs_tree.pdb"
+  "CMakeFiles/bench_ring_vs_tree.dir/bench_ring_vs_tree.cpp.o"
+  "CMakeFiles/bench_ring_vs_tree.dir/bench_ring_vs_tree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ring_vs_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

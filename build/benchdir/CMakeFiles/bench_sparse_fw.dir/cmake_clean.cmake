@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sparse_fw"
+  "../bench/bench_sparse_fw.pdb"
+  "CMakeFiles/bench_sparse_fw.dir/bench_sparse_fw.cpp.o"
+  "CMakeFiles/bench_sparse_fw.dir/bench_sparse_fw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sparse_fw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

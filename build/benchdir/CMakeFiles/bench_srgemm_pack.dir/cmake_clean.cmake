@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_srgemm_pack"
+  "../bench/bench_srgemm_pack.pdb"
+  "CMakeFiles/bench_srgemm_pack.dir/bench_srgemm_pack.cpp.o"
+  "CMakeFiles/bench_srgemm_pack.dir/bench_srgemm_pack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_srgemm_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

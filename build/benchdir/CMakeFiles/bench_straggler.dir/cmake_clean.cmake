@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_straggler"
+  "../bench/bench_straggler.pdb"
+  "CMakeFiles/bench_straggler.dir/bench_straggler.cpp.o"
+  "CMakeFiles/bench_straggler.dir/bench_straggler.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_apsp.dir/distributed_apsp.cpp.o"
+  "CMakeFiles/distributed_apsp.dir/distributed_apsp.cpp.o.d"
+  "distributed_apsp"
+  "distributed_apsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_apsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

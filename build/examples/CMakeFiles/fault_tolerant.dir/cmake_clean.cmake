@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant.dir/fault_tolerant.cpp.o"
+  "CMakeFiles/fault_tolerant.dir/fault_tolerant.cpp.o.d"
+  "fault_tolerant"
+  "fault_tolerant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_graph.dir/knowledge_graph.cpp.o"
+  "CMakeFiles/knowledge_graph.dir/knowledge_graph.cpp.o.d"
+  "knowledge_graph"
+  "knowledge_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

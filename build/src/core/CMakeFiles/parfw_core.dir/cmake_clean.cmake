@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfw_core.dir/apsp.cpp.o"
+  "CMakeFiles/parfw_core.dir/apsp.cpp.o.d"
+  "libparfw_core.a"
+  "libparfw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfw_devsim.dir/device.cpp.o"
+  "CMakeFiles/parfw_devsim.dir/device.cpp.o.d"
+  "CMakeFiles/parfw_devsim.dir/stream.cpp.o"
+  "CMakeFiles/parfw_devsim.dir/stream.cpp.o.d"
+  "libparfw_devsim.a"
+  "libparfw_devsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfw_devsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfw_dist.dir/grid.cpp.o"
+  "CMakeFiles/parfw_dist.dir/grid.cpp.o.d"
+  "libparfw_dist.a"
+  "libparfw_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfw_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

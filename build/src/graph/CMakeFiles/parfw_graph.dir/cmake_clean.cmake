@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfw_graph.dir/connected_components.cpp.o"
+  "CMakeFiles/parfw_graph.dir/connected_components.cpp.o.d"
+  "CMakeFiles/parfw_graph.dir/generators.cpp.o"
+  "CMakeFiles/parfw_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/parfw_graph.dir/graph.cpp.o"
+  "CMakeFiles/parfw_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/parfw_graph.dir/io.cpp.o"
+  "CMakeFiles/parfw_graph.dir/io.cpp.o.d"
+  "libparfw_graph.a"
+  "libparfw_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfw_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

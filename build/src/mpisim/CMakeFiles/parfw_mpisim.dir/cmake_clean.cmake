@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfw_mpisim.dir/collectives.cpp.o"
+  "CMakeFiles/parfw_mpisim.dir/collectives.cpp.o.d"
+  "CMakeFiles/parfw_mpisim.dir/communicator.cpp.o"
+  "CMakeFiles/parfw_mpisim.dir/communicator.cpp.o.d"
+  "CMakeFiles/parfw_mpisim.dir/runtime.cpp.o"
+  "CMakeFiles/parfw_mpisim.dir/runtime.cpp.o.d"
+  "libparfw_mpisim.a"
+  "libparfw_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfw_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

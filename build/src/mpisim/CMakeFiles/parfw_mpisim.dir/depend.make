@@ -1,0 +1,2 @@
+# Empty dependencies file for parfw_mpisim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfw_perf.dir/cost_model.cpp.o"
+  "CMakeFiles/parfw_perf.dir/cost_model.cpp.o.d"
+  "CMakeFiles/parfw_perf.dir/des.cpp.o"
+  "CMakeFiles/parfw_perf.dir/des.cpp.o.d"
+  "CMakeFiles/parfw_perf.dir/experiments.cpp.o"
+  "CMakeFiles/parfw_perf.dir/experiments.cpp.o.d"
+  "CMakeFiles/parfw_perf.dir/machine.cpp.o"
+  "CMakeFiles/parfw_perf.dir/machine.cpp.o.d"
+  "CMakeFiles/parfw_perf.dir/schedule.cpp.o"
+  "CMakeFiles/parfw_perf.dir/schedule.cpp.o.d"
+  "libparfw_perf.a"
+  "libparfw_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfw_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

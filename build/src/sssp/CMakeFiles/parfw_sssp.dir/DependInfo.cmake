@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sssp/bellman_ford.cpp" "src/sssp/CMakeFiles/parfw_sssp.dir/bellman_ford.cpp.o" "gcc" "src/sssp/CMakeFiles/parfw_sssp.dir/bellman_ford.cpp.o.d"
+  "/root/repo/src/sssp/delta_stepping.cpp" "src/sssp/CMakeFiles/parfw_sssp.dir/delta_stepping.cpp.o" "gcc" "src/sssp/CMakeFiles/parfw_sssp.dir/delta_stepping.cpp.o.d"
+  "/root/repo/src/sssp/dijkstra.cpp" "src/sssp/CMakeFiles/parfw_sssp.dir/dijkstra.cpp.o" "gcc" "src/sssp/CMakeFiles/parfw_sssp.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/sssp/dijkstra_heap.cpp" "src/sssp/CMakeFiles/parfw_sssp.dir/dijkstra_heap.cpp.o" "gcc" "src/sssp/CMakeFiles/parfw_sssp.dir/dijkstra_heap.cpp.o.d"
+  "/root/repo/src/sssp/johnson.cpp" "src/sssp/CMakeFiles/parfw_sssp.dir/johnson.cpp.o" "gcc" "src/sssp/CMakeFiles/parfw_sssp.dir/johnson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/parfw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parfw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfw_sssp.dir/bellman_ford.cpp.o"
+  "CMakeFiles/parfw_sssp.dir/bellman_ford.cpp.o.d"
+  "CMakeFiles/parfw_sssp.dir/delta_stepping.cpp.o"
+  "CMakeFiles/parfw_sssp.dir/delta_stepping.cpp.o.d"
+  "CMakeFiles/parfw_sssp.dir/dijkstra.cpp.o"
+  "CMakeFiles/parfw_sssp.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/parfw_sssp.dir/dijkstra_heap.cpp.o"
+  "CMakeFiles/parfw_sssp.dir/dijkstra_heap.cpp.o.d"
+  "CMakeFiles/parfw_sssp.dir/johnson.cpp.o"
+  "CMakeFiles/parfw_sssp.dir/johnson.cpp.o.d"
+  "libparfw_sssp.a"
+  "libparfw_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfw_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

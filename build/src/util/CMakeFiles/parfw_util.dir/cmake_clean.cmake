@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parfw_util.dir/cli.cpp.o"
+  "CMakeFiles/parfw_util.dir/cli.cpp.o.d"
+  "CMakeFiles/parfw_util.dir/table.cpp.o"
+  "CMakeFiles/parfw_util.dir/table.cpp.o.d"
+  "CMakeFiles/parfw_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/parfw_util.dir/thread_pool.cpp.o.d"
+  "libparfw_util.a"
+  "libparfw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parfw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

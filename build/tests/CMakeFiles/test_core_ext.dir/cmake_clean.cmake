@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ext.dir/core_ext_test.cpp.o"
+  "CMakeFiles/test_core_ext.dir/core_ext_test.cpp.o.d"
+  "test_core_ext"
+  "test_core_ext.pdb"
+  "test_core_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpisim_stress.dir/mpisim_stress_test.cpp.o"
+  "CMakeFiles/test_mpisim_stress.dir/mpisim_stress_test.cpp.o.d"
+  "test_mpisim_stress"
+  "test_mpisim_stress.pdb"
+  "test_mpisim_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpisim_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

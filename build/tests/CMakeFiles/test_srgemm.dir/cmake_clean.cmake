@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_srgemm.dir/srgemm_test.cpp.o"
+  "CMakeFiles/test_srgemm.dir/srgemm_test.cpp.o.d"
+  "test_srgemm"
+  "test_srgemm.pdb"
+  "test_srgemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_srgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_srgemm.
+# This may be replaced when dependencies are built.

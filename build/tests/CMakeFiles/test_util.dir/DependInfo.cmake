@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/test_util.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/parfw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/parfw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sssp/CMakeFiles/parfw_sssp.dir/DependInfo.cmake"
+  "/root/repo/build/src/devsim/CMakeFiles/parfw_devsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/parfw_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/parfw_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parfw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

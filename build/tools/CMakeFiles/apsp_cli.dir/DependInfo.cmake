@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/apsp_cli.cpp" "tools/CMakeFiles/apsp_cli.dir/apsp_cli.cpp.o" "gcc" "tools/CMakeFiles/apsp_cli.dir/apsp_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/parfw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/parfw_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/parfw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apsp_cli.dir/apsp_cli.cpp.o"
+  "CMakeFiles/apsp_cli.dir/apsp_cli.cpp.o.d"
+  "apsp"
+  "apsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apsp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
