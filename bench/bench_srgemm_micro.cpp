@@ -1,10 +1,16 @@
 // SRGEMM micro-benchmark (paper §2.6 / §4.1 claim: the SRGEMM kernel
 // reaches 6.8 TF/s on a V100, ~87% of the no-FMA peak).
 //
-// Here the kernel is the CPU substitute, so the comparable claim is the
-// tiled kernel's fraction of what this host can do, reported against the
-// naive triple loop. The paper-scale V100 number is reproduced by the
-// performance model in the figure benches.
+// Here the kernel is the CPU substitute, so the comparable claim is each
+// rung of the kernel hierarchy's fraction of what this host can do:
+//   naive → tiled (scalar) → packed (scalar) → SIMD (explicit vectors)
+// with the SIMD rung dispatched through srgemm::Config (DESIGN.md §4.1a).
+// "Auto" is what every caller gets by default. The paper-scale V100
+// number is reproduced by the performance model in the figure benches.
+//
+// Baseline numbers live in BENCH_srgemm.json (regenerate with
+//   bench_srgemm_micro --benchmark_out=BENCH_srgemm.json
+//                      --benchmark_out_format=json).
 #include <benchmark/benchmark.h>
 
 #include "graph/graph.hpp"
@@ -22,44 +28,89 @@ parfw::Matrix<float> make(std::size_t r, std::size_t c, std::uint64_t seed) {
   return m;
 }
 
-void BM_SrgemmNaive(benchmark::State& state) {
+void run_square(benchmark::State& state, const parfw::srgemm::Config& cfg) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   auto A = make(n, n, 1), B = make(n, n, 2), C = make(n, n, 3);
   for (auto _ : state) {
-    parfw::srgemm::multiply_reference<S>(A.view(), B.view(), C.view());
+    parfw::srgemm::multiply<S>(A.view(), B.view(), C.view(), cfg);
     benchmark::DoNotOptimize(C.data());
   }
   state.counters["GFLOP/s"] = benchmark::Counter(
       parfw::srgemm::flops(n, n, n) * static_cast<double>(state.iterations()) /
           1e9,
       benchmark::Counter::kIsRate);
+}
+
+parfw::srgemm::Config with_kernel(parfw::srgemm::Kernel k) {
+  parfw::srgemm::Config cfg = parfw::srgemm::Config::tuned();
+  cfg.kernel = k;
+  return cfg;
+}
+
+void BM_SrgemmNaive(benchmark::State& state) {
+  run_square(state, with_kernel(parfw::srgemm::Kernel::kNaive));
 }
 BENCHMARK(BM_SrgemmNaive)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 
-void BM_SrgemmTiled(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  auto A = make(n, n, 1), B = make(n, n, 2), C = make(n, n, 3);
-  for (auto _ : state) {
-    parfw::srgemm::multiply<S>(A.view(), B.view(), C.view());
-    benchmark::DoNotOptimize(C.data());
-  }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      parfw::srgemm::flops(n, n, n) * static_cast<double>(state.iterations()) /
-          1e9,
-      benchmark::Counter::kIsRate);
+void BM_SrgemmTiledScalar(benchmark::State& state) {
+  run_square(state, with_kernel(parfw::srgemm::Kernel::kTiled));
 }
-BENCHMARK(BM_SrgemmTiled)
+BENCHMARK(BM_SrgemmTiledScalar)
     ->Arg(128)
     ->Arg(256)
     ->Arg(512)
     ->Unit(benchmark::kMillisecond);
 
-void BM_SrgemmPanelShape(benchmark::State& state) {
+void BM_SrgemmPackedScalar(benchmark::State& state) {
+  run_square(state, with_kernel(parfw::srgemm::Kernel::kPacked));
+}
+BENCHMARK(BM_SrgemmPackedScalar)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SrgemmSimd(benchmark::State& state) {
+  run_square(state, with_kernel(parfw::srgemm::Kernel::kSimd));
+}
+BENCHMARK(BM_SrgemmSimd)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+/// What a caller with a default Config{} gets (kAuto dispatch).
+void BM_SrgemmAuto(benchmark::State& state) {
+  run_square(state, parfw::srgemm::Config{});
+}
+BENCHMARK(BM_SrgemmAuto)->Arg(512)->Unit(benchmark::kMillisecond);
+
+/// Dense, caller-owned operands through the prepacked entry point (no
+/// operand copies at all — blocked FW's quadrant-update fast path).
+void BM_SrgemmSimdPrepacked(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto A = make(n, n, 1), B = make(n, n, 2), C = make(n, n, 3);
+  auto cfg = parfw::srgemm::Config::tuned();
+  for (auto _ : state) {
+    parfw::srgemm::multiply_prepacked<S>(A.view(), B.view(), C.view(), cfg);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      parfw::srgemm::flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SrgemmSimdPrepacked)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void run_panel(benchmark::State& state, const parfw::srgemm::Config& cfg) {
   // The blocked-FW hot shape: (m, n, k) = (local, local, b).
   const std::size_t m = 1024, k = static_cast<std::size_t>(state.range(0));
   auto A = make(m, k, 1), B = make(k, m, 2), C = make(m, m, 3);
   for (auto _ : state) {
-    parfw::srgemm::multiply<S>(A.view(), B.view(), C.view());
+    parfw::srgemm::multiply<S>(A.view(), B.view(), C.view(), cfg);
     benchmark::DoNotOptimize(C.data());
   }
   state.counters["GFLOP/s"] = benchmark::Counter(
@@ -67,7 +118,20 @@ void BM_SrgemmPanelShape(benchmark::State& state) {
           1e9,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SrgemmPanelShape)
+
+void BM_SrgemmPanelShapeScalar(benchmark::State& state) {
+  run_panel(state, with_kernel(parfw::srgemm::Kernel::kTiled));
+}
+BENCHMARK(BM_SrgemmPanelShapeScalar)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SrgemmPanelShapeSimd(benchmark::State& state) {
+  run_panel(state, with_kernel(parfw::srgemm::Kernel::kSimd));
+}
+BENCHMARK(BM_SrgemmPanelShapeSimd)
     ->Arg(64)
     ->Arg(128)
     ->Arg(256)

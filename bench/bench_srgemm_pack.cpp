@@ -5,6 +5,13 @@
 // into contiguous scratch before the register sweep, trading O(mn+nk)
 // copies for dense streaming in the O(mnk) loop — the GotoBLAS recipe the
 // paper's CUTLASS kernel applies on the GPU side via shared-memory tiles.
+//
+// Three rungs are measured on strided panels: the scalar kernels
+// (unpacked vs packed — note the packed kernel now packs each A tile once
+// per (i0,k0), not once per column panel), the SIMD kernel, and the
+// *persistent* prepacked path: one panel snapshot feeding all four
+// MinPlusOuter quadrants of a blocked-FW round, the way blocked_fw and
+// parallel_fw now run (BM_FwRound*).
 #include <benchmark/benchmark.h>
 
 #include "graph/graph.hpp"
@@ -31,24 +38,12 @@ struct StridedOperands {
   }
 };
 
-void BM_PanelShapeUnpacked(benchmark::State& state) {
-  const std::size_t m = 1024, n = 1024, k = static_cast<std::size_t>(state.range(0));
+void run_panel(benchmark::State& state, parfw::srgemm::Kernel kernel) {
+  const std::size_t m = 1024, n = 1024,
+                    k = static_cast<std::size_t>(state.range(0));
   StridedOperands ops(m, n, k);
-  for (auto _ : state) {
-    parfw::srgemm::multiply<S>(ops.a, ops.b, ops.c);
-    benchmark::DoNotOptimize(ops.c.data());
-  }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      parfw::srgemm::flops(m, n, k) * static_cast<double>(state.iterations()) / 1e9,
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_PanelShapeUnpacked)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
-
-void BM_PanelShapePacked(benchmark::State& state) {
-  const std::size_t m = 1024, n = 1024, k = static_cast<std::size_t>(state.range(0));
-  StridedOperands ops(m, n, k);
-  parfw::srgemm::Config cfg;
-  cfg.pack = true;
+  auto cfg = parfw::srgemm::Config::tuned();
+  cfg.kernel = kernel;
   for (auto _ : state) {
     parfw::srgemm::multiply<S>(ops.a, ops.b, ops.c, cfg);
     benchmark::DoNotOptimize(ops.c.data());
@@ -57,7 +52,99 @@ void BM_PanelShapePacked(benchmark::State& state) {
       parfw::srgemm::flops(m, n, k) * static_cast<double>(state.iterations()) / 1e9,
       benchmark::Counter::kIsRate);
 }
+
+void BM_PanelShapeUnpacked(benchmark::State& state) {
+  run_panel(state, parfw::srgemm::Kernel::kTiled);
+}
+BENCHMARK(BM_PanelShapeUnpacked)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_PanelShapePacked(benchmark::State& state) {
+  run_panel(state, parfw::srgemm::Kernel::kPacked);
+}
 BENCHMARK(BM_PanelShapePacked)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_PanelShapeSimd(benchmark::State& state) {
+  run_panel(state, parfw::srgemm::Kernel::kSimd);
+}
+BENCHMARK(BM_PanelShapeSimd)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// One blocked-FW round's MinPlusOuter phase: four quadrant updates that all
+// consume the same pivot row/column panels (pivot block in the middle of an
+// n x n matrix, block size b = range(0)).
+// ---------------------------------------------------------------------------
+
+struct FwRound {
+  parfw::Matrix<float> a;
+  std::size_t n, b, k0;
+
+  explicit FwRound(std::size_t n_, std::size_t b_) : a(n_, n_), n(n_), b(b_) {
+    parfw::DenseEntryGen<float> gen(11, 1.0, 1.0f, 99.0f);
+    gen.fill_block(0, 0, a.view());
+    k0 = n / 2;
+  }
+
+  template <typename Quadrant>
+  void quadrants(Quadrant&& q) {
+    const std::size_t after0 = k0 + b, after_n = n - after0;
+    q(0, k0, 0, k0);
+    q(0, k0, after0, after_n);
+    q(after0, after_n, 0, k0);
+    q(after0, after_n, after0, after_n);
+  }
+};
+
+double fw_round_flops(std::size_t n, std::size_t b) {
+  return parfw::srgemm::flops(n - b, n - b, b);
+}
+
+/// The pre-tentpole default: every quadrant re-packs its own strided
+/// slices of the pivot panels inside the kernel.
+void BM_FwRoundRepack(benchmark::State& state) {
+  const std::size_t n = 1024, b = static_cast<std::size_t>(state.range(0));
+  FwRound fw(n, b);
+  auto cfg = parfw::srgemm::Config::tuned();
+  for (auto _ : state) {
+    fw.quadrants([&](std::size_t r0, std::size_t nr, std::size_t c0,
+                     std::size_t nc) {
+      if (nr == 0 || nc == 0) return;
+      parfw::srgemm::multiply<S>(fw.a.sub(r0, fw.k0, nr, b),
+                                 fw.a.sub(fw.k0, c0, b, nc),
+                                 fw.a.sub(r0, c0, nr, nc), cfg);
+    });
+    benchmark::DoNotOptimize(fw.a.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      fw_round_flops(n, b) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FwRoundRepack)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+/// Persistent panel packing: snapshot the pivot panels once per round and
+/// run every quadrant through multiply_prepacked (what blocked_fw does
+/// with prepack_panels, the default).
+void BM_FwRoundPrepacked(benchmark::State& state) {
+  const std::size_t n = 1024, b = static_cast<std::size_t>(state.range(0));
+  FwRound fw(n, b);
+  auto cfg = parfw::srgemm::Config::tuned();
+  parfw::Matrix<float> row_panel(b, n), col_panel(n, b);
+  for (auto _ : state) {
+    row_panel.view().copy_from(fw.a.sub(fw.k0, 0, b, n));
+    col_panel.view().copy_from(fw.a.sub(0, fw.k0, n, b));
+    fw.quadrants([&](std::size_t r0, std::size_t nr, std::size_t c0,
+                     std::size_t nc) {
+      if (nr == 0 || nc == 0) return;
+      parfw::srgemm::multiply_prepacked<S>(col_panel.sub(r0, 0, nr, b),
+                                           row_panel.sub(0, c0, b, nc),
+                                           fw.a.sub(r0, c0, nr, nc), cfg);
+    });
+    benchmark::DoNotOptimize(fw.a.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      fw_round_flops(n, b) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FwRoundPrepacked)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification + SRGEMM bench smoke — the gate every PR must pass.
+#
+#   scripts/check.sh [build-dir]
+#
+# 1. Configure + build (Release, all warnings).
+# 2. Run the full ctest suite.
+# 3. Run a ~2 s SRGEMM micro-bench smoke so kernel-dispatch regressions
+#    (e.g. SIMD silently falling back to scalar) show up as a number, not
+#    just as green tests.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j"$(nproc)"
+
+ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
+
+echo "== SRGEMM bench smoke (scalar tiled vs SIMD, n=512) =="
+"$build_dir/bench/bench_srgemm_micro" \
+  --benchmark_filter='BM_Srgemm(TiledScalar|Simd)/512$' \
+  --benchmark_min_time=0.2s
+
+echo "check.sh: OK"

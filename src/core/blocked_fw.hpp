@@ -30,6 +30,13 @@ struct BlockedFwOptions {
   /// Thread pool for the SRGEMM driver; nullptr = sequential.
   ThreadPool* pool = nullptr;
   srgemm::Config gemm{};
+  /// Persistent panel packing: in round k the pivot row panel A(k,·) and
+  /// column panel A(·,k) feed all four MinPlusOuter quadrants, so pack
+  /// each exactly once into reusable aligned scratch and run the quadrant
+  /// updates through multiply_prepacked — instead of letting every
+  /// quadrant's kernel re-pack its own strided slice of the same panels
+  /// (4x the panel traffic). Costs 2·n·b scratch elements.
+  bool prepack_panels = true;
 };
 
 /// Blocked FW over block iterations [start_block, nb) — the restartable
@@ -56,6 +63,12 @@ void blocked_floyd_warshall_range(
   srgemm::Config cfg = opt.gemm;
   cfg.pool = opt.pool;
   Matrix<T> scratch(b, b);
+  // Reusable pivot-panel scratch for the prepacked quadrant updates.
+  Matrix<T> row_panel, col_panel;
+  if (opt.prepack_panels && n > b) {
+    row_panel = Matrix<T>(b, n);
+    col_panel = Matrix<T>(n, b);
+  }
 
   auto block_range = [&](std::size_t blk) {
     const std::size_t lo = blk * b;
@@ -83,15 +96,29 @@ void blocked_floyd_warshall_range(
                           a.sub(k0 + bk, k0, rest, bk), cfg);
     }
 
-    // 3. MinPlusOuter on the four off-panel quadrants.
+    // 3. MinPlusOuter on the four off-panel quadrants. With persistent
+    //    panel packing the pivot row/column panels are snapshotted into
+    //    contiguous scratch once and every quadrant runs prepacked; the
+    //    fallback lets each quadrant's kernel pack (and re-pack) strided
+    //    panel views itself.
+    const std::size_t after0 = k0 + bk;
+    const std::size_t after_n = n - after0;
+    const bool prepack = opt.prepack_panels && n > b;
+    if (prepack) {
+      row_panel.sub(0, 0, bk, n).copy_from(a.sub(k0, 0, bk, n));
+      col_panel.sub(0, 0, n, bk).copy_from(a.sub(0, k0, n, bk));
+    }
     auto outer = [&](std::size_t r0, std::size_t nr, std::size_t c0,
                      std::size_t nc) {
       if (nr == 0 || nc == 0) return;
-      srgemm::multiply<S>(a.sub(r0, k0, nr, bk), a.sub(k0, c0, bk, nc),
-                          a.sub(r0, c0, nr, nc), cfg);
+      if (prepack)
+        srgemm::multiply_prepacked<S>(col_panel.sub(r0, 0, nr, bk),
+                                      row_panel.sub(0, c0, bk, nc),
+                                      a.sub(r0, c0, nr, nc), cfg);
+      else
+        srgemm::multiply<S>(a.sub(r0, k0, nr, bk), a.sub(k0, c0, bk, nc),
+                            a.sub(r0, c0, nr, nc), cfg);
     };
-    const std::size_t after0 = k0 + bk;
-    const std::size_t after_n = n - after0;
     outer(0, k0, 0, k0);
     outer(0, k0, after0, after_n);
     outer(after0, after_n, 0, k0);

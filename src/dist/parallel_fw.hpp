@@ -187,14 +187,17 @@ void parallel_fw(mpi::Comm& world, BlockCyclicMatrix<typename S::value_type>& a,
 
   // OuterUpdate(k) over an arbitrary sub-range of the local matrix.
   // Applying it to panel strips as well is an idempotent no-op, so the
-  // default covers the whole local matrix (see header comment).
+  // default covers the whole local matrix (see header comment). The
+  // received panel buffers (colp/rowp) are dense and reused for every
+  // quadrant of the local matrix, so the CPU path runs prepacked — the
+  // kernels must not re-pack the same panels per call.
   auto outer_update = [&](MatrixView<T> c, MatrixView<const T> cp,
                           MatrixView<const T> rp) {
     if (c.empty()) return;
     if (opt.variant == Variant::kOffload) {
       (void)offload::oog_srgemm<S>(*device, cp, rp, c, opt.oog);
     } else {
-      srgemm::multiply<S>(cp, rp, c, opt.gemm);
+      srgemm::multiply_prepacked<S>(cp, rp, c, opt.gemm);
     }
   };
 
@@ -234,12 +237,12 @@ void parallel_fw(mpi::Comm& world, BlockCyclicMatrix<typename S::value_type>& a,
       if (me.row == k1row && nlc > 0) {
         auto strip = local.sub(a.local_row(k1) * b, 0, b, nlc * b);
         auto cp_blk = colp.sub(a.local_row(k1) * b, 0, b, b);
-        srgemm::multiply<S>(cp_blk, rowp.view(), strip, opt.gemm);
+        srgemm::multiply_prepacked<S>(cp_blk, rowp.view(), strip, opt.gemm);
       }
       if (me.col == k1col && nlr > 0) {
         auto strip = local.sub(0, a.local_col(k1) * b, nlr * b, b);
         auto rp_blk = rowp.sub(0, a.local_col(k1) * b, b, b);
-        srgemm::multiply<S>(colp.view(), rp_blk, strip, opt.gemm);
+        srgemm::multiply_prepacked<S>(colp.view(), rp_blk, strip, opt.gemm);
       }
 
       // DiagUpdate(k+1) + DiagBcast(k+1) on the critical path.

@@ -130,7 +130,7 @@ OogStats oog_srgemm(dev::Device& device,
     const std::size_t nr = std::min(cfg.mx, m - r0);
     const std::size_t nc = std::min(cfg.nx, n - c0);
     MatrixView<const T> xv(staging[p.r].data(), nr, nc, cfg.nx);
-    srgemm::ewise_add<S>(xv, C.sub(r0, c0, nr, nc));
+    srgemm::ewise_add<S>(xv, C.sub(r0, c0, nr, nc), cfg.gemm.pool);
   };
 
   std::size_t next_stream = 0;
@@ -167,8 +167,11 @@ OogStats oog_srgemm(dev::Device& device,
         b_ev.wait();
         MatrixView<T> xv(xr, nr, nc, ldx);
         xv.fill(S::zero());
-        srgemm::multiply<S>(MatrixView<const T>(a_panel, nr, k, k),
-                            MatrixView<const T>(b_panel, k, nc, n), xv, gemm);
+        // The cached device panels are dense and reused across every block
+        // in their row/column — the prepacked fast path (§4.4).
+        srgemm::multiply_prepacked<S>(MatrixView<const T>(a_panel, nr, k, k),
+                                      MatrixView<const T>(b_panel, k, nc, n),
+                                      xv, gemm);
       });
       // d2hXfer of the nr x nc chunk (row-wise to keep staging layout).
       device.memcpy_d2h(st, staging[r].data(), xr,
@@ -229,7 +232,7 @@ OogStats oog_srgemm_device(dev::Device& device,
     const std::size_t nr = std::min(cfg.mx, m - r0);
     const std::size_t nc = std::min(cfg.nx, n - c0);
     MatrixView<const T> xv(staging[p.r].data(), nr, nc, cfg.nx);
-    srgemm::ewise_add<S>(xv, C.sub(r0, c0, nr, nc));
+    srgemm::ewise_add<S>(xv, C.sub(r0, c0, nr, nc), cfg.gemm.pool);
   };
 
   std::size_t next_stream = 0;
@@ -255,8 +258,9 @@ OogStats oog_srgemm_device(dev::Device& device,
       device.launch(st, [=] {
         MatrixView<T> xv(xr, nr, nc, ldx);
         xv.fill(S::zero());
-        srgemm::multiply<S>(MatrixView<const T>(a_panel, nr, k, lda),
-                            MatrixView<const T>(b_panel, k, nc, ldb), xv, gemm);
+        srgemm::multiply_prepacked<S>(MatrixView<const T>(a_panel, nr, k, lda),
+                                      MatrixView<const T>(b_panel, k, nc, ldb),
+                                      xv, gemm);
       });
       device.memcpy_d2h(st, staging[r].data(), xr,
                         ((nr - 1) * ldx + nc) * sizeof(T));

@@ -24,6 +24,8 @@
 #include <limits>
 #include <type_traits>
 
+#include "util/simd.hpp"
+
 namespace parfw {
 
 /// Infinity handling: IEEE types use real infinity; integral types use a
@@ -119,6 +121,103 @@ struct PlusTimes {
   static constexpr T add(T x, T y) { return x + y; }
   static constexpr T mul(T x, T y) { return x * y; }
   static constexpr bool less_add(T, T) { return false; }
+};
+
+// ---------------------------------------------------------------------------
+// SIMD traits — the lane-wise forms of ⊕ and ⊗ for the vectorized SRGEMM
+// micro-kernels (the CPU analogue of the paper's per-semiring CUTLASS
+// operator specializations in cuASR). A semiring is SIMD-capable when both
+// operators have a branch-free vector form; the primary template says "no"
+// so exotic semirings silently fall back to the scalar kernels.
+//
+// The ops take and return simd::Vec<value_type, W> for any width W, so one
+// micro-kernel template serves every vector ISA (and the scalar fallback).
+// ---------------------------------------------------------------------------
+
+template <typename S>
+struct simd_ops {
+  static constexpr bool available = false;
+};
+
+/// MinPlus over IEEE types: ⊕ = min, ⊗ = plain add (inf + x == inf holds
+/// natively, so no sentinel handling is needed).
+template <typename T>
+  requires std::is_floating_point_v<T>
+struct simd_ops<MinPlus<T>> {
+  static constexpr bool available = true;
+  template <std::size_t W>
+  static simd::Vec<T, W> vadd(simd::Vec<T, W> x, simd::Vec<T, W> y) {
+    return simd::vmin(x, y);
+  }
+  template <std::size_t W>
+  static simd::Vec<T, W> vmul(simd::Vec<T, W> x, simd::Vec<T, W> y) {
+    return simd::vadd(x, y);
+  }
+};
+
+/// MinPlus over integral types: ⊕ = min, ⊗ = saturating add against the
+/// "no path" sentinel (vsat_add clamps both inputs to the sentinel first,
+/// so the lane sum cannot overflow — the vector form of sat_add above).
+template <typename T>
+  requires std::is_integral_v<T>
+struct simd_ops<MinPlus<T>> {
+  static constexpr bool available = true;
+  template <std::size_t W>
+  static simd::Vec<T, W> vadd(simd::Vec<T, W> x, simd::Vec<T, W> y) {
+    return simd::vmin(x, y);
+  }
+  template <std::size_t W>
+  static simd::Vec<T, W> vmul(simd::Vec<T, W> x, simd::Vec<T, W> y) {
+    return simd::vsat_add(
+        x, y, simd::broadcast<T, W>(value_traits<T>::infinity()));
+  }
+};
+
+/// MaxMin: ⊕ = max, ⊗ = min — both are single instructions everywhere.
+template <typename T>
+struct simd_ops<MaxMin<T>> {
+  static constexpr bool available = true;
+  template <std::size_t W>
+  static simd::Vec<T, W> vadd(simd::Vec<T, W> x, simd::Vec<T, W> y) {
+    return simd::vmax(x, y);
+  }
+  template <std::size_t W>
+  static simd::Vec<T, W> vmul(simd::Vec<T, W> x, simd::Vec<T, W> y) {
+    return simd::vmin(x, y);
+  }
+};
+
+/// BoolOrAnd: ⊕ = bitwise or, ⊗ = bitwise and (values are 0/1 bytes, so
+/// the bitwise forms coincide with the logical ones, 64 lanes per AVX-512
+/// vector).
+template <>
+struct simd_ops<BoolOrAnd> {
+  static constexpr bool available = true;
+  using T = std::uint8_t;
+  template <std::size_t W>
+  static simd::Vec<T, W> vadd(simd::Vec<T, W> x, simd::Vec<T, W> y) {
+    return simd::vor(x, y);
+  }
+  template <std::size_t W>
+  static simd::Vec<T, W> vmul(simd::Vec<T, W> x, simd::Vec<T, W> y) {
+    return simd::vand(x, y);
+  }
+};
+
+/// PlusTimes: ordinary GEMM lanes. ⊕ reassociates under vectorization, so
+/// floating-point results may differ from the scalar oracle in the last
+/// ulp — exact for the integral instantiations the tests cross-check.
+template <typename T>
+struct simd_ops<PlusTimes<T>> {
+  static constexpr bool available = true;
+  template <std::size_t W>
+  static simd::Vec<T, W> vadd(simd::Vec<T, W> x, simd::Vec<T, W> y) {
+    return simd::vadd(x, y);
+  }
+  template <std::size_t W>
+  static simd::Vec<T, W> vmul(simd::Vec<T, W> x, simd::Vec<T, W> y) {
+    return simd::vmul(x, y);
+  }
 };
 
 /// True if the semiring's ⊕ is idempotent (x ⊕ x == x). Idempotence is what

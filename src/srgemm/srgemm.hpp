@@ -10,11 +10,23 @@
 // The paper's kernel is a CUTLASS-derived CUDA kernel (6.8 TF/s on V100);
 // this is its CPU substitute with the same blocked structure: an L2-sized
 // macro tile, a k-panel loop, and a register-blocked micro-kernel. The
+// kernel hierarchy (DESIGN.md §4.1a) is
+//     naive → tiled (scalar) → packed (scalar) → SIMD (packed) → prepacked
+// selected at runtime by Config::kernel; kAuto resolves to the explicit
+// SIMD kernel whenever the semiring has simd_ops (MinPlus/MaxMin/BoolOr/
+// PlusTimes) and falls back to the scalar tiled kernel otherwise. The
 // multi-threaded driver partitions C by row panels across a thread pool,
 // mirroring how a GPU partitions C across thread blocks.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdlib>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "semiring/semiring.hpp"
 #include "srgemm/srgemm_kernels.hpp"
@@ -23,18 +35,257 @@
 
 namespace parfw::srgemm {
 
+/// Which kernel body services a multiply() call.
+enum class Kernel {
+  kAuto,    ///< SIMD if the semiring has simd_ops, else scalar tiled
+  kNaive,   ///< triple loop (the oracle)
+  kTiled,   ///< scalar register-blocked kernel on the raw views
+  kPacked,  ///< scalar kernel + GotoBLAS operand packing
+  kSimd,    ///< explicit-SIMD micro-kernel + operand packing
+};
+
+/// Register-fragment shape of the SIMD micro-kernel: MR rows x NV native
+/// vectors of C accumulators (NR = NV * lanes columns).
+enum class MicroShape {
+  kAuto,  ///< pick from the vector ISA width
+  k4x4,   ///< 4 rows x 4 vectors — fewest B reloads, 21 live registers
+  k8x2,   ///< 8 rows x 2 vectors — deepest broadcast reuse
+  k4x2,   ///< 4 rows x 2 vectors — fits 16-register ISAs (AVX2/SSE)
+};
+
 /// Kernel selection and tiling parameters. Defaults are tuned for a
-/// ~1 MiB L2: 64x256 C macro-tiles with 256-deep k panels.
+/// ~1 MiB L2: 64x256 C macro-tiles with 256-deep k panels. Config::tuned()
+/// derives tile sizes from the actual cache geometry instead. The PARFW_*
+/// environment pins (see README) are applied inside the multiply driver,
+/// so they take effect for every Config, tuned or default-constructed.
 struct Config {
   std::size_t tile_m = 64;
   std::size_t tile_n = 256;
   std::size_t tile_k = 256;
-  /// Pack A/B tiles into contiguous scratch before the register sweep
-  /// (GotoBLAS-style); wins on strided panel views (see bench_srgemm_pack).
+  Kernel kernel = Kernel::kAuto;
+  MicroShape micro = MicroShape::kAuto;
+  /// Legacy switch: force the scalar packed kernel (same as kernel =
+  /// kPacked; kept for the pre-dispatch call sites and benches).
   bool pack = false;
   /// Pool used to parallelise over C row panels; nullptr = sequential.
   ThreadPool* pool = nullptr;
+
+  /// Cache-geometry-derived configuration. Deterministic for a fixed
+  /// machine profile (computed once, then cached).
+  static Config tuned();
 };
+
+namespace detail {
+
+/// L1/L2 data-cache sizes in bytes, with conservative fallbacks when the
+/// OS does not report them (sysconf returns 0/-1 in some containers).
+struct CacheGeometry {
+  std::size_t l1 = 32 * 1024;
+  std::size_t l2 = 1024 * 1024;
+};
+
+inline CacheGeometry detect_cache() {
+  CacheGeometry g;
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  const long l1 = ::sysconf(_SC_LEVEL1_DCACHE_SIZE);
+  if (l1 > 0) g.l1 = static_cast<std::size_t>(l1);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  const long l2 = ::sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (l2 > 0) g.l2 = static_cast<std::size_t>(l2);
+#endif
+  return g;
+}
+
+inline std::size_t round_down(std::size_t x, std::size_t mult,
+                              std::size_t lo) {
+  const std::size_t r = x / mult * mult;
+  return r < lo ? lo : r;
+}
+
+inline Config tuned_uncached() {
+  Config cfg;
+  const CacheGeometry cache = detect_cache();
+  // GotoBLAS sizing against a nominal 4-byte element and 64-wide NR:
+  //  * tile_k: a kk x NR B micro-panel should fill at most half of L1.
+  //  * tile_m: the packed tile_m x tile_k A tile at most half of L2.
+  //  * tile_n: bounded so the packed B row panel stays a few MiB.
+  constexpr std::size_t elem = 4, nr = 64;
+  cfg.tile_k = std::clamp<std::size_t>(
+      round_down(cache.l1 / (2 * nr * elem), 32, 32), 32, 512);
+  cfg.tile_m = std::clamp<std::size_t>(
+      round_down(cache.l2 / (2 * cfg.tile_k * elem), 8, 32), 32, 512);
+  cfg.tile_n = 512;
+
+  return cfg;
+}
+
+inline Kernel parse_kernel(const char* e, Kernel fallback) {
+  if (e == nullptr) return fallback;
+  const std::string v(e);
+  if (v == "naive") return Kernel::kNaive;
+  if (v == "tiled") return Kernel::kTiled;
+  if (v == "packed") return Kernel::kPacked;
+  if (v == "simd") return Kernel::kSimd;
+  if (v == "auto") return Kernel::kAuto;
+  return fallback;  // unrecognised values are ignored
+}
+
+inline MicroShape parse_micro(const char* e, MicroShape fallback) {
+  if (e == nullptr) return fallback;
+  const std::string v(e);
+  if (v == "4x4") return MicroShape::k4x4;
+  if (v == "8x2") return MicroShape::k8x2;
+  if (v == "4x2") return MicroShape::k4x2;
+  if (v == "auto") return MicroShape::kAuto;
+  return fallback;
+}
+
+/// PARFW_* environment pins, read once per process so every resolution is
+/// deterministic. Applied inside multiply_impl so they reach EVERY driver
+/// (blocked FW, distributed, offload, benches) no matter which options
+/// struct the Config travelled through — not only Config::tuned() callers.
+struct EnvPins {
+  Kernel kernel = Kernel::kAuto;
+  MicroShape micro = MicroShape::kAuto;
+  std::size_t tile_m = 0, tile_n = 0, tile_k = 0;  // 0 = not pinned
+};
+
+inline const EnvPins& env_pins() {
+  static const EnvPins pins = [] {
+    EnvPins p;
+    p.kernel = parse_kernel(std::getenv("PARFW_KERNEL"), Kernel::kAuto);
+    p.micro = parse_micro(std::getenv("PARFW_MICRO"), MicroShape::kAuto);
+    if (const char* e = std::getenv("PARFW_TILE_M"))
+      p.tile_m = std::max<std::size_t>(1, std::strtoull(e, nullptr, 10));
+    if (const char* e = std::getenv("PARFW_TILE_N"))
+      p.tile_n = std::max<std::size_t>(1, std::strtoull(e, nullptr, 10));
+    if (const char* e = std::getenv("PARFW_TILE_K"))
+      p.tile_k = std::max<std::size_t>(1, std::strtoull(e, nullptr, 10));
+    return p;
+  }();
+  return pins;
+}
+
+/// Fold the env pins into a caller-supplied config. Kernel/micro pins only
+/// fill fields left at kAuto (an explicit programmatic choice wins); tile
+/// pins always win — that is what "pin" means for an ablation run.
+inline Config apply_env_pins(Config cfg) {
+  const EnvPins& p = env_pins();
+  if (cfg.kernel == Kernel::kAuto) cfg.kernel = p.kernel;
+  if (cfg.micro == MicroShape::kAuto) cfg.micro = p.micro;
+  if (p.tile_m != 0) cfg.tile_m = p.tile_m;
+  if (p.tile_n != 0) cfg.tile_n = p.tile_n;
+  if (p.tile_k != 0) cfg.tile_k = p.tile_k;
+  return cfg;
+}
+
+/// kAuto → concrete kernel for semiring S on this build's ISA. The SIMD
+/// kernel is only picked when the semiring has lane-wise operator forms;
+/// with no vector ISA the Vec fallback is plain scalar arrays, so prefer
+/// the tuned scalar kernel there.
+template <typename S>
+inline Kernel resolve_kernel(Kernel k) {
+  if (k == Kernel::kAuto) {
+    if (simd_ops<S>::available && simd::kNativeBytes > 0) return Kernel::kSimd;
+    return Kernel::kTiled;
+  }
+  if (k == Kernel::kSimd && !simd_ops<S>::available) return Kernel::kPacked;
+  return k;
+}
+
+inline MicroShape resolve_micro(MicroShape m) {
+  if (m != MicroShape::kAuto) return m;
+  // 32-register ISAs take the wide fragments; 16-register ISAs the narrow.
+  return simd::kNativeBytes >= 64 ? MicroShape::k4x4 : MicroShape::k4x2;
+}
+
+/// Stamp out the SIMD macro-kernel for the resolved fragment shape.
+template <typename S>
+inline void run_simd(MatrixView<const typename S::value_type> A,
+                     MatrixView<const typename S::value_type> B,
+                     MatrixView<typename S::value_type> C, const Config& cfg,
+                     bool pack) {
+  if constexpr (simd_ops<S>::available) {
+    switch (resolve_micro(cfg.micro)) {
+      case MicroShape::k8x2:
+        tiled_kernel_simd<S, 8, 2>(A, B, C, cfg.tile_m, cfg.tile_n,
+                                   cfg.tile_k, pack);
+        break;
+      case MicroShape::k4x2:
+        tiled_kernel_simd<S, 4, 2>(A, B, C, cfg.tile_m, cfg.tile_n,
+                                   cfg.tile_k, pack);
+        break;
+      case MicroShape::k4x4:
+      default:
+        tiled_kernel_simd<S, 4, 4>(A, B, C, cfg.tile_m, cfg.tile_n,
+                                   cfg.tile_k, pack);
+        break;
+    }
+  } else {
+    (void)A; (void)B; (void)C; (void)cfg; (void)pack;
+    PARFW_CHECK_MSG(false, "SIMD kernel requested for a semiring without "
+                           "simd_ops");
+  }
+}
+
+/// Kernel body on one (possibly row-partitioned) slice of the product.
+/// `prepacked` suppresses operand packing — the operands are promised to
+/// be panel-resident already.
+template <typename S>
+inline void run_slice(MatrixView<const typename S::value_type> A,
+                      MatrixView<const typename S::value_type> B,
+                      MatrixView<typename S::value_type> C, const Config& cfg,
+                      Kernel kernel, bool prepacked) {
+  switch (kernel) {
+    case Kernel::kNaive:
+      naive_kernel<S>(A, B, C);
+      break;
+    case Kernel::kPacked:
+      tiled_kernel_packed<S>(A, B, C, cfg.tile_m, cfg.tile_n, cfg.tile_k);
+      break;
+    case Kernel::kSimd:
+      run_simd<S>(A, B, C, cfg, /*pack=*/!prepacked);
+      break;
+    case Kernel::kTiled:
+    case Kernel::kAuto:
+    default:
+      tiled_kernel<S>(A, B, C, cfg.tile_m, cfg.tile_n, cfg.tile_k);
+      break;
+  }
+}
+
+template <typename S>
+inline void multiply_impl(MatrixView<const typename S::value_type> A,
+                          MatrixView<const typename S::value_type> B,
+                          MatrixView<typename S::value_type> C,
+                          const Config& caller_cfg, bool prepacked) {
+  const Config cfg = apply_env_pins(caller_cfg);
+  Kernel kernel = resolve_kernel<S>(cfg.pack && cfg.kernel == Kernel::kAuto
+                                        ? Kernel::kPacked
+                                        : cfg.kernel);
+  const std::size_t m = C.rows();
+  if (cfg.pool != nullptr && cfg.pool->size() > 1 && m >= 2 * cfg.tile_m) {
+    // Row-panel parallelism: each worker owns disjoint rows of C, so no
+    // synchronisation is needed inside the kernel.
+    const std::size_t panels = (m + cfg.tile_m - 1) / cfg.tile_m;
+    cfg.pool->parallel_for(panels, [&](std::size_t p) {
+      const std::size_t r0 = p * cfg.tile_m;
+      const std::size_t nr = std::min(cfg.tile_m, m - r0);
+      run_slice<S>(A.sub(r0, 0, nr, A.cols()), B, C.sub(r0, 0, nr, C.cols()),
+                   cfg, kernel, prepacked);
+    });
+  } else {
+    run_slice<S>(A, B, C, cfg, kernel, prepacked);
+  }
+}
+
+}  // namespace detail
+
+inline Config Config::tuned() {
+  static const Config cached = detail::tuned_uncached();
+  return cached;
+}
 
 /// C ← C ⊕ A ⊗ B. Dimensions are validated; views may alias only if
 /// the semiring is idempotent AND the caller understands blocked-FW
@@ -50,29 +301,27 @@ void multiply(MatrixView<const typename S::value_type> A,
                       << ") += A(" << A.rows() << "x" << A.cols() << ") * B("
                       << B.rows() << "x" << B.cols() << ")");
   if (C.empty() || A.cols() == 0) return;
+  detail::multiply_impl<S>(A, B, C, cfg, /*prepacked=*/false);
+}
 
-  const std::size_t m = C.rows();
-  if (cfg.pool != nullptr && cfg.pool->size() > 1 && m >= 2 * cfg.tile_m) {
-    // Row-panel parallelism: each worker owns disjoint rows of C, so no
-    // synchronisation is needed inside the kernel.
-    const std::size_t panels = (m + cfg.tile_m - 1) / cfg.tile_m;
-    cfg.pool->parallel_for(panels, [&](std::size_t p) {
-      const std::size_t r0 = p * cfg.tile_m;
-      const std::size_t nr = std::min(cfg.tile_m, m - r0);
-      if (cfg.pack)
-        detail::tiled_kernel_packed<S>(A.sub(r0, 0, nr, A.cols()), B,
-                                       C.sub(r0, 0, nr, C.cols()), cfg.tile_m,
-                                       cfg.tile_n, cfg.tile_k);
-      else
-        detail::tiled_kernel<S>(A.sub(r0, 0, nr, A.cols()), B,
-                                C.sub(r0, 0, nr, C.cols()), cfg.tile_m,
-                                cfg.tile_n, cfg.tile_k);
-    });
-  } else if (cfg.pack) {
-    detail::tiled_kernel_packed<S>(A, B, C, cfg.tile_m, cfg.tile_n, cfg.tile_k);
-  } else {
-    detail::tiled_kernel<S>(A, B, C, cfg.tile_m, cfg.tile_n, cfg.tile_k);
-  }
+/// C ← C ⊕ A ⊗ B where A and B are already panel-resident: dense (or
+/// near-dense) operands the caller packed once and reuses across many
+/// products — blocked FW's pivot panels, the distributed drivers' received
+/// panel buffers, the offload engine's device-resident panels. Skips the
+/// per-call operand packing the kernels would otherwise do; everything
+/// else (dispatch, tiling, row-panel threading) matches multiply().
+template <typename S>
+void multiply_prepacked(MatrixView<const typename S::value_type> A,
+                        MatrixView<const typename S::value_type> B,
+                        MatrixView<typename S::value_type> C,
+                        const Config& cfg = {}) {
+  PARFW_CHECK_MSG(A.rows() == C.rows() && B.cols() == C.cols() &&
+                      A.cols() == B.rows(),
+                  "srgemm shape mismatch: C(" << C.rows() << "x" << C.cols()
+                      << ") += A(" << A.rows() << "x" << A.cols() << ") * B("
+                      << B.rows() << "x" << B.cols() << ")");
+  if (C.empty() || A.cols() == 0) return;
+  detail::multiply_impl<S>(A, B, C, cfg, /*prepacked=*/true);
 }
 
 /// Reference implementation (naive triple loop) — the oracle the tiled
@@ -102,15 +351,41 @@ void multiply_argmin(MatrixView<const typename S::value_type> A,
 }
 
 /// Element-wise accumulate C ← C ⊕ X (the offload engine's hostUpdate).
+/// Rows stream through the SIMD ⊕ when the semiring has lane-wise forms;
+/// a pool spreads row ranges across workers (each worker owns disjoint
+/// rows, so no synchronisation) — this path is DRAM-bandwidth bound and
+/// sits on the offload engine's critical path (§4.3's hostUpdate).
 template <typename S>
 void ewise_add(MatrixView<const typename S::value_type> X,
-               MatrixView<typename S::value_type> C) {
+               MatrixView<typename S::value_type> C,
+               ThreadPool* pool = nullptr) {
   PARFW_CHECK(X.rows() == C.rows() && X.cols() == C.cols());
   using T = typename S::value_type;
-  for (std::size_t i = 0; i < C.rows(); ++i) {
-    const T* x = X.data() + i * X.ld();
-    T* c = C.data() + i * C.ld();
-    for (std::size_t j = 0; j < C.cols(); ++j) c[j] = S::add(c[j], x[j]);
+  const std::size_t rows = C.rows(), cols = C.cols();
+  auto run_rows = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const T* x = X.data() + i * X.ld();
+      T* c = C.data() + i * C.ld();
+      std::size_t j = 0;
+      if constexpr (simd_ops<S>::available) {
+        constexpr std::size_t W = simd::native_lanes<T>();
+        for (; j + W <= cols; j += W)
+          simd::store<T, W>(
+              c + j, simd_ops<S>::vadd(simd::load<T, W>(c + j),
+                                       simd::load<T, W>(x + j)));
+      }
+      for (; j < cols; ++j) c[j] = S::add(c[j], x[j]);
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && rows >= 2 * pool->size()) {
+    const std::size_t nw = pool->size();
+    const std::size_t chunk = (rows + nw - 1) / nw;
+    pool->parallel_for(nw, [&](std::size_t w) {
+      const std::size_t r0 = w * chunk;
+      run_rows(r0, std::min(rows, r0 + chunk));
+    });
+  } else {
+    run_rows(0, rows);
   }
 }
 

@@ -7,13 +7,20 @@
 // 4 x 16 register micro-kernel keeps 64 accumulators live across the
 // k loop. min/+ has no FMA, matching the paper's observation that SRGEMM
 // peak is half the FMA peak (§4.1).
+// The SIMD kernels below lift the same structure onto explicit vectors
+// (util/simd.hpp + per-semiring simd_ops traits): an MR x (NV*W) register
+// fragment of C updated with one broadcast per A element and NV vector
+// ops per ⊕/⊗ — the CPU rendition of the CUTLASS warp-fragment loop the
+// paper's kernel uses.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
+#include "semiring/semiring.hpp"
 #include "util/matrix.hpp"
+#include "util/simd.hpp"
 
 namespace parfw::srgemm::detail {
 
@@ -75,10 +82,37 @@ inline void edge_kernel(const typename S::value_type* a, std::size_t lda,
   }
 }
 
+/// Register-tiled sweep of an mm x nn macro tile: scalar MR x NR
+/// micro-kernels over the interior, scalar edge kernels on the fringe.
+template <typename S, std::size_t MR, std::size_t NR>
+inline void scalar_sweep(const typename S::value_type* a, std::size_t lda,
+                         const typename S::value_type* b, std::size_t ldb,
+                         typename S::value_type* c, std::size_t ldc,
+                         std::size_t mm, std::size_t nn, std::size_t kk) {
+  std::size_t i = 0;
+  for (; i + MR <= mm; i += MR) {
+    std::size_t j = 0;
+    for (; j + NR <= nn; j += NR)
+      micro_kernel<S, MR, NR>(a + i * lda, lda, b + j, ldb, c + i * ldc + j,
+                              ldc, kk);
+    if (j < nn)
+      edge_kernel<S>(a + i * lda, lda, b + j, ldb, c + i * ldc + j, ldc, MR,
+                     nn - j, kk);
+  }
+  if (i < mm)
+    edge_kernel<S>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, mm - i, nn, kk);
+}
+
 /// Packing variant: A macro-tiles and B panels are copied into contiguous
 /// scratch before the register sweep (GotoBLAS-style). Wins when the
 /// operands are strided views of a much wider matrix — the blocked-FW
 /// panel shapes — by keeping the k-loop streams inside one page each.
+///
+/// Loop order is k0 → i0 → j0: the whole kk x n row panel of B is packed
+/// once per k0 and every A macro-tile is packed exactly once per (i0, k0).
+/// (The original k0 → j0 → i0 order repacked each A tile once per column
+/// panel, i.e. n/tile_n times — measured at ~25% of runtime on panel
+/// shapes; see bench_srgemm_pack.)
 template <typename S>
 void tiled_kernel_packed(MatrixView<const typename S::value_type> A,
                          MatrixView<const typename S::value_type> B,
@@ -89,39 +123,136 @@ void tiled_kernel_packed(MatrixView<const typename S::value_type> A,
   constexpr std::size_t MR = 4, NR = 16;
   const std::size_t m = C.rows(), n = C.cols(), k = A.cols();
   AlignedBuffer<T> a_pack(tile_m * tile_k);
-  AlignedBuffer<T> b_pack(tile_k * tile_n);
+  AlignedBuffer<T> b_pack(std::min(tile_k, k) * n);
 
   for (std::size_t k0 = 0; k0 < k; k0 += tile_k) {
     const std::size_t kk = std::min(tile_k, k - k0);
-    for (std::size_t j0 = 0; j0 < n; j0 += tile_n) {
-      const std::size_t nj = std::min(tile_n, n - j0);
-      // Pack B(k0:k0+kk, j0:j0+nj) contiguous (ldb = nj).
-      for (std::size_t t = 0; t < kk; ++t)
-        std::copy_n(B.data() + (k0 + t) * B.ld() + j0, nj,
-                    b_pack.data() + t * nj);
+    // Pack B(k0:k0+kk, :) contiguous (ldb = n), shared by every (i0, j0).
+    for (std::size_t t = 0; t < kk; ++t)
+      std::copy_n(B.data() + (k0 + t) * B.ld(), n, b_pack.data() + t * n);
+    for (std::size_t i0 = 0; i0 < m; i0 += tile_m) {
+      const std::size_t mi = std::min(tile_m, m - i0);
+      // Pack A(i0:i0+mi, k0:k0+kk) contiguous (lda = kk) — once per tile.
+      for (std::size_t i = 0; i < mi; ++i)
+        std::copy_n(A.data() + (i0 + i) * A.ld() + k0, kk,
+                    a_pack.data() + i * kk);
+      for (std::size_t j0 = 0; j0 < n; j0 += tile_n) {
+        const std::size_t nj = std::min(tile_n, n - j0);
+        scalar_sweep<S, MR, NR>(a_pack.data(), kk, b_pack.data() + j0, n,
+                                C.data() + i0 * C.ld() + j0, C.ld(), mi, nj,
+                                kk);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Explicit-SIMD kernels.
+// ---------------------------------------------------------------------------
+
+/// SIMD micro-kernel: an MR x (NV*W) fragment of C held in MR*NV vector
+/// accumulators across the k loop (W = native lanes for the value type).
+/// Per k step: NV vector loads of the B row, MR broadcasts of A, and one
+/// vadd(vmul(...)) pair per accumulator — min/+ maps to vminps/vaddps.
+template <typename S, std::size_t MR, std::size_t NV>
+inline void micro_kernel_simd(const typename S::value_type* a,
+                              std::size_t lda,
+                              const typename S::value_type* b,
+                              std::size_t ldb, typename S::value_type* c,
+                              std::size_t ldc, std::size_t kk) {
+  using T = typename S::value_type;
+  using Ops = simd_ops<S>;
+  constexpr std::size_t W = simd::native_lanes<T>();
+  using V = simd::Vec<T, W>;
+  V acc[MR][NV];
+  for (std::size_t i = 0; i < MR; ++i)
+    for (std::size_t v = 0; v < NV; ++v)
+      acc[i][v] = simd::load<T, W>(c + i * ldc + v * W);
+  for (std::size_t t = 0; t < kk; ++t) {
+    const T* brow = b + t * ldb;
+    V bv[NV];
+    for (std::size_t v = 0; v < NV; ++v)
+      bv[v] = simd::load<T, W>(brow + v * W);
+    for (std::size_t i = 0; i < MR; ++i) {
+      const V av = simd::broadcast<T, W>(a[i * lda + t]);
+      for (std::size_t v = 0; v < NV; ++v)
+        acc[i][v] = Ops::vadd(acc[i][v], Ops::vmul(av, bv[v]));
+    }
+  }
+  for (std::size_t i = 0; i < MR; ++i)
+    for (std::size_t v = 0; v < NV; ++v)
+      simd::store<T, W>(c + i * ldc + v * W, acc[i][v]);
+}
+
+/// Register-tiled sweep with the SIMD micro-kernel; scalar edge kernels
+/// mop up rows/columns beyond the last full MR x (NV*W) fragment.
+template <typename S, std::size_t MR, std::size_t NV>
+inline void simd_sweep(const typename S::value_type* a, std::size_t lda,
+                       const typename S::value_type* b, std::size_t ldb,
+                       typename S::value_type* c, std::size_t ldc,
+                       std::size_t mm, std::size_t nn, std::size_t kk) {
+  constexpr std::size_t NR = NV * simd::native_lanes<typename S::value_type>();
+  std::size_t i = 0;
+  for (; i + MR <= mm; i += MR) {
+    std::size_t j = 0;
+    for (; j + NR <= nn; j += NR)
+      micro_kernel_simd<S, MR, NV>(a + i * lda, lda, b + j, ldb,
+                                   c + i * ldc + j, ldc, kk);
+    if (j < nn)
+      edge_kernel<S>(a + i * lda, lda, b + j, ldb, c + i * ldc + j, ldc, MR,
+                     nn - j, kk);
+  }
+  if (i < mm)
+    edge_kernel<S>(a + i * lda, lda, b, ldb, c + i * ldc, ldc, mm - i, nn, kk);
+}
+
+/// SIMD macro-kernel. With `pack` set, operands stream through the same
+/// k0 → i0 → j0 pack schedule as tiled_kernel_packed (B row panel packed
+/// once per k0, A tile once per (i0, k0)); without it the sweep runs
+/// directly on the views — the path multiply_prepacked uses when the
+/// caller already owns contiguous panels.
+template <typename S, std::size_t MR, std::size_t NV>
+void tiled_kernel_simd(MatrixView<const typename S::value_type> A,
+                       MatrixView<const typename S::value_type> B,
+                       MatrixView<typename S::value_type> C,
+                       std::size_t tile_m, std::size_t tile_n,
+                       std::size_t tile_k, bool pack) {
+  using T = typename S::value_type;
+  const std::size_t m = C.rows(), n = C.cols(), k = A.cols();
+
+  if (!pack) {
+    for (std::size_t k0 = 0; k0 < k; k0 += tile_k) {
+      const std::size_t kk = std::min(tile_k, k - k0);
       for (std::size_t i0 = 0; i0 < m; i0 += tile_m) {
         const std::size_t mi = std::min(tile_m, m - i0);
-        // Pack A(i0:i0+mi, k0:k0+kk) contiguous (lda = kk).
-        for (std::size_t i = 0; i < mi; ++i)
-          std::copy_n(A.data() + (i0 + i) * A.ld() + k0, kk,
-                      a_pack.data() + i * kk);
-        std::size_t i = 0;
-        for (; i + MR <= mi; i += MR) {
-          std::size_t j = 0;
-          for (; j + NR <= nj; j += NR)
-            micro_kernel<S, MR, NR>(a_pack.data() + i * kk, kk,
-                                    b_pack.data() + j, nj,
-                                    C.data() + (i0 + i) * C.ld() + (j0 + j),
-                                    C.ld(), kk);
-          if (j < nj)
-            edge_kernel<S>(a_pack.data() + i * kk, kk, b_pack.data() + j, nj,
-                           C.data() + (i0 + i) * C.ld() + (j0 + j), C.ld(),
-                           MR, nj - j, kk);
+        for (std::size_t j0 = 0; j0 < n; j0 += tile_n) {
+          const std::size_t nj = std::min(tile_n, n - j0);
+          simd_sweep<S, MR, NV>(A.data() + i0 * A.ld() + k0, A.ld(),
+                                B.data() + k0 * B.ld() + j0, B.ld(),
+                                C.data() + i0 * C.ld() + j0, C.ld(), mi, nj,
+                                kk);
         }
-        if (i < mi)
-          edge_kernel<S>(a_pack.data() + i * kk, kk, b_pack.data(), nj,
-                         C.data() + (i0 + i) * C.ld() + j0, C.ld(), mi - i,
-                         nj, kk);
+      }
+    }
+    return;
+  }
+
+  AlignedBuffer<T> a_pack(tile_m * tile_k);
+  AlignedBuffer<T> b_pack(std::min(tile_k, k) * n);
+  for (std::size_t k0 = 0; k0 < k; k0 += tile_k) {
+    const std::size_t kk = std::min(tile_k, k - k0);
+    for (std::size_t t = 0; t < kk; ++t)
+      std::copy_n(B.data() + (k0 + t) * B.ld(), n, b_pack.data() + t * n);
+    for (std::size_t i0 = 0; i0 < m; i0 += tile_m) {
+      const std::size_t mi = std::min(tile_m, m - i0);
+      for (std::size_t i = 0; i < mi; ++i)
+        std::copy_n(A.data() + (i0 + i) * A.ld() + k0, kk,
+                    a_pack.data() + i * kk);
+      for (std::size_t j0 = 0; j0 < n; j0 += tile_n) {
+        const std::size_t nj = std::min(tile_n, n - j0);
+        simd_sweep<S, MR, NV>(a_pack.data(), kk, b_pack.data() + j0, n,
+                              C.data() + i0 * C.ld() + j0, C.ld(), mi, nj,
+                              kk);
       }
     }
   }

@@ -111,6 +111,23 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(1, 8, 16, 33, 64, 200),
                        ::testing::Values(0, 1)));  // kClassic, kLogSquaring
 
+TEST(BlockedFw, PrepackedPanelsMatchPerQuadrantPacking) {
+  // Persistent panel packing (the default) must be bit-identical to the
+  // repack-per-quadrant path across block sizes, including fringe blocks.
+  const auto g = gen::erdos_renyi(130, 0.2, 91, 1.0, 100.0, /*integral=*/true);
+  for (std::size_t b : {16u, 33u, 64u}) {
+    auto pre = g.distance_matrix<S>();
+    auto re = pre.clone();
+    BlockedFwOptions opt;
+    opt.block_size = b;
+    opt.prepack_panels = true;
+    blocked_floyd_warshall<S>(pre.view(), opt);
+    opt.prepack_panels = false;
+    blocked_floyd_warshall<S>(re.view(), opt);
+    EXPECT_EQ(max_abs_diff<double>(pre.view(), re.view()), 0.0) << "b=" << b;
+  }
+}
+
 TEST(BlockedFw, ParallelPoolMatchesSequential) {
   ThreadPool pool(4);
   const auto g = gen::erdos_renyi(150, 0.15, 55, 1.0, 100.0, /*integral=*/true);

@@ -181,6 +181,184 @@ TEST(Srgemm, ArgminTracksWitness) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Kernel-variant cross-validation: every dispatchable kernel must produce a
+// bit-identical distance matrix to the naive oracle, on fringe shapes (m,
+// n, k not multiples of MR/NR/tile sizes) and on strided sub-views, for
+// all three vectorizable FW semirings.
+// ---------------------------------------------------------------------------
+
+const srgemm::Kernel kAllKernels[] = {
+    srgemm::Kernel::kNaive, srgemm::Kernel::kTiled, srgemm::Kernel::kPacked,
+    srgemm::Kernel::kSimd};
+
+srgemm::Config variant_cfg(srgemm::Kernel k) {
+  // Small tiles so the test shapes cross several tile boundaries.
+  srgemm::Config cfg;
+  cfg.kernel = k;
+  cfg.tile_m = 16;
+  cfg.tile_n = 32;
+  cfg.tile_k = 24;
+  return cfg;
+}
+
+template <typename S>
+void check_all_kernels(std::uint64_t seed, double inf_prob) {
+  using T = typename S::value_type;
+  // Deliberately awkward shapes: below one micro-tile, fringe in every
+  // dimension, and spanning several macro tiles.
+  for (auto [m, n, k] :
+       {std::tuple{1, 1, 1}, std::tuple{3, 5, 2}, std::tuple{7, 65, 9},
+        std::tuple{33, 47, 25}, std::tuple{65, 130, 70},
+        std::tuple{100, 31, 129}}) {
+    Matrix<T> A(m, k), B(k, n), C0(m, n);
+    Rng rng(seed);
+    auto fill = [&](Matrix<T>& mat) {
+      for (std::size_t i = 0; i < mat.rows(); ++i)
+        for (std::size_t j = 0; j < mat.cols(); ++j)
+          mat(i, j) = rng.next_double() < inf_prob
+                          ? S::zero()
+                          : static_cast<T>(rng.next_double() * 60.0);
+    };
+    fill(A);
+    fill(B);
+    fill(C0);
+    auto expected = C0.clone();
+    srgemm::multiply_reference<S>(A.view(), B.view(), expected.view());
+    for (srgemm::Kernel kern : kAllKernels) {
+      auto C = C0.clone();
+      srgemm::multiply<S>(A.view(), B.view(), C.view(), variant_cfg(kern));
+      EXPECT_EQ(max_abs_diff<T>(expected.view(), C.view()), 0.0)
+          << "kernel " << static_cast<int>(kern) << " shape " << m << "x" << n
+          << "x" << k;
+    }
+    auto Cp = C0.clone();
+    srgemm::multiply_prepacked<S>(A.view(), B.view(), Cp.view(),
+                                  variant_cfg(srgemm::Kernel::kSimd));
+    EXPECT_EQ(max_abs_diff<T>(expected.view(), Cp.view()), 0.0)
+        << "prepacked shape " << m << "x" << n << "x" << k;
+  }
+}
+
+TEST(SrgemmKernels, AllVariantsMatchReferenceMinPlusFloat) {
+  check_all_kernels<MinPlus<float>>(101, 0.15);
+}
+
+TEST(SrgemmKernels, AllVariantsMatchReferenceMinPlusInt32) {
+  // Integral tropical ⊗ exercises the vsat_add sentinel/overflow path.
+  check_all_kernels<MinPlus<std::int32_t>>(102, 0.15);
+}
+
+TEST(SrgemmKernels, IntegralSaturationWithNegativeWeights) {
+  // inf ⊗ w must stay absorbing even for negative w; the SIMD vsat_add
+  // pins infinite lanes explicitly (clamping alone would yield inf + w).
+  using S = MinPlus<std::int32_t>;
+  const std::size_t m = 37, n = 53, k = 29;
+  Matrix<std::int32_t> A(m, k), B(k, n), C0(m, n);
+  Rng rng(107);
+  auto fill = [&](Matrix<std::int32_t>& mat) {
+    for (std::size_t i = 0; i < mat.rows(); ++i)
+      for (std::size_t j = 0; j < mat.cols(); ++j) {
+        const double u = rng.next_double();
+        mat(i, j) = u < 0.2 ? value_traits<std::int32_t>::infinity()
+                            : static_cast<std::int32_t>(u * 100.0) - 40;
+      }
+  };
+  fill(A);
+  fill(B);
+  fill(C0);
+  auto expected = C0.clone();
+  srgemm::multiply_reference<S>(A.view(), B.view(), expected.view());
+  for (srgemm::Kernel kern : kAllKernels) {
+    auto C = C0.clone();
+    srgemm::multiply<S>(A.view(), B.view(), C.view(), variant_cfg(kern));
+    EXPECT_EQ(max_abs_diff<std::int32_t>(expected.view(), C.view()), 0.0)
+        << "kernel " << static_cast<int>(kern);
+  }
+}
+
+TEST(SrgemmKernels, AllVariantsMatchReferenceMaxMin) {
+  check_all_kernels<MaxMin<float>>(103, 0.1);
+}
+
+TEST(SrgemmKernels, AllVariantsMatchReferenceBoolOr) {
+  using S = BoolOrAnd;
+  for (auto [m, n, k] : {std::tuple{5, 67, 9}, std::tuple{64, 64, 64},
+                         std::tuple{77, 130, 131}}) {
+    Matrix<std::uint8_t> A(m, k), B(k, n), C0(m, n);
+    Rng rng(104);
+    auto fill = [&](Matrix<std::uint8_t>& mat) {
+      for (std::size_t i = 0; i < mat.rows(); ++i)
+        for (std::size_t j = 0; j < mat.cols(); ++j)
+          mat(i, j) = rng.next_double() < 0.3 ? 1 : 0;
+    };
+    fill(A);
+    fill(B);
+    fill(C0);
+    auto expected = C0.clone();
+    srgemm::multiply_reference<S>(A.view(), B.view(), expected.view());
+    for (srgemm::Kernel kern : kAllKernels) {
+      auto C = C0.clone();
+      srgemm::multiply<S>(A.view(), B.view(), C.view(), variant_cfg(kern));
+      EXPECT_EQ(max_abs_diff<std::uint8_t>(expected.view(), C.view()), 0.0)
+          << "kernel " << static_cast<int>(kern);
+    }
+  }
+}
+
+TEST(SrgemmKernels, AllVariantsOnStridedSubViews) {
+  // Operands carved out of one backing matrix with ld >> cols — the
+  // blocked-FW panel pattern — for every kernel plus the prepacked entry.
+  using S = MinPlus<float>;
+  auto big = random_matrix<float>(260, 260, 105, 0.05);
+  auto A = big.sub(3, 7, 60, 41);
+  auto B = big.sub(70, 11, 41, 83);
+  auto C0 = random_matrix<float>(60, 83, 106);
+  auto expected = C0.clone();
+  srgemm::multiply_reference<S>(A, B, expected.view());
+  for (srgemm::Kernel kern : kAllKernels) {
+    auto C = C0.clone();
+    srgemm::multiply<S>(A, B, C.view(), variant_cfg(kern));
+    EXPECT_EQ(max_abs_diff<float>(expected.view(), C.view()), 0.0)
+        << "kernel " << static_cast<int>(kern);
+  }
+  auto Cp = C0.clone();
+  srgemm::multiply_prepacked<S>(A, B, Cp.view(),
+                                variant_cfg(srgemm::Kernel::kSimd));
+  EXPECT_EQ(max_abs_diff<float>(expected.view(), Cp.view()), 0.0);
+}
+
+TEST(SrgemmKernels, SimdParallelDriverMatchesSequential) {
+  using S = MinPlus<float>;
+  ThreadPool pool(4);
+  auto A = random_matrix<float>(300, 90, 111, 0.05);
+  auto B = random_matrix<float>(90, 210, 112, 0.05);
+  auto C0 = random_matrix<float>(300, 210, 113);
+  auto C1 = C0.clone();
+  auto seq = variant_cfg(srgemm::Kernel::kSimd);
+  auto par = seq;
+  par.pool = &pool;
+  srgemm::multiply<S>(A.view(), B.view(), C0.view(), seq);
+  srgemm::multiply<S>(A.view(), B.view(), C1.view(), par);
+  EXPECT_EQ(max_abs_diff<float>(C0.view(), C1.view()), 0.0);
+}
+
+TEST(SrgemmConfig, AutotuneIsDeterministic) {
+  // Same machine profile + environment → same configuration, every call.
+  const srgemm::Config a = srgemm::Config::tuned();
+  const srgemm::Config b = srgemm::Config::tuned();
+  EXPECT_EQ(a.tile_m, b.tile_m);
+  EXPECT_EQ(a.tile_n, b.tile_n);
+  EXPECT_EQ(a.tile_k, b.tile_k);
+  EXPECT_EQ(a.kernel, b.kernel);
+  EXPECT_EQ(a.micro, b.micro);
+  // Tuned tiles are sane: nonzero and bounded by the clamps in tuned().
+  EXPECT_GE(a.tile_k, 32u);
+  EXPECT_LE(a.tile_k, 512u);
+  EXPECT_GE(a.tile_m, 32u);
+  EXPECT_LE(a.tile_m, 512u);
+}
+
 TEST(Srgemm, EwiseAdd) {
   using S = MinPlus<float>;
   auto X = random_matrix<float>(13, 17, 51);
@@ -191,6 +369,25 @@ TEST(Srgemm, EwiseAdd) {
       expected(i, j) = std::min(expected(i, j), X(i, j));
   srgemm::ewise_add<S>(X.view(), C.view());
   EXPECT_EQ(max_abs_diff<float>(expected.view(), C.view()), 0.0);
+}
+
+TEST(Srgemm, EwiseAddSimdAndPooled) {
+  // Width crossing several vectors plus a fringe, strided views, and the
+  // thread-pooled row partition — all must match the scalar oracle.
+  using S = MinPlus<float>;
+  ThreadPool pool(4);
+  auto backing = random_matrix<float>(120, 150, 53);
+  auto X = backing.sub(2, 3, 100, 131);
+  auto C0 = random_matrix<float>(100, 131, 54);
+  auto C1 = C0.clone();
+  auto expected = C0.clone();
+  for (std::size_t i = 0; i < 100; ++i)
+    for (std::size_t j = 0; j < 131; ++j)
+      expected(i, j) = std::min(expected(i, j), X(i, j));
+  srgemm::ewise_add<S>(X, C0.view());
+  srgemm::ewise_add<S>(X, C1.view(), &pool);
+  EXPECT_EQ(max_abs_diff<float>(expected.view(), C0.view()), 0.0);
+  EXPECT_EQ(max_abs_diff<float>(expected.view(), C1.view()), 0.0);
 }
 
 TEST(Srgemm, FlopCountConvention) {
