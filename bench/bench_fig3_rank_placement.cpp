@@ -29,6 +29,7 @@ int main() {
 
   const MachineConfig m = MachineConfig::summit();
   const double n = 196608, b = 768;
+  bench::FigTrace trace;  // PARFW_TRACE=<file> records the first placement
 
   Table t({"nodes", "(Pr,Pc,Kr,Kc,Qr,Qc)", "eff.BW GB/s", "best?"});
 
@@ -53,7 +54,7 @@ int main() {
         // 1-node point exceeds the NIC limit, so t_FW there is comm time).
         const RunPoint p = simulate_fw_placement(
             m, dist::Variant::kPipelined, setup, nodes, n, b,
-            /*comm_only=*/true);
+            /*comm_only=*/true, trace.sink());
         char label[64];
         std::snprintf(label, sizeof(label), "(%d,%d,%d,%d,%d,%d)", pr, pc, kr,
                       kc, qr, qc);

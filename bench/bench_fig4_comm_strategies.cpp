@@ -24,6 +24,7 @@ int main() {
   const int nodes = 64;
   const double b = 768;
   const auto legends = paper_legends();  // first four are the comm variants
+  bench::FigTrace trace;  // PARFW_TRACE=<file> records the first run
 
   Table t({"vertices", "baseline", "pipelined", "+reorder", "+async",
            "async/base"});
@@ -31,7 +32,7 @@ int main() {
   for (double n : bench::paper_vertex_sweep(26008, 524288)) {
     std::vector<double> bw;
     for (std::size_t i = 0; i < 4; ++i) {
-      const RunPoint p = simulate_fw(m, legends[i], nodes, n, b);
+      const RunPoint p = simulate_fw(m, legends[i], nodes, n, b, trace.sink());
       bw.push_back(p.eff_bw / 1e9);
     }
     const double gain = bw[3] / bw[0];

@@ -27,7 +27,8 @@ using namespace parfw::perf;
 namespace {
 
 /// Measured GFLOP/s of the real offload engine for one (k, mx) point.
-double measured_oog_rate(std::size_t k, std::size_t mx, double link_bw) {
+double measured_oog_rate(std::size_t k, std::size_t mx, double link_bw,
+                         sched::TraceSink* trace = nullptr) {
   const std::size_t n = 4 * mx;  // 4x4 chunk grid
   DenseEntryGen<float> gen(99, 1.0, 1.0f, 50.0f);
   Matrix<float> A(n, k), B(k, n), C(n, n, value_traits<float>::infinity());
@@ -43,6 +44,7 @@ double measured_oog_rate(std::size_t k, std::size_t mx, double link_bw) {
   offload::OogConfig cfg;
   cfg.mx = cfg.nx = mx;
   cfg.num_streams = 3;
+  cfg.trace = trace;
   Timer t;
   offload::oog_srgemm<MinPlus<float>>(device, A.view(), B.view(), C.view(),
                                       cfg);
@@ -89,9 +91,10 @@ int main() {
   std::printf("[b] measured on the CPU substrate (in-core rate %.1f GF/s,\n"
               "    device link throttled to %.3f GB/s => balance at k*~256)\n\n",
               host_rate / 1e9, link_bw / 1e9);
+  bench::FigTrace trace;  // PARFW_TRACE=<file> records the first real run
   Table meas({"block", "mx=128 GF/s", "mx=256 GF/s", "mx256 / in-core"});
   for (std::size_t blk : {64u, 128u, 256u, 512u, 1024u}) {
-    const double r128 = measured_oog_rate(blk, 128, link_bw);
+    const double r128 = measured_oog_rate(blk, 128, link_bw, trace.sink());
     const double r256 = measured_oog_rate(blk, 256, link_bw);
     meas.add_row({std::to_string(blk), Table::num(r128, 1),
                   Table::num(r256, 1),

@@ -40,6 +40,12 @@ int main() {
   std::printf("%s", t.str().c_str());
   std::printf("\n(in-core SRGEMM rate: %.0f GF/s)\n", m.srgemm_flops / 1e9);
 
+  // The heatmap itself is analytic; when tracing is requested, emit the
+  // DES timeline of the offload variant this figure characterises.
+  bench::FigTrace trace;
+  if (sched::TraceSink* sink = trace.sink())
+    simulate_fw(m, paper_legends()[4], /*nodes=*/4, 65536.0, b, sink);
+
   bench::footer(
       "expect: values near the in-core rate in the top-left region; each\n"
       "row degrades as m_x approaches the operand size, and small-n rows\n"

@@ -25,6 +25,7 @@ int main() {
   const int nodes = 64;
   const double b = 768;
   const auto legends = paper_legends();
+  bench::FigTrace trace;  // PARFW_TRACE=<file> records the first run
   const double gpu_wall = max_in_gpu_vertices(m, nodes);
   const double peak_pf =
       nodes * m.gpus_per_node * m.srgemm_peak_flops / 1e15;
@@ -41,7 +42,7 @@ int main() {
       }
       for (const auto& l : legends)
         if (l.name == name) {
-          const RunPoint p = simulate_fw(m, l, nodes, n, b);
+          const RunPoint p = simulate_fw(m, l, nodes, n, b, trace.sink());
           row.push_back(Table::num(p.pflops, 3));
         }
     }

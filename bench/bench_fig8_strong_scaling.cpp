@@ -21,6 +21,7 @@ int main() {
   const MachineConfig m = MachineConfig::summit();
   const double n = 300000, b = 768;
   const auto legends = paper_legends();
+  bench::FigTrace trace;  // PARFW_TRACE=<file> records the first run
 
   Table t({"nodes", "offload", "baseline", "pipelined", "+reorder", "+async",
            "ideal", "async/base"});
@@ -29,7 +30,7 @@ int main() {
     std::vector<double> pf;
     for (const auto& legend :
          {legends[4], legends[0], legends[1], legends[2], legends[3]}) {
-      pf.push_back(simulate_fw(m, legend, nodes, n, b).pflops);
+      pf.push_back(simulate_fw(m, legend, nodes, n, b, trace.sink()).pflops);
     }
     const double ideal =
         nodes * m.gpus_per_node * m.srgemm_flops / 1e15;  // perfect scaling

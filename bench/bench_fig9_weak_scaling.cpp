@@ -22,6 +22,7 @@ int main() {
   const MachineConfig m = MachineConfig::summit();
   const double b = 768;
   const auto legends = paper_legends();
+  bench::FigTrace trace;  // PARFW_TRACE=<file> records the first run
 
   Table t({"nodes", "vertices", "offload s", "baseline s", "pipelined s",
            "+reorder s", "+async s"});
@@ -31,7 +32,8 @@ int main() {
     std::vector<double> secs;
     for (const auto& legend :
          {legends[4], legends[0], legends[1], legends[2], legends[3]}) {
-      secs.push_back(simulate_fw(m, legend, nodes, n, b).seconds);
+      secs.push_back(
+          simulate_fw(m, legend, nodes, n, b, trace.sink()).seconds);
     }
     if (nodes == 16) {
       async16 = secs[4];

@@ -7,13 +7,51 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "perf/experiments.hpp"
 #include "perf/machine.hpp"
+#include "sched/trace.hpp"
 #include "util/table.hpp"
 
 namespace parfw::bench {
+
+/// Opt-in Chrome-trace capture for the figure benches: when the
+/// PARFW_TRACE environment variable names a file, the first run that asks
+/// for `sink()` records its schedule events there; the JSON is written at
+/// scope exit (load in chrome://tracing or https://ui.perfetto.dev).
+class FigTrace {
+ public:
+  FigTrace() = default;
+  FigTrace(const FigTrace&) = delete;
+  FigTrace& operator=(const FigTrace&) = delete;
+  ~FigTrace() {
+    if (path_.empty() || sink_.size() == 0) return;
+    std::ofstream os(path_);
+    sink_.write(os);
+    std::fprintf(stderr, "[trace] wrote %zu events to %s\n", sink_.size(),
+                 path_.c_str());
+  }
+
+  /// Sink for the run to record, or nullptr (tracing off, or a run was
+  /// already captured — one clean timeline per file).
+  sched::TraceSink* sink() {
+    if (path_.empty() || used_) return nullptr;
+    used_ = true;
+    return &sink_;
+  }
+
+ private:
+  static std::string env_path() {
+    const char* p = std::getenv("PARFW_TRACE");
+    return p == nullptr ? "" : p;
+  }
+  std::string path_ = env_path();
+  sched::ChromeTraceSink sink_;
+  bool used_ = false;
+};
 
 inline void header(const std::string& title, const std::string& paper_note) {
   std::printf("================================================================\n");

@@ -2,15 +2,41 @@
 # Tier-1 verification + SRGEMM bench smoke — the gate every PR must pass.
 #
 #   scripts/check.sh [build-dir]
+#   scripts/check.sh --san address|thread|undefined [build-dir]
 #
 # 1. Configure + build (Release, all warnings).
 # 2. Run the full ctest suite.
 # 3. Run a ~2 s SRGEMM micro-bench smoke so kernel-dispatch regressions
 #    (e.g. SIMD silently falling back to scalar) show up as a number, not
 #    just as green tests.
+#
+# --san builds a separate instrumented tree (-DPARFW_SAN=<san>) and runs
+# the concurrency-heavy suites under it — mpisim ranks are real OS
+# threads, so `--san thread` is the data-race gate for the runtime and
+# the trace sinks.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+san=""
+if [[ "${1:-}" == "--san" ]]; then
+  san="${2:?usage: check.sh --san address|thread|undefined [build-dir]}"
+  shift 2
+fi
+
+if [[ -n "$san" ]]; then
+  build_dir="${1:-$repo_root/build-san-$san}"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARFW_SAN="$san" -DPARFW_BUILD_BENCH=OFF -DPARFW_BUILD_EXAMPLES=OFF
+  cmake --build "$build_dir" -j"$(nproc)" \
+    --target test_mpisim_stress test_mpisim test_sched
+  "$build_dir/tests/test_mpisim_stress"
+  "$build_dir/tests/test_mpisim"
+  "$build_dir/tests/test_sched"
+  echo "check.sh --san $san: OK"
+  exit 0
+fi
+
 build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release

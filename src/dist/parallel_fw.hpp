@@ -14,9 +14,19 @@
 //               OuterUpdate streams through a capacity-limited device via
 //               ooGSrGemm (§4.3-4.4). Baseline schedule otherwise.
 //
+// The control flow of every variant lives in sched::build_schedule
+// (src/sched/ir.hpp); this file is the DATA-CARRYING interpreter of that
+// IR. It walks the generated Schedule, executes the steps addressed to
+// this rank, and binds each op kind to real work: SRGEMM kernels for the
+// compute ops, mpisim collectives for the broadcast ops, and the
+// devsim/ooGSrGemm streaming path for offloaded OuterUpdates. The DES in
+// src/perf/ interprets the SAME Schedule as cost metadata, so the two
+// sides cannot drift apart.
+//
 // +Reordering (the paper's third legend) is not a code variant: it is the
-// same kPipelined/kAsync code run on GridSpec::tiled placement instead of
-// GridSpec::row_major — the placement changes which messages cross a NIC.
+// same kPipelined/kAsync schedule generated for GridSpec::tiled placement
+// instead of GridSpec::row_major — the placement changes which messages
+// cross a NIC.
 //
 // All variants produce bit-identical results to the sequential blocked FW
 // (validated in tests, as the paper validates against sequential FW §5.1).
@@ -32,26 +42,16 @@
 #include "dist/grid.hpp"
 #include "mpisim/communicator.hpp"
 #include "offload/oog_srgemm.hpp"
+#include "sched/ir.hpp"
+#include "sched/trace.hpp"
 #include "srgemm/srgemm.hpp"
 
 namespace parfw::dist {
 
-enum class Variant {
-  kBaseline,
-  kPipelined,
-  kAsync,
-  kOffload,
-};
-
-inline const char* variant_name(Variant v) {
-  switch (v) {
-    case Variant::kBaseline: return "baseline";
-    case Variant::kPipelined: return "pipelined";
-    case Variant::kAsync: return "async";
-    case Variant::kOffload: return "offload";
-  }
-  return "?";
-}
+/// The variants are an IR concept now; re-exported so existing callers
+/// keep writing dist::Variant / dist::variant_name.
+using Variant = sched::Variant;
+using sched::variant_name;
 
 struct DistFwOptions {
   Variant variant = Variant::kAsync;
@@ -61,19 +61,30 @@ struct DistFwOptions {
   /// kOffload: per-rank simulated device capacity and chunking.
   std::size_t device_memory_bytes = std::size_t{256} << 20;
   offload::OogConfig oog{};
+  /// When set, every executed schedule op is recorded (begin/end on the
+  /// sched::now_seconds() timeline). Must be thread-safe: mpisim ranks
+  /// are threads and all record into the same sink.
+  sched::TraceSink* trace = nullptr;
 };
 
-namespace detail {
+/// Row and column communicators of the 2-D grid: `row` spans my grid row
+/// ranked by grid column (size P_c); `col` spans my grid column ranked by
+/// grid row (size P_r). Split off `world` collectively — shared by the
+/// value solver, the paths solver, and tests that must reproduce the
+/// split's traffic in isolation.
+struct RowColComms {
+  mpi::Comm row;
+  mpi::Comm col;
+};
 
-/// Per-iteration tag space: 8 tags per k keeps concurrent iterations'
-/// collectives (ring bcast overlap) from cross-matching.
-inline mpi::tag_t tag_of(std::size_t k, int phase) {
-  return static_cast<mpi::tag_t>(1000 + 8 * k + static_cast<std::size_t>(phase));
+inline RowColComms make_row_col_comms(mpi::Comm& world, const GridSpec& grid) {
+  const GridCoord me = grid.coord_of(world.rank());
+  mpi::Comm row = world.split(me.row, me.col);
+  mpi::Comm col = world.split(me.col + grid.rows() + 7, me.row);
+  PARFW_CHECK(row.size() == grid.cols() && col.size() == grid.rows());
+  PARFW_CHECK(row.rank() == me.col && col.rank() == me.row);
+  return RowColComms{std::move(row), std::move(col)};
 }
-constexpr int kTagDiagRow = 0, kTagDiagCol = 1, kTagRowPanel = 2,
-              kTagColPanel = 3;
-
-}  // namespace detail
 
 /// Execute distributed FW on this rank's share of the matrix. Collective
 /// over `world`, which must have exactly grid.size() ranks. On return the
@@ -89,186 +100,148 @@ void parallel_fw(mpi::Comm& world, BlockCyclicMatrix<typename S::value_type>& a,
   PARFW_CHECK(me == a.coord());
   const std::size_t b = a.block_size();
   const std::size_t nb = a.num_blocks();
-  const int pr = grid.rows(), pc = grid.cols();
-  PARFW_CHECK_MSG(nb >= static_cast<std::size_t>(pr) &&
-                      nb >= static_cast<std::size_t>(pc),
-                  "need at least one block per process row/column");
   const std::size_t nlr = a.local_block_rows(), nlc = a.local_block_cols();
   auto local = a.local().view();
 
-  // Row communicator: my grid row, ranked by grid column (size pc).
-  // Column communicator: my grid column, ranked by grid row (size pr).
-  mpi::Comm row_comm = world.split(me.row, me.col);
-  mpi::Comm col_comm = world.split(me.col + grid.rows() + 7, me.row);
-  PARFW_CHECK(row_comm.size() == pc && col_comm.size() == pr);
-  PARFW_CHECK(row_comm.rank() == me.col && col_comm.rank() == me.row);
+  RowColComms comms = make_row_col_comms(world, grid);
+  mpi::Comm& row_comm = comms.row;
+  mpi::Comm& col_comm = comms.col;
 
-  Matrix<T> akk(b, b);              // closed diagonal block of iteration k
-  Matrix<T> rowp(b, nlc * b);       // k-th block row, my columns
-  Matrix<T> colp(nlr * b, b);       // k-th block column, my rows
-  Matrix<T> next_rowp(b, nlc * b);  // staging for iteration k+1 (pipelined)
-  Matrix<T> next_colp(nlr * b, b);
+  // Generate this run's schedule. The generator validates the geometry
+  // (at least one block per process row/column).
+  sched::ScheduleParams sp;
+  sp.variant = opt.variant;
+  sp.nb = nb;
+  sp.b = b;
+  sp.word_bytes = sizeof(T);
+  sp.diag_flops = diag_update_flops(b, opt.diag);
+  const sched::Schedule schedule = sched::build_schedule(grid, sp);
+
+  Matrix<T> akk(b, b);  // closed diagonal block of iteration k
   Matrix<T> diag_scratch(b, b);
+  // Panel buffers, double-buffered by iteration parity: the pipelined
+  // schedule stages iteration k+1's panels (slot (k+1) & 1) while the
+  // bulk OuterUpdate(k) still reads slot k & 1.
+  Matrix<T> rowp_buf[2] = {Matrix<T>(b, nlc * b), Matrix<T>(b, nlc * b)};
+  Matrix<T> colp_buf[2] = {Matrix<T>(nlr * b, b), Matrix<T>(nlr * b, b)};
 
   // Optional per-rank device for the offload variant.
   std::unique_ptr<dev::Device> device;
+  offload::OogConfig oog = opt.oog;
   if (opt.variant == Variant::kOffload) {
     dev::DeviceConfig dc;
     dc.memory_bytes = opt.device_memory_bytes;
     device = std::make_unique<dev::Device>(dc);
   }
 
-  // ---- helpers for the five schedule phases -----------------------------
-
-  // DiagUpdate(k): owner closes A(k,k) in place and snapshots it into akk.
-  auto diag_update_k = [&](std::size_t k) {
-    const int krow = static_cast<int>(k) % pr, kcol = static_cast<int>(k) % pc;
-    if (me.row == krow && me.col == kcol) {
-      auto dk = a.block(a.local_row(k), a.local_col(k));
-      diag_update<S>(dk, opt.diag, diag_scratch.view(), opt.gemm);
-      akk.view().copy_from(dk);
-    }
+  const int my = world.rank();
+  oog.trace = opt.trace;
+  oog.trace_rank = my;
+  auto bytes_of = [](Matrix<T>& m) {
+    return std::span<std::uint8_t>{reinterpret_cast<std::uint8_t*>(m.data()),
+                                   m.size() * sizeof(T)};
   };
 
-  // DiagBcast(k): owner broadcasts akk across its process row and column.
-  auto diag_bcast_k = [&](std::size_t k) {
-    const int krow = static_cast<int>(k) % pr, kcol = static_cast<int>(k) % pc;
-    if (me.row == krow)
-      row_comm.bcast_bytes(
-          {reinterpret_cast<std::uint8_t*>(akk.data()), akk.size() * sizeof(T)},
-          kcol, detail::tag_of(k, detail::kTagDiagRow));
-    if (me.col == kcol)
-      col_comm.bcast_bytes(
-          {reinterpret_cast<std::uint8_t*>(akk.data()), akk.size() * sizeof(T)},
-          krow, detail::tag_of(k, detail::kTagDiagCol));
-  };
+  for (const sched::Step& step : schedule.steps) {
+    if (step.rank != my) continue;
+    const sched::Op& op = step.op;
+    const std::size_t k = op.k;
+    const double t0 = opt.trace ? sched::now_seconds() : 0.0;
+    Matrix<T>& rowp = rowp_buf[k & 1];
+    Matrix<T>& colp = colp_buf[k & 1];
 
-  // PanelUpdate(k): ranks in the k-th process row left-multiply their
-  // whole local row strip by akk (the strip includes the diagonal block,
-  // for which the update is an idempotent no-op); the k-th process column
-  // right-multiplies its column strip. Results land in rp / cp.
-  auto panel_update_k = [&](std::size_t k, Matrix<T>& rp, Matrix<T>& cp) {
-    const int krow = static_cast<int>(k) % pr, kcol = static_cast<int>(k) % pc;
-    if (me.row == krow && nlc > 0) {
-      auto strip = local.sub(a.local_row(k) * b, 0, b, nlc * b);
-      srgemm::multiply<S>(akk.view(), strip, strip, opt.gemm);
-      rp.view().copy_from(strip);
-    }
-    if (me.col == kcol && nlr > 0) {
-      auto strip = local.sub(0, a.local_col(k) * b, nlr * b, b);
-      srgemm::multiply<S>(strip, akk.view(), strip, opt.gemm);
-      cp.view().copy_from(strip);
-    }
-  };
-
-  // PanelBcast(k) splits into two independent collectives; pipelined
-  // variants call the root side early and the receive side late.
-  //  * row panel: down the process columns (col_comm), root = k mod P_r
-  //  * col panel: across the process rows (row_comm), root = k mod P_c
-  const bool use_ring = opt.variant == Variant::kAsync;
-  auto row_panel_bcast = [&](std::size_t k, Matrix<T>& rp) {
-    const int krow = static_cast<int>(k) % pr;
-    std::span<std::uint8_t> bytes{reinterpret_cast<std::uint8_t*>(rp.data()),
-                                  rp.size() * sizeof(T)};
-    if (use_ring)
-      col_comm.ring_bcast_bytes(bytes, krow, detail::tag_of(k, detail::kTagRowPanel));
-    else
-      col_comm.bcast_bytes(bytes, krow, detail::tag_of(k, detail::kTagRowPanel));
-  };
-  auto col_panel_bcast = [&](std::size_t k, Matrix<T>& cp) {
-    const int kcol = static_cast<int>(k) % pc;
-    std::span<std::uint8_t> bytes{reinterpret_cast<std::uint8_t*>(cp.data()),
-                                  cp.size() * sizeof(T)};
-    if (use_ring)
-      row_comm.ring_bcast_bytes(bytes, kcol, detail::tag_of(k, detail::kTagColPanel));
-    else
-      row_comm.bcast_bytes(bytes, kcol, detail::tag_of(k, detail::kTagColPanel));
-  };
-
-  // OuterUpdate(k) over an arbitrary sub-range of the local matrix.
-  // Applying it to panel strips as well is an idempotent no-op, so the
-  // default covers the whole local matrix (see header comment). The
-  // received panel buffers (colp/rowp) are dense and reused for every
-  // quadrant of the local matrix, so the CPU path runs prepacked — the
-  // kernels must not re-pack the same panels per call.
-  auto outer_update = [&](MatrixView<T> c, MatrixView<const T> cp,
-                          MatrixView<const T> rp) {
-    if (c.empty()) return;
-    if (opt.variant == Variant::kOffload) {
-      (void)offload::oog_srgemm<S>(*device, cp, rp, c, opt.oog);
-    } else {
-      srgemm::multiply_prepacked<S>(cp, rp, c, opt.gemm);
-    }
-  };
-
-  const bool pipelined =
-      opt.variant == Variant::kPipelined || opt.variant == Variant::kAsync;
-
-  if (!pipelined) {
-    // ------------------- Algorithm 3 (bulk synchronous) ------------------
-    for (std::size_t k = 0; k < nb; ++k) {
-      diag_update_k(k);
-      diag_bcast_k(k);
-      panel_update_k(k, rowp, colp);
-      row_panel_bcast(k, rowp);
-      col_panel_bcast(k, colp);
-      outer_update(local, colp.view(), rowp.view());
-    }
-    return;
-  }
-
-  // --------------------- Algorithm 4 (pipelined) -------------------------
-  // Prologue: establish the k = 0 panels.
-  diag_update_k(0);
-  diag_bcast_k(0);
-  panel_update_k(0, rowp, colp);
-  row_panel_bcast(0, rowp);
-  col_panel_bcast(0, colp);
-
-  for (std::size_t k = 0; k < nb; ++k) {
-    const std::size_t k1 = k + 1;
-    const int k1row = static_cast<int>(k1) % pr;
-    const int k1col = static_cast<int>(k1) % pc;
-
-    if (k1 < nb) {
-      // Look-ahead: apply OuterUpdate(k) to the (k+1) panels only, so
-      // iteration k+1's Diag/Panel phases can start before the bulk
-      // OuterUpdate(k) (§3.1-3.2: the k+1 steps need only the k+1 panels).
-      if (me.row == k1row && nlc > 0) {
+    switch (op.kind) {
+      case sched::OpKind::kDiagUpdate: {
+        // Owner closes A(k,k) in place and snapshots it into akk.
+        auto dk = a.block(a.local_row(k), a.local_col(k));
+        diag_update<S>(dk, opt.diag, diag_scratch.view(), opt.gemm);
+        akk.view().copy_from(dk);
+        break;
+      }
+      case sched::OpKind::kDiagBcastRow:
+        row_comm.bcast_bytes(bytes_of(akk), op.root, op.tag);
+        break;
+      case sched::OpKind::kDiagBcastCol:
+        col_comm.bcast_bytes(bytes_of(akk), op.root, op.tag);
+        break;
+      case sched::OpKind::kPanelUpdateRow: {
+        // Left-multiply my row strip by akk (the strip includes the
+        // diagonal block, for which the update is an idempotent no-op).
+        if (nlc == 0) break;
+        auto strip = local.sub(a.local_row(k) * b, 0, b, nlc * b);
+        srgemm::multiply<S>(akk.view(), strip, strip, opt.gemm);
+        rowp.view().copy_from(strip);
+        break;
+      }
+      case sched::OpKind::kPanelUpdateCol: {
+        if (nlr == 0) break;
+        auto strip = local.sub(0, a.local_col(k) * b, nlr * b, b);
+        srgemm::multiply<S>(strip, akk.view(), strip, opt.gemm);
+        colp.view().copy_from(strip);
+        break;
+      }
+      case sched::OpKind::kRowPanelBcast:
+        // Down the process columns; tree or ring per the schedule. The
+        // root side and receive side of the pipelined schedule are
+        // distinct steps of the SAME collective (same tag/root) — each
+        // rank executes exactly one of them.
+        if (op.coll == sched::CollKind::kRing)
+          col_comm.ring_bcast_bytes(bytes_of(rowp), op.root, op.tag);
+        else
+          col_comm.bcast_bytes(bytes_of(rowp), op.root, op.tag);
+        break;
+      case sched::OpKind::kColPanelBcast:
+        if (op.coll == sched::CollKind::kRing)
+          row_comm.ring_bcast_bytes(bytes_of(colp), op.root, op.tag);
+        else
+          row_comm.bcast_bytes(bytes_of(colp), op.root, op.tag);
+        break;
+      case sched::OpKind::kLookaheadRow: {
+        // OuterUpdate(k) restricted to the (k+1) row strip, so iteration
+        // k+1's phases can start before the bulk update (§3.1-3.2).
+        if (nlc == 0) break;
+        const std::size_t k1 = k + 1;
         auto strip = local.sub(a.local_row(k1) * b, 0, b, nlc * b);
         auto cp_blk = colp.sub(a.local_row(k1) * b, 0, b, b);
         srgemm::multiply_prepacked<S>(cp_blk, rowp.view(), strip, opt.gemm);
+        break;
       }
-      if (me.col == k1col && nlr > 0) {
+      case sched::OpKind::kLookaheadCol: {
+        if (nlr == 0) break;
+        const std::size_t k1 = k + 1;
         auto strip = local.sub(0, a.local_col(k1) * b, nlr * b, b);
         auto rp_blk = rowp.sub(0, a.local_col(k1) * b, b, b);
         srgemm::multiply_prepacked<S>(colp.view(), rp_blk, strip, opt.gemm);
+        break;
       }
-
-      // DiagUpdate(k+1) + DiagBcast(k+1) on the critical path.
-      diag_update_k(k1);
-      diag_bcast_k(k1);
-      // PanelUpdate(k+1), then roots *initiate* PanelBcast(k+1): with
-      // eager sends the root-side call returns once the payload is handed
-      // to the runtime, so the broadcast overlaps the OuterUpdate below.
-      // With the ring collective the root's successors relay as soon as
-      // they reach their own receive point (§3.3 asynchrony).
-      panel_update_k(k1, next_rowp, next_colp);
-      if (me.row == k1row) row_panel_bcast(k1, next_rowp);
-      if (me.col == k1col) col_panel_bcast(k1, next_colp);
+      case sched::OpKind::kOuterUpdate: {
+        // Bulk OuterUpdate(k) on the whole local matrix. Re-applying it
+        // to panel strips (including look-ahead-updated ones) is an
+        // idempotent no-op — every candidate is a valid path length. The
+        // received panel buffers are dense and reused for every quadrant,
+        // so the CPU path runs prepacked.
+        if (local.empty()) break;
+        if (op.offload) {
+          (void)offload::oog_srgemm<S>(*device, colp.view(), rowp.view(),
+                                       local, oog);
+        } else {
+          srgemm::multiply_prepacked<S>(colp.view(), rowp.view(), local,
+                                        opt.gemm);
+        }
+        break;
+      }
     }
 
-    // Bulk OuterUpdate(k) on the whole local matrix. Re-applying it to
-    // the already look-ahead-updated (k+1) strips is an idempotent no-op
-    // (every candidate is a valid path length; see header).
-    outer_update(local, colp.view(), rowp.view());
-
-    if (k1 < nb) {
-      // Receive side of PanelBcast(k+1) for everyone who was not a root.
-      if (me.row != k1row) row_panel_bcast(k1, next_rowp);
-      if (me.col != k1col) col_panel_bcast(k1, next_colp);
-      std::swap(rowp, next_rowp);
-      std::swap(colp, next_colp);
+    if (opt.trace) {
+      sched::TraceEvent e;
+      e.rank = my;
+      e.name = sched::op_name(op.kind);
+      e.k = op.k;
+      e.t_begin = t0;
+      e.t_end = sched::now_seconds();
+      e.bytes = op.bytes;
+      e.flops = op.flops;
+      opt.trace->record(e);
     }
   }
 }

@@ -27,10 +27,6 @@
 
 namespace parfw::dist {
 
-namespace detail {
-constexpr int kTagDiagPredRow = 4, kTagDiagPredCol = 5, kTagRowPanelPred = 6;
-}
-
 /// Distributed FW with path tracking. `a` holds this rank's distance
 /// blocks; `pred` (same layout) must be initialised so that
 /// pred(i,j) = i for finite off-diagonal entries and the diagonal,
@@ -54,8 +50,9 @@ void parallel_fw_paths(mpi::Comm& world,
   auto local = a.local().view();
   auto plocal = pred.local().view();
 
-  mpi::Comm row_comm = world.split(me.row, me.col);
-  mpi::Comm col_comm = world.split(me.col + grid.rows() + 7, me.row);
+  RowColComms comms = make_row_col_comms(world, grid);
+  mpi::Comm& row_comm = comms.row;
+  mpi::Comm& col_comm = comms.col;
 
   Matrix<T> akk(b, b);
   Matrix<std::int64_t> akk_pred(b, b);
@@ -95,14 +92,14 @@ void parallel_fw_paths(mpi::Comm& world,
 
     // --- DiagBcast: values + predecessors --------------------------------
     if (me.row == krow) {
-      row_comm.bcast_bytes(bytes_of(akk), kcol, detail::tag_of(k, detail::kTagDiagRow));
+      row_comm.bcast_bytes(bytes_of(akk), kcol, sched::tag_of(k, sched::kTagDiagRow));
       row_comm.bcast_bytes(bytes_of(akk_pred), kcol,
-                           detail::tag_of(k, detail::kTagDiagPredRow));
+                           sched::tag_of(k, sched::kTagDiagPredRow));
     }
     if (me.col == kcol) {
-      col_comm.bcast_bytes(bytes_of(akk), krow, detail::tag_of(k, detail::kTagDiagCol));
+      col_comm.bcast_bytes(bytes_of(akk), krow, sched::tag_of(k, sched::kTagDiagCol));
       col_comm.bcast_bytes(bytes_of(akk_pred), krow,
-                           detail::tag_of(k, detail::kTagDiagPredCol));
+                           sched::tag_of(k, sched::kTagDiagPredCol));
     }
 
     // --- PanelUpdate with predecessor propagation ------------------------
@@ -129,10 +126,10 @@ void parallel_fw_paths(mpi::Comm& world,
     }
 
     // --- PanelBcast: row panel carries predecessors too -------------------
-    col_comm.bcast_bytes(bytes_of(rowp), krow, detail::tag_of(k, detail::kTagRowPanel));
+    col_comm.bcast_bytes(bytes_of(rowp), krow, sched::tag_of(k, sched::kTagRowPanel));
     col_comm.bcast_bytes(bytes_of(rowp_pred), krow,
-                         detail::tag_of(k, detail::kTagRowPanelPred));
-    row_comm.bcast_bytes(bytes_of(colp), kcol, detail::tag_of(k, detail::kTagColPanel));
+                         sched::tag_of(k, sched::kTagRowPanelPred));
+    row_comm.bcast_bytes(bytes_of(colp), kcol, sched::tag_of(k, sched::kTagColPanel));
 
     // --- OuterUpdate with predecessor propagation -------------------------
     // Unlike the value-only solver we must NOT re-apply the update to the

@@ -17,8 +17,8 @@ NodeModel NodeModel::contiguous(int world_size, int ranks_per_node) {
   return m;
 }
 
-World::World(int size, NodeModel node_model)
-    : size_(size), node_model_(std::move(node_model)) {
+World::World(int size, NodeModel node_model, sched::TraceSink* trace)
+    : size_(size), node_model_(std::move(node_model)), trace_(trace) {
   PARFW_CHECK(size_ > 0);
   if (!node_model_.node_of.empty())
     PARFW_CHECK_MSG(node_model_.node_of.size() ==
@@ -46,6 +46,14 @@ void World::deliver(const MatchKey& key, rank_t dst, Message msg) {
       traffic_.nic_bytes[static_cast<std::size_t>(sn)] += msg.payload.size();
       traffic_.nic_bytes[static_cast<std::size_t>(dn)] += msg.payload.size();
     }
+  }
+  if (trace_) {
+    sched::TraceEvent e;
+    e.rank = key.src;
+    e.name = "msg";
+    e.t_begin = e.t_end = sched::now_seconds();
+    e.bytes = static_cast<std::int64_t>(msg.payload.size());
+    trace_->record(e);
   }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
@@ -96,7 +104,7 @@ TrafficStats World::traffic() const {
 
 TrafficStats Runtime::run(int world_size, const std::function<void(Comm&)>& fn,
                           const RuntimeOptions& opt) {
-  World world(world_size, opt.node_model);
+  World world(world_size, opt.node_model, opt.trace);
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(world_size));

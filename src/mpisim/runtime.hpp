@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mpisim/message.hpp"
+#include "sched/trace.hpp"
 
 namespace parfw::mpi {
 
@@ -56,15 +57,21 @@ struct TrafficStats {
 
 struct RuntimeOptions {
   NodeModel node_model{};
+  /// When set, every message delivery is recorded as an instant event
+  /// ("msg", rank = source, bytes = payload size) on the shared
+  /// sched::now_seconds() timeline. Sinks must be thread-safe.
+  sched::TraceSink* trace = nullptr;
 };
 
 /// Shared state of one run. Created by Runtime::run; ranks hold a pointer.
 class World {
  public:
-  World(int size, NodeModel node_model);
+  World(int size, NodeModel node_model, sched::TraceSink* trace = nullptr);
 
   int size() const { return size_; }
   const NodeModel& node_model() const { return node_model_; }
+  /// Trace sink of this run (nullptr when tracing is off).
+  sched::TraceSink* trace() const { return trace_; }
 
   /// Deliver a message (eager copy already made by the caller).
   void deliver(const MatchKey& key, rank_t dst, Message msg);
@@ -92,6 +99,7 @@ class World {
 
   int size_;
   NodeModel node_model_;
+  sched::TraceSink* trace_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   std::mutex barrier_mu_;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "devsim/device.hpp"
+#include "sched/trace.hpp"
 #include "semiring/semiring.hpp"
 #include "srgemm/srgemm.hpp"
 #include "util/matrix.hpp"
@@ -33,6 +34,10 @@ struct OogConfig {
   std::size_t nx = 2048;       ///< device buffer cols
   std::size_t num_streams = 3; ///< s; 1 = fully serial, 3 = full overlap
   srgemm::Config gemm{};       ///< device-kernel tiling
+  /// When set, each retired chunk's hostUpdate is recorded ("oogHost",
+  /// bytes = chunk size) on the sched::now_seconds() timeline.
+  sched::TraceSink* trace = nullptr;
+  int trace_rank = 0;  ///< rank attributed to the events (devsim is local)
 };
 
 /// Statistics of one ooGSrGemm invocation (validated by tests against the
@@ -129,8 +134,13 @@ OogStats oog_srgemm(dev::Device& device,
     const std::size_t r0 = p.i * cfg.mx, c0 = p.j * cfg.nx;
     const std::size_t nr = std::min(cfg.mx, m - r0);
     const std::size_t nc = std::min(cfg.nx, n - c0);
+    const double t0 = cfg.trace ? sched::now_seconds() : 0.0;
     MatrixView<const T> xv(staging[p.r].data(), nr, nc, cfg.nx);
     srgemm::ewise_add<S>(xv, C.sub(r0, c0, nr, nc), cfg.gemm.pool);
+    if (cfg.trace)
+      cfg.trace->record(sched::TraceEvent{
+          cfg.trace_rank, "oogHost", 0, t0, sched::now_seconds(),
+          static_cast<std::int64_t>(nr * nc * sizeof(T)), 0.0});
   };
 
   std::size_t next_stream = 0;
@@ -231,8 +241,13 @@ OogStats oog_srgemm_device(dev::Device& device,
     const std::size_t r0 = p.i * cfg.mx, c0 = p.j * cfg.nx;
     const std::size_t nr = std::min(cfg.mx, m - r0);
     const std::size_t nc = std::min(cfg.nx, n - c0);
+    const double t0 = cfg.trace ? sched::now_seconds() : 0.0;
     MatrixView<const T> xv(staging[p.r].data(), nr, nc, cfg.nx);
     srgemm::ewise_add<S>(xv, C.sub(r0, c0, nr, nc), cfg.gemm.pool);
+    if (cfg.trace)
+      cfg.trace->record(sched::TraceEvent{
+          cfg.trace_rank, "oogHost", 0, t0, sched::now_seconds(),
+          static_cast<std::int64_t>(nr * nc * sizeof(T)), 0.0});
   };
 
   std::size_t next_stream = 0;

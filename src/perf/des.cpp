@@ -25,7 +25,18 @@ inline std::uint64_t msg_key(int src, int dst, std::int32_t tag) {
 }  // namespace
 
 SimStats simulate(const std::vector<RankProgram>& programs,
-                  const std::vector<int>& node_of, const MachineConfig& m) {
+                  const std::vector<int>& node_of, const MachineConfig& m,
+                  sched::TraceSink* trace) {
+  auto op_label = [](const Op& op) -> const char* {
+    if (op.kind_src >= 0)
+      return sched::op_name(static_cast<sched::OpKind>(op.kind_src));
+    switch (op.kind) {
+      case Op::Kind::kComp: return "comp";
+      case Op::Kind::kSend: return "send";
+      case Op::Kind::kRecv: return "recv";
+    }
+    return "?";
+  };
   const int P = static_cast<int>(programs.size());
   PARFW_CHECK(static_cast<int>(node_of.size()) == P);
 
@@ -74,10 +85,14 @@ SimStats simulate(const std::vector<RankProgram>& programs,
         clock[ws] = end;
         gpu_free[static_cast<std::size_t>(gpu)] = end;
         stats.total_comp_seconds += op.seconds;
+        if (trace)
+          trace->record(sched::TraceEvent{w, op_label(op), op.k, start, end,
+                                          op.bytes, 0.0});
         ++pc[ws];
         break;
       }
       case Op::Kind::kSend: {
+        const double t_send = clock[ws];
         const int src_node = node_of[ws];
         const int dst_node = node_of[static_cast<std::size_t>(op.peer)];
         double arrival;
@@ -108,6 +123,9 @@ SimStats simulate(const std::vector<RankProgram>& programs,
           nic_bytes[static_cast<std::size_t>(src_node)] += static_cast<double>(op.bytes);
           nic_bytes[static_cast<std::size_t>(dst_node)] += static_cast<double>(op.bytes);
         }
+        if (trace)
+          trace->record(sched::TraceEvent{w, op_label(op), op.k, t_send,
+                                          clock[ws], op.bytes, 0.0});
         const std::uint64_t key = msg_key(w, op.peer, op.tag);
         arrivals[key].push_back(arrival);
         // Wake anyone blocked on this key.

@@ -18,6 +18,7 @@
 
 #include "perf/machine.hpp"
 #include "perf/schedule.hpp"
+#include "sched/trace.hpp"
 
 namespace parfw::perf {
 
@@ -30,8 +31,13 @@ struct SimStats {
 };
 
 /// Run the simulation. node_of[w] = node of world rank w; ranks_per_gpu
-/// and all rates come from the machine config.
+/// and all rates come from the machine config. When `trace` is set every
+/// executed op is recorded on the VIRTUAL timeline (compute ops as
+/// durations, sends as instants), labelled with the originating schedule
+/// op's name where the program carries one — directly comparable to the
+/// trace a real run of the same schedule emits.
 SimStats simulate(const std::vector<RankProgram>& programs,
-                  const std::vector<int>& node_of, const MachineConfig& m);
+                  const std::vector<int>& node_of, const MachineConfig& m,
+                  sched::TraceSink* trace = nullptr);
 
 }  // namespace parfw::perf

@@ -59,7 +59,8 @@ GridSetup make_grid(const MachineConfig& m, int nodes, bool reordered) {
 
 RunPoint simulate_fw_placement(const MachineConfig& m, dist::Variant variant,
                                const GridSetup& setup, int nodes, double n,
-                               double b, bool comm_only) {
+                               double b, bool comm_only,
+                               sched::TraceSink* trace) {
   FwProblem prob;
   prob.variant = variant;
   prob.b = b;
@@ -72,7 +73,7 @@ RunPoint simulate_fw_placement(const MachineConfig& m, dist::Variant variant,
   prob.n = nb * b;
 
   const BuiltProgram built = build_fw_program(m, prob, setup.grid, setup.node_of);
-  const SimStats sim = simulate(built.programs, built.node_of, m);
+  const SimStats sim = simulate(built.programs, built.node_of, m, trace);
 
   RunPoint p;
   p.seconds = sim.makespan;
@@ -87,9 +88,10 @@ RunPoint simulate_fw_placement(const MachineConfig& m, dist::Variant variant,
 }
 
 RunPoint simulate_fw(const MachineConfig& m, const Legend& legend, int nodes,
-                     double n, double b) {
+                     double n, double b, sched::TraceSink* trace) {
   const GridSetup setup = make_grid(m, nodes, legend.reordered);
-  return simulate_fw_placement(m, legend.variant, setup, nodes, n, b);
+  return simulate_fw_placement(m, legend.variant, setup, nodes, n, b,
+                               /*comm_only=*/false, trace);
 }
 
 }  // namespace parfw::perf

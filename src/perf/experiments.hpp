@@ -48,13 +48,16 @@ struct RunPoint {
   double max_nic_bytes = 0;
 };
 
+/// `trace`, when set, receives the DES's virtual-timeline events
+/// (see perf::simulate).
 RunPoint simulate_fw(const MachineConfig& m, const Legend& legend, int nodes,
-                     double n, double b);
+                     double n, double b, sched::TraceSink* trace = nullptr);
 
 /// Figure 3 helper: simulate one explicit placement; returns eff. bw.
 /// comm_only zeroes compute (the Figure 3 measurement regime).
 RunPoint simulate_fw_placement(const MachineConfig& m, dist::Variant variant,
                                const GridSetup& setup, int nodes, double n,
-                               double b, bool comm_only = false);
+                               double b, bool comm_only = false,
+                               sched::TraceSink* trace = nullptr);
 
 }  // namespace parfw::perf

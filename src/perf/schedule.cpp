@@ -5,34 +5,41 @@
 #include <functional>
 
 #include "core/diag_update.hpp"
-#include "util/rng.hpp"
+#include "sched/ir.hpp"
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace parfw::perf {
 
 namespace {
 
-/// Builder for per-rank op lists with the same collective expansions
-/// (including node-aware relay order) as the functional mpisim runtime.
+/// Lowers single schedule-IR steps into per-rank op lists with the same
+/// collective expansions (including node-aware relay order) as the
+/// functional mpisim runtime. Unlike the runtime, which executes a
+/// member's part of a collective when that member reaches it, lowering
+/// emits exactly the ops of the one member whose step is being lowered —
+/// so the IR's step order fully determines every process's program.
 class ProgramBuilder {
  public:
-  ProgramBuilder(const MachineConfig& m, const std::vector<int>& node_of,
-                 int ranks)
-      : m_(m), node_of_(node_of), progs_(static_cast<std::size_t>(ranks)) {}
+  ProgramBuilder(const std::vector<int>& node_of, int ranks)
+      : node_of_(node_of), progs_(static_cast<std::size_t>(ranks)) {}
 
   std::vector<RankProgram> take() { return std::move(progs_); }
 
-  void comp(int w, double seconds) {
+  void comp(int w, double seconds, std::uint32_t k = 0,
+            std::int16_t kind_src = -1) {
     progs_[static_cast<std::size_t>(w)].push_back(
-        Op{Op::Kind::kComp, seconds, -1, 0, 0});
+        Op{Op::Kind::kComp, seconds, -1, 0, 0, k, kind_src});
   }
-  void send(int src, int dst, std::int64_t bytes, std::int32_t tag) {
+  void send(int src, int dst, std::int64_t bytes, std::int32_t tag,
+            std::uint32_t k = 0, std::int16_t kind_src = -1) {
     progs_[static_cast<std::size_t>(src)].push_back(
-        Op{Op::Kind::kSend, 0.0, dst, bytes, tag});
+        Op{Op::Kind::kSend, 0.0, dst, bytes, tag, k, kind_src});
   }
-  void recv(int dst, int src, std::int32_t tag) {
+  void recv(int dst, int src, std::int32_t tag, std::uint32_t k = 0,
+            std::int16_t kind_src = -1) {
     progs_[static_cast<std::size_t>(dst)].push_back(
-        Op{Op::Kind::kRecv, 0.0, src, 0, tag});
+        Op{Op::Kind::kRecv, 0.0, src, 0, tag, k, kind_src});
   }
 
   /// Node-aware member order — MUST match mpisim's Comm::relay_order.
@@ -40,16 +47,18 @@ class ProgramBuilder {
                                int root_idx) const {
     const int p = static_cast<int>(members.size());
     int max_node = 0;
-    for (int w : members) max_node = std::max(max_node, node_of_[static_cast<std::size_t>(w)]);
+    for (int w : members)
+      max_node = std::max(max_node, node_of_[static_cast<std::size_t>(w)]);
     const long long nnodes = max_node + 1;
-    const int root_node =
-        node_of_[static_cast<std::size_t>(members[static_cast<std::size_t>(root_idx)])];
+    const int root_node = node_of_[static_cast<std::size_t>(
+        members[static_cast<std::size_t>(root_idx)])];
     std::vector<int> order{root_idx};
     std::vector<std::pair<long long, int>> rest;
     for (int i = 0; i < p; ++i) {
       if (i == root_idx) continue;
       const long long nd =
-          (node_of_[static_cast<std::size_t>(members[static_cast<std::size_t>(i)])] -
+          (node_of_[static_cast<std::size_t>(
+               members[static_cast<std::size_t>(i)])] -
            root_node + nnodes) %
           nnodes;
       rest.emplace_back(nd * p + i, i);
@@ -59,38 +68,62 @@ class ProgramBuilder {
     return order;
   }
 
-  using Filter = std::function<bool(int world_rank)>;
-
-  /// Binomial-tree broadcast expansion. Ops are appended only for members
-  /// accepted by `filter` (the pipelined schedule emits root-side and
-  /// receive-side ops at different program points).
-  void expand_tree(const std::vector<int>& members, int root_idx,
-                   std::int64_t bytes, std::int32_t tag, const Filter& filter) {
+  /// Binomial-tree broadcast: the ops of member `me_idx` only.
+  void tree_member(const std::vector<int>& members, int root_idx, int me_idx,
+                   std::int64_t bytes, std::int32_t tag, std::uint32_t k,
+                   std::int16_t kind_src) {
     const int p = static_cast<int>(members.size());
     if (p <= 1 || bytes == 0) return;
     const std::vector<int> order = relay_order(members, root_idx);
-    for (int v = 0; v < p; ++v) {
-      const int w = members[static_cast<std::size_t>(order[static_cast<std::size_t>(v)])];
-      if (!filter(w)) continue;
-      int mask = 1;
-      while (mask < p) {
-        if ((v & mask) != 0) {
-          recv(w, members[static_cast<std::size_t>(
-                     order[static_cast<std::size_t>(v ^ mask)])],
-               tag);
-          break;
-        }
-        mask <<= 1;
+    const int v = virtual_rank(order, me_idx);
+    const int w = members[static_cast<std::size_t>(me_idx)];
+    int mask = 1;
+    while (mask < p) {
+      if ((v & mask) != 0) {
+        recv(w,
+             members[static_cast<std::size_t>(
+                 order[static_cast<std::size_t>(v ^ mask)])],
+             tag, k, kind_src);
+        break;
       }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (v + mask < p)
+        send(w,
+             members[static_cast<std::size_t>(
+                 order[static_cast<std::size_t>(v + mask)])],
+             bytes, tag, k, kind_src);
       mask >>= 1;
-      while (mask > 0) {
-        if (v + mask < p)
-          send(w,
-               members[static_cast<std::size_t>(
-                   order[static_cast<std::size_t>(v + mask)])],
-               bytes, tag);
-        mask >>= 1;
-      }
+    }
+  }
+
+  /// Segmented ring broadcast: the ops of member `me_idx` only. Few,
+  /// large segments keep op counts tractable at 3072 ranks while still
+  /// modelling the relay pipelining.
+  void ring_member(const std::vector<int>& members, int root_idx, int me_idx,
+                   std::int64_t bytes, std::int32_t tag, std::uint32_t k,
+                   std::int16_t kind_src) {
+    const int p = static_cast<int>(members.size());
+    if (p <= 1 || bytes == 0) return;
+    const std::vector<int> order = relay_order(members, root_idx);
+    const int v = virtual_rank(order, me_idx);
+    const int w = members[static_cast<std::size_t>(me_idx)];
+    const std::int64_t nseg = std::clamp<std::int64_t>(bytes / (1 << 20), 1, 8);
+    const std::int64_t seg = (bytes + nseg - 1) / nseg;
+    for (std::int64_t s = 0; s < nseg; ++s) {
+      const std::int64_t len = std::min(seg, bytes - s * seg);
+      if (v > 0)
+        recv(w,
+             members[static_cast<std::size_t>(
+                 order[static_cast<std::size_t>(v - 1)])],
+             tag, k, kind_src);
+      if (v + 1 < p)
+        send(w,
+             members[static_cast<std::size_t>(
+                 order[static_cast<std::size_t>(v + 1)])],
+             len, tag, k, kind_src);
     }
   }
 
@@ -98,34 +131,32 @@ class ProgramBuilder {
   /// along per-rank NIC agents (process ids agent_of(r)), decoupled from
   /// the ranks' own programs. Rank-side ops: the root posts a zero-byte
   /// "ready" to its agent once the data exists; every other member waits
-  /// for a zero-byte "done" from its agent at its own program point.
-  /// Agent ops are emitted only when `emit_agents` is set (the pipelined
-  /// schedule touches a collective twice with complementary filters).
-  void expand_ring_background(const std::vector<int>& members, int root_idx,
-                              std::int64_t bytes, std::int32_t tag,
-                              const Filter& filter, bool emit_agents,
-                              const std::function<int(int)>& agent_of) {
+  /// for a zero-byte "done" from its agent at its own program point. The
+  /// whole agent dataflow is emitted at the ROOT member's step (the
+  /// collective's initiation point in the schedule), once.
+  void ring_bg_member(const std::vector<int>& members, int root_idx,
+                      int me_idx, std::int64_t bytes, std::int32_t tag,
+                      const std::function<int(int)>& agent_of, std::uint32_t k,
+                      std::int16_t kind_src) {
     const int p = static_cast<int>(members.size());
     if (p <= 1 || bytes == 0) return;
     const std::vector<int> order = relay_order(members, root_idx);
-    const std::int64_t nseg =
-        std::clamp<std::int64_t>(bytes / (1 << 20), 1, 8);
+    const std::int64_t nseg = std::clamp<std::int64_t>(bytes / (1 << 20), 1, 8);
     const std::int64_t seg = (bytes + nseg - 1) / nseg;
     const std::int32_t ready_tag = tag + (1 << 22);
     const std::int32_t done_tag = tag + (1 << 23);
 
+    const int w = members[static_cast<std::size_t>(me_idx)];
+    if (me_idx != root_idx) {
+      recv(w, agent_of(w), done_tag, k, kind_src);
+      return;
+    }
+    send(w, agent_of(w), 0, ready_tag, k, kind_src);
+    // Agent-side dataflow, in relay order.
     for (int v = 0; v < p; ++v) {
-      const int w = members[static_cast<std::size_t>(order[static_cast<std::size_t>(v)])];
-      const int agent = agent_of(w);
-      // Rank-side ops (respect the caller's scheduling filter).
-      if (filter(w)) {
-        if (v == 0)
-          send(w, agent, 0, ready_tag);  // data ready: agent may stream
-        else
-          recv(w, agent, done_tag);      // block until fully received
-      }
-      if (!emit_agents) continue;
-      // Agent-side dataflow.
+      const int wv = members[static_cast<std::size_t>(
+          order[static_cast<std::size_t>(v)])];
+      const int agent = agent_of(wv);
       const int succ_agent =
           v + 1 < p ? agent_of(members[static_cast<std::size_t>(
                           order[static_cast<std::size_t>(v + 1)])])
@@ -135,56 +166,33 @@ class ProgramBuilder {
                       order[static_cast<std::size_t>(v - 1)])])
                 : -1;
       if (v == 0) {
-        recv(agent, w, ready_tag);
+        recv(agent, wv, ready_tag, k, kind_src);
         for (std::int64_t s2 = 0; s2 < nseg; ++s2)
-          send(agent, succ_agent, std::min(seg, bytes - s2 * seg), tag);
+          send(agent, succ_agent, std::min(seg, bytes - s2 * seg), tag, k,
+               kind_src);
       } else {
         for (std::int64_t s2 = 0; s2 < nseg; ++s2) {
-          recv(agent, pred_agent, tag);
+          recv(agent, pred_agent, tag, k, kind_src);
           if (succ_agent >= 0)
-            send(agent, succ_agent, std::min(seg, bytes - s2 * seg), tag);
+            send(agent, succ_agent, std::min(seg, bytes - s2 * seg), tag, k,
+                 kind_src);
         }
-        send(agent, w, 0, done_tag);
-      }
-    }
-  }
-
-  /// Segmented ring broadcast expansion.
-  void expand_ring(const std::vector<int>& members, int root_idx,
-                   std::int64_t bytes, std::int32_t tag, const Filter& filter) {
-    const int p = static_cast<int>(members.size());
-    if (p <= 1 || bytes == 0) return;
-    const std::vector<int> order = relay_order(members, root_idx);
-    // Few, large segments keep op counts tractable at 3072 ranks while
-    // still modelling the relay pipelining.
-    const std::int64_t nseg =
-        std::clamp<std::int64_t>(bytes / (1 << 20), 1, 8);
-    const std::int64_t seg = (bytes + nseg - 1) / nseg;
-    for (int v = 0; v < p; ++v) {
-      const int w = members[static_cast<std::size_t>(order[static_cast<std::size_t>(v)])];
-      if (!filter(w)) continue;
-      for (std::int64_t s = 0; s < nseg; ++s) {
-        const std::int64_t len = std::min(seg, bytes - s * seg);
-        if (v > 0)
-          recv(w, members[static_cast<std::size_t>(
-                     order[static_cast<std::size_t>(v - 1)])],
-               tag);
-        if (v + 1 < p)
-          send(w,
-               members[static_cast<std::size_t>(
-                   order[static_cast<std::size_t>(v + 1)])],
-               len, tag);
+        send(agent, wv, 0, done_tag, k, kind_src);
       }
     }
   }
 
  private:
-  const MachineConfig& m_;
+  static int virtual_rank(const std::vector<int>& order, int me_idx) {
+    for (int v = 0; v < static_cast<int>(order.size()); ++v)
+      if (order[static_cast<std::size_t>(v)] == me_idx) return v;
+    PARFW_CHECK_MSG(false, "member not in its own collective");
+    return -1;
+  }
+
   const std::vector<int>& node_of_;
   std::vector<RankProgram> progs_;
 };
-
-bool accept_all(int) { return true; }
 
 }  // namespace
 
@@ -209,11 +217,18 @@ BuiltProgram build_fw_program(const MachineConfig& m, const FwProblem& prob,
   auto col_agent = [P](int w) { return 2 * P + w; };
   const double b = prob.b;
   const std::size_t nb = static_cast<std::size_t>(prob.n / prob.b);
-  PARFW_CHECK_MSG(nb >= static_cast<std::size_t>(std::max(pr, pc)),
-                  "need >= 1 block per process row/column");
-  const double word = m.word_bytes;
 
-  ProgramBuilder builder(m, full_node_of, total_procs);
+  // The variant's schedule — the same IR dist::parallel_fw executes.
+  sched::ScheduleParams sp;
+  sp.variant = prob.variant;
+  sp.nb = nb;
+  sp.b = static_cast<std::size_t>(b);
+  sp.word_bytes = static_cast<std::size_t>(m.word_bytes);
+  sp.diag_flops = diag_update_flops(static_cast<std::size_t>(b),
+                                    DiagStrategy::kLogSquaring);
+  const sched::Schedule schedule = sched::build_schedule(grid, sp);
+
+  ProgramBuilder builder(full_node_of, total_procs);
   const double comp_scale = prob.comm_only ? 0.0 : 1.0;
   // Deterministic straggler jitter: factor in [1, 1 + comp_jitter],
   // hashed from (rank, per-rank op ordinal).
@@ -237,7 +252,10 @@ BuiltProgram build_fw_program(const MachineConfig& m, const FwProblem& prob,
       row_members[static_cast<std::size_t>(r)].push_back(w);  // index c
     }
 
-  // Blocks owned per direction, per grid row/col index.
+  // Compute ops run at the full GPU rate; the DES serialises the two
+  // ranks sharing a GPU on the device resource, which yields the
+  // effective per-rank half rate without double counting.
+  const double rate = m.srgemm_flops;
   auto owned = [nb](int mine, int p) {
     const std::size_t ms = static_cast<std::size_t>(mine);
     return ms >= nb ? 0.0
@@ -245,23 +263,12 @@ BuiltProgram build_fw_program(const MachineConfig& m, const FwProblem& prob,
                                               static_cast<std::size_t>(p) +
                                           1);
   };
-
-  // Compute ops run at the full GPU rate; the DES serialises the two
-  // ranks sharing a GPU on the device resource, which yields the
-  // effective per-rank half rate without double counting.
-  const double rate = m.srgemm_flops;
-  const double diag_secs =
-      diag_update_flops(static_cast<std::size_t>(b), DiagStrategy::kLogSquaring) /
-      rate;
-
-  // Per-rank OuterUpdate duration for one iteration.
-  auto outer_secs = [&](int r, int c) {
+  // Offloaded OuterUpdate: the IR's flop count does not model the
+  // streaming pipeline, so cost it with the §4.5 model instead — chunked
+  // through the device, hostUpdate at the contended per-rank DRAM share.
+  auto offload_outer_secs = [&](int r, int c) {
     const double mloc = owned(r, pr) * b;
     const double nloc = owned(c, pc) * b;
-    const double flops = 2.0 * mloc * nloc * b;
-    if (prob.variant != Variant::kOffload) return flops / rate;
-    // Offload: chunked through the device; §4.5 pipeline with 3 streams.
-    // hostUpdate runs at the contended per-rank DRAM share.
     MachineConfig shared = m;
     shared.dram_bw = m.dram_bw_shared;
     const double mx = std::min(prob.offload_mx, std::max(mloc, 1.0));
@@ -275,135 +282,62 @@ BuiltProgram build_fw_program(const MachineConfig& m, const FwProblem& prob,
     return whole.total(3) + fill;
   };
 
-  auto panel_secs_row = [&](int c) {
-    return 2.0 * b * b * owned(c, pc) * b / rate;
-  };
-  auto panel_secs_col = [&](int r) {
-    return 2.0 * owned(r, pr) * b * b * b / rate;
-  };
-  auto rowp_bytes = [&](int c) {
-    return static_cast<std::int64_t>(b * owned(c, pc) * b * word);
-  };
-  auto colp_bytes = [&](int r) {
-    return static_cast<std::int64_t>(owned(r, pr) * b * b * word);
-  };
-  const std::int64_t diag_bytes = static_cast<std::int64_t>(b * b * word);
+  for (const sched::Step& step : schedule.steps) {
+    const int w = step.rank;
+    const sched::Op& op = step.op;
+    const auto kind_src = static_cast<std::int16_t>(op.kind);
 
-  auto tag_of = [](std::size_t k, int phase) {
-    return static_cast<std::int32_t>(8 * k + static_cast<std::size_t>(phase));
-  };
-
-  const bool pipelined = prob.variant == Variant::kPipelined ||
-                         prob.variant == Variant::kAsync;
-  const bool ring = prob.variant == Variant::kAsync;
-
-  auto diag_phase = [&](std::size_t k) {
-    const int krow = static_cast<int>(k % static_cast<std::size_t>(pr));
-    const int kcol = static_cast<int>(k % static_cast<std::size_t>(pc));
-    { const int w_ = grid.world_rank({krow, kcol}); builder.comp(w_, jittered(w_, comp_scale * diag_secs)); }
-    builder.expand_tree(row_members[static_cast<std::size_t>(krow)], kcol,
-                        diag_bytes, tag_of(k, 0), accept_all);
-    builder.expand_tree(col_members[static_cast<std::size_t>(kcol)], krow,
-                        diag_bytes, tag_of(k, 1), accept_all);
-  };
-
-  auto panel_update_phase = [&](std::size_t k) {
-    const int krow = static_cast<int>(k % static_cast<std::size_t>(pr));
-    const int kcol = static_cast<int>(k % static_cast<std::size_t>(pc));
-    for (int c = 0; c < pc; ++c)
-      { const int w_ = grid.world_rank({krow, c}); builder.comp(w_, jittered(w_, comp_scale * panel_secs_row(c))); }
-    for (int r = 0; r < pr; ++r)
-      { const int w_ = grid.world_rank({r, kcol}); builder.comp(w_, jittered(w_, comp_scale * panel_secs_col(r))); }
-  };
-
-  // Panel broadcast expansions, filtered per direction so the pipelined
-  // schedule emits the root side early and the receive side late —
-  // mirroring dist::parallel_fw exactly.
-  auto row_panel_bcasts = [&](std::size_t k, const ProgramBuilder::Filter& f,
-                              bool emit_agents) {
-    const int krow = static_cast<int>(k % static_cast<std::size_t>(pr));
-    for (int c = 0; c < pc; ++c) {
-      if (bg_relays)
-        builder.expand_ring_background(col_members[static_cast<std::size_t>(c)],
-                                       krow, rowp_bytes(c), tag_of(k, 2), f,
-                                       emit_agents, row_agent);
-      else if (ring)
-        builder.expand_ring(col_members[static_cast<std::size_t>(c)], krow,
-                            rowp_bytes(c), tag_of(k, 2), f);
-      else
-        builder.expand_tree(col_members[static_cast<std::size_t>(c)], krow,
-                            rowp_bytes(c), tag_of(k, 2), f);
+    if (sched::is_comp(op.kind)) {
+      double secs;
+      if (op.offload) {
+        const dist::GridCoord c = grid.coord_of(w);
+        secs = offload_outer_secs(c.row, c.col);
+      } else {
+        secs = op.flops / rate;
+      }
+      builder.comp(w, jittered(w, comp_scale * secs), op.k, kind_src);
+      continue;
     }
-  };
-  auto col_panel_bcasts = [&](std::size_t k, const ProgramBuilder::Filter& f,
-                              bool emit_agents) {
-    const int kcol = static_cast<int>(k % static_cast<std::size_t>(pc));
-    for (int r = 0; r < pr; ++r) {
-      if (bg_relays)
-        builder.expand_ring_background(row_members[static_cast<std::size_t>(r)],
-                                       kcol, colp_bytes(r), tag_of(k, 3), f,
-                                       emit_agents, col_agent);
-      else if (ring)
-        builder.expand_ring(row_members[static_cast<std::size_t>(r)], kcol,
-                            colp_bytes(r), tag_of(k, 3), f);
-      else
-        builder.expand_tree(row_members[static_cast<std::size_t>(r)], kcol,
-                            colp_bytes(r), tag_of(k, 3), f);
+
+    // Comm step: resolve the collective's member list and this member's
+    // index within it from the op kind and the rank's grid coordinate.
+    const dist::GridCoord me = grid.coord_of(w);
+    const std::size_t k = op.k;
+    const std::vector<int>* members = nullptr;
+    int me_idx = -1;
+    bool row_chain = false;  // which NIC-agent family (background relays)
+    switch (op.kind) {
+      case sched::OpKind::kDiagBcastRow:
+        members = &row_members[k % static_cast<std::size_t>(pr)];
+        me_idx = me.col;
+        break;
+      case sched::OpKind::kDiagBcastCol:
+        members = &col_members[k % static_cast<std::size_t>(pc)];
+        me_idx = me.row;
+        break;
+      case sched::OpKind::kRowPanelBcast:
+        members = &col_members[static_cast<std::size_t>(me.col)];
+        me_idx = me.row;
+        row_chain = true;
+        break;
+      case sched::OpKind::kColPanelBcast:
+        members = &row_members[static_cast<std::size_t>(me.row)];
+        me_idx = me.col;
+        break;
+      default: PARFW_CHECK_MSG(false, "unexpected comm op kind");
     }
-  };
-  auto panel_bcast_phase = [&](std::size_t k, const ProgramBuilder::Filter& f) {
-    row_panel_bcasts(k, f, /*emit_agents=*/true);
-    col_panel_bcasts(k, f, /*emit_agents=*/true);
-  };
 
-  auto outer_phase = [&](std::size_t /*k*/) {
-    for (int r = 0; r < pr; ++r)
-      for (int c = 0; c < pc; ++c)
-        { const int w_ = grid.world_rank({r, c}); builder.comp(w_, jittered(w_, comp_scale * outer_secs(r, c))); }
-  };
-
-  if (!pipelined) {
-    for (std::size_t k = 0; k < nb; ++k) {
-      diag_phase(k);
-      panel_update_phase(k);
-      panel_bcast_phase(k, accept_all);
-      outer_phase(k);
-    }
-    return BuiltProgram{builder.take(), std::move(full_node_of)};
-  }
-
-  // Pipelined / async (Algorithm 4 ordering, mirroring dist::parallel_fw).
-  diag_phase(0);
-  panel_update_phase(0);
-  panel_bcast_phase(0, accept_all);
-  for (std::size_t k = 0; k < nb; ++k) {
-    const std::size_t k1 = k + 1;
-    if (k1 < nb) {
-      const int k1row = static_cast<int>(k1 % static_cast<std::size_t>(pr));
-      const int k1col = static_cast<int>(k1 % static_cast<std::size_t>(pc));
-      // Look-ahead OuterUpdate(k) restricted to the (k+1) panels.
-      for (int c = 0; c < pc; ++c)
-        { const int w_ = grid.world_rank({k1row, c});
-          builder.comp(w_, jittered(w_, comp_scale * 2.0 * b * owned(c, pc) * b * b / rate)); }
-      for (int r = 0; r < pr; ++r)
-        { const int w_ = grid.world_rank({r, k1col});
-          builder.comp(w_, jittered(w_, comp_scale * 2.0 * owned(r, pr) * b * b * b / rate)); }
-      diag_phase(k1);
-      panel_update_phase(k1);
-      // Root side of PanelBcast(k+1) before the bulk OuterUpdate(k);
-      // agent dataflow is emitted here (once per collective).
-      auto in_k1row = [&](int w) { return grid.coord_of(w).row == k1row; };
-      auto in_k1col = [&](int w) { return grid.coord_of(w).col == k1col; };
-      row_panel_bcasts(k1, in_k1row, /*emit_agents=*/true);
-      col_panel_bcasts(k1, in_k1col, /*emit_agents=*/true);
-      outer_phase(k);
-      // ...and the receive side after it.
-      row_panel_bcasts(k1, [&](int w) { return !in_k1row(w); },
-                       /*emit_agents=*/false);
-      col_panel_bcasts(k1, [&](int w) { return !in_k1col(w); },
-                       /*emit_agents=*/false);
+    if (op.coll == sched::CollKind::kRing && bg_relays) {
+      builder.ring_bg_member(*members, op.root, me_idx, op.bytes, op.tag,
+                             row_chain ? std::function<int(int)>(row_agent)
+                                       : std::function<int(int)>(col_agent),
+                             op.k, kind_src);
+    } else if (op.coll == sched::CollKind::kRing) {
+      builder.ring_member(*members, op.root, me_idx, op.bytes, op.tag, op.k,
+                          kind_src);
     } else {
-      outer_phase(k);
+      builder.tree_member(*members, op.root, me_idx, op.bytes, op.tag, op.k,
+                          kind_src);
     }
   }
   return BuiltProgram{builder.take(), std::move(full_node_of)};
@@ -412,14 +346,32 @@ BuiltProgram build_fw_program(const MachineConfig& m, const FwProblem& prob,
 std::vector<RankProgram> build_bcast_program(const MachineConfig& m, int ranks,
                                              std::int64_t bytes, bool ring,
                                              const std::vector<int>& node_of) {
-  ProgramBuilder builder(m, node_of, ranks);
+  (void)m;
+  ProgramBuilder builder(node_of, ranks);
   std::vector<int> members(static_cast<std::size_t>(ranks));
   for (int i = 0; i < ranks; ++i) members[static_cast<std::size_t>(i)] = i;
-  if (ring)
-    builder.expand_ring(members, 0, bytes, 1, accept_all);
-  else
-    builder.expand_tree(members, 0, bytes, 1, accept_all);
+  for (int i = 0; i < ranks; ++i) {
+    if (ring)
+      builder.ring_member(members, 0, i, bytes, 1, 0, -1);
+    else
+      builder.tree_member(members, 0, i, bytes, 1, 0, -1);
+  }
   return builder.take();
+}
+
+WireTotals program_traffic(const std::vector<RankProgram>& programs,
+                           const std::vector<int>& node_of) {
+  PARFW_CHECK(programs.size() == node_of.size());
+  WireTotals t;
+  for (std::size_t w = 0; w < programs.size(); ++w)
+    for (const Op& op : programs[w]) {
+      if (op.kind != Op::Kind::kSend) continue;
+      ++t.sends;
+      t.bytes_total += op.bytes;
+      if (node_of[w] != node_of[static_cast<std::size_t>(op.peer)])
+        t.bytes_internode += op.bytes;
+    }
+  return t;
 }
 
 }  // namespace parfw::perf

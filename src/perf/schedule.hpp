@@ -1,12 +1,16 @@
-// Skeleton schedule generation for the discrete-event simulator.
+// Skeleton-program lowering for the discrete-event simulator.
 //
-// For each ParallelFw variant, build_fw_program() emits per-rank ordered
-// op lists (compute / send / recv) that mirror the control flow of
-// dist::parallel_fw exactly — same phases, same look-ahead, same
-// tree/ring broadcast expansions with the same node-aware relay orders —
-// but carry only metadata (flop counts and byte counts), no matrix data.
-// This is what lets the simulator replay a 256-node, n = 1.6M run on one
-// core (DESIGN.md §1, last row of the substitution table).
+// build_fw_program() is the METADATA-COSTING interpreter of the schedule
+// IR: it asks sched::build_schedule (src/sched/ir.hpp) for the variant's
+// schedule — the same one dist::parallel_fw executes with real data —
+// and lowers each step into per-rank op lists (compute / send / recv).
+// Compute steps become durations from the IR's flop metadata; collective
+// steps expand into point-to-point sends/receives with the same
+// node-aware relay orders as the functional mpisim runtime. This is what
+// lets the simulator replay a 256-node, n = 1.6M run on one core
+// (DESIGN.md §1, last row of the substitution table). There is no
+// schedule logic here to keep in sync by hand any more; the IR generator
+// is the single source of truth for both interpreters.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +30,9 @@ struct Op {
   int peer = -1;             ///< kSend: dst world rank; kRecv: src world rank
   std::int64_t bytes = 0;    ///< kSend: payload size
   std::int32_t tag = 0;      ///< kSend/kRecv: match key
+  std::uint32_t k = 0;       ///< FW iteration of the originating IR op
+  /// sched::OpKind of the originating IR op (trace labels), -1 if none.
+  std::int16_t kind_src = -1;
 };
 
 using RankProgram = std::vector<Op>;
@@ -71,5 +78,17 @@ BuiltProgram build_fw_program(const MachineConfig& m, const FwProblem& prob,
 std::vector<RankProgram> build_bcast_program(const MachineConfig& m, int ranks,
                                              std::int64_t bytes, bool ring,
                                              const std::vector<int>& node_of);
+
+/// Wire-level traffic a built program would generate, summed over its
+/// kSend ops — directly comparable to the TrafficStats mpisim accounts
+/// when the real interpreter executes the same schedule (the DES-vs-real
+/// cross-validation tests rely on this).
+struct WireTotals {
+  std::int64_t bytes_total = 0;
+  std::int64_t bytes_internode = 0;
+  std::uint64_t sends = 0;
+};
+WireTotals program_traffic(const std::vector<RankProgram>& programs,
+                           const std::vector<int>& node_of);
 
 }  // namespace parfw::perf

@@ -1,0 +1,216 @@
+// Schedule generators — the ONLY place a variant's control flow is
+// written. dist::parallel_fw and perf::build_fw_program both interpret
+// the Schedule these emit; see ir.hpp for the contract.
+#include "sched/ir.hpp"
+
+#include <algorithm>
+
+namespace parfw::sched {
+
+namespace {
+
+/// Emission context: geometry plus the per-phase helpers shared by the
+/// baseline and pipelined schedules.
+struct Gen {
+  const dist::GridSpec& grid;
+  const ScheduleParams& p;
+  Schedule& s;
+  int pr, pc;
+  std::size_t nb;
+  double b, word;
+
+  double owned(int mine, int procs) const {
+    const std::size_t ms = static_cast<std::size_t>(mine);
+    return ms >= nb ? 0.0
+                    : static_cast<double>((nb - ms - 1) /
+                                              static_cast<std::size_t>(procs) +
+                                          1);
+  }
+  std::int64_t rowp_bytes(int c) const {
+    return static_cast<std::int64_t>(b * owned(c, pc) * b * word);
+  }
+  std::int64_t colp_bytes(int r) const {
+    return static_cast<std::int64_t>(owned(r, pr) * b * b * word);
+  }
+  std::int64_t diag_bytes() const {
+    return static_cast<std::int64_t>(b * b * word);
+  }
+
+  void comp(int rank, OpKind kind, std::size_t k, double flops) {
+    Op op;
+    op.kind = kind;
+    op.k = static_cast<std::uint32_t>(k);
+    op.flops = flops;
+    op.offload = kind == OpKind::kOuterUpdate && p.variant == Variant::kOffload;
+    s.steps.push_back({rank, op});
+  }
+  void comm(int rank, OpKind kind, std::size_t k, CollKind coll, int phase,
+            int root, std::int64_t bytes) {
+    Op op;
+    op.kind = kind;
+    op.k = static_cast<std::uint32_t>(k);
+    op.coll = coll;
+    op.tag = tag_of(k, phase);
+    op.root = root;
+    op.bytes = bytes;
+    s.steps.push_back({rank, op});
+  }
+
+  CollKind panel_coll() const {
+    return p.variant == Variant::kAsync ? CollKind::kRing : CollKind::kTree;
+  }
+
+  // DiagUpdate(k) on the owner, then DiagBcast(k) across the owner's
+  // process row and down its process column (always tree: latency-bound).
+  void diag_phase(std::size_t k) {
+    const int krow = static_cast<int>(k % static_cast<std::size_t>(pr));
+    const int kcol = static_cast<int>(k % static_cast<std::size_t>(pc));
+    comp(grid.world_rank({krow, kcol}), OpKind::kDiagUpdate, k, p.diag_flops);
+    for (int c = 0; c < pc; ++c)
+      comm(grid.world_rank({krow, c}), OpKind::kDiagBcastRow, k, CollKind::kTree,
+           kTagDiagRow, kcol, diag_bytes());
+    for (int r = 0; r < pr; ++r)
+      comm(grid.world_rank({r, kcol}), OpKind::kDiagBcastCol, k, CollKind::kTree,
+           kTagDiagCol, krow, diag_bytes());
+  }
+
+  // PanelUpdate(k): the k-th process row closes its row strip, the k-th
+  // process column its column strip.
+  void panel_update_phase(std::size_t k) {
+    const int krow = static_cast<int>(k % static_cast<std::size_t>(pr));
+    const int kcol = static_cast<int>(k % static_cast<std::size_t>(pc));
+    for (int c = 0; c < pc; ++c)
+      comp(grid.world_rank({krow, c}), OpKind::kPanelUpdateRow, k,
+           2.0 * b * b * owned(c, pc) * b);
+    for (int r = 0; r < pr; ++r)
+      comp(grid.world_rank({r, kcol}), OpKind::kPanelUpdateCol, k,
+           2.0 * owned(r, pr) * b * b * b);
+  }
+
+  // PanelBcast(k) member steps. `roots` / `recvs` select which side of
+  // the collective to emit (the pipelined schedule emits the root side
+  // before the bulk OuterUpdate and the receive side after it; pass both
+  // true for the bulk-synchronous placement of the whole collective).
+  void row_panel_bcast(std::size_t k, bool roots, bool recvs) {
+    const int krow = static_cast<int>(k % static_cast<std::size_t>(pr));
+    for (int c = 0; c < pc; ++c)  // one collective per process column
+      for (int r = 0; r < pr; ++r) {
+        if (!(r == krow ? roots : recvs)) continue;
+        comm(grid.world_rank({r, c}), OpKind::kRowPanelBcast, k, panel_coll(),
+             kTagRowPanel, krow, rowp_bytes(c));
+      }
+  }
+  void col_panel_bcast(std::size_t k, bool roots, bool recvs) {
+    const int kcol = static_cast<int>(k % static_cast<std::size_t>(pc));
+    for (int r = 0; r < pr; ++r)  // one collective per process row
+      for (int c = 0; c < pc; ++c) {
+        if (!(c == kcol ? roots : recvs)) continue;
+        comm(grid.world_rank({r, c}), OpKind::kColPanelBcast, k, panel_coll(),
+             kTagColPanel, kcol, colp_bytes(r));
+      }
+  }
+
+  void outer_phase(std::size_t k) {
+    for (int r = 0; r < pr; ++r)
+      for (int c = 0; c < pc; ++c)
+        comp(grid.world_rank({r, c}), OpKind::kOuterUpdate, k,
+             2.0 * owned(r, pr) * b * owned(c, pc) * b * b);
+  }
+
+  // Look-ahead: OuterUpdate(k) restricted to the (k+1) panel strips, on
+  // the ranks that own them. op.k carries k (the update iteration); the
+  // strip location is k+1, derived by the interpreter.
+  void lookahead_phase(std::size_t k, std::size_t k1) {
+    const int k1row = static_cast<int>(k1 % static_cast<std::size_t>(pr));
+    const int k1col = static_cast<int>(k1 % static_cast<std::size_t>(pc));
+    for (int c = 0; c < pc; ++c)
+      comp(grid.world_rank({k1row, c}), OpKind::kLookaheadRow, k,
+           2.0 * b * owned(c, pc) * b * b);
+    for (int r = 0; r < pr; ++r)
+      comp(grid.world_rank({r, k1col}), OpKind::kLookaheadCol, k,
+           2.0 * owned(r, pr) * b * b * b);
+  }
+};
+
+}  // namespace
+
+Schedule build_schedule(const dist::GridSpec& grid, const ScheduleParams& p) {
+  const int pr = grid.rows(), pc = grid.cols();
+  PARFW_CHECK(p.nb > 0 && p.b > 0 && p.word_bytes > 0);
+  PARFW_CHECK_MSG(p.nb >= static_cast<std::size_t>(pr) &&
+                      p.nb >= static_cast<std::size_t>(pc),
+                  "need at least one block per process row/column");
+
+  Schedule s;
+  s.variant = p.variant;
+  s.nb = p.nb;
+  s.b = p.b;
+  s.pr = pr;
+  s.pc = pc;
+
+  Gen g{grid,
+        p,
+        s,
+        pr,
+        pc,
+        p.nb,
+        static_cast<double>(p.b),
+        static_cast<double>(p.word_bytes)};
+
+  const bool pipelined =
+      p.variant == Variant::kPipelined || p.variant == Variant::kAsync;
+
+  if (!pipelined) {
+    // Algorithm 3 (bulk synchronous); kOffload differs only in how the
+    // interpreter binds kOuterUpdate (op.offload).
+    for (std::size_t k = 0; k < p.nb; ++k) {
+      g.diag_phase(k);
+      g.panel_update_phase(k);
+      g.row_panel_bcast(k, /*roots=*/true, /*recvs=*/true);
+      g.col_panel_bcast(k, /*roots=*/true, /*recvs=*/true);
+      g.outer_phase(k);
+    }
+    return s;
+  }
+
+  // Algorithm 4 (pipelined / async). Prologue establishes the k = 0
+  // panels; thereafter iteration k+1's Diag/Panel phases and the root
+  // side of PanelBcast(k+1) run before the bulk OuterUpdate(k), and the
+  // receive side after it.
+  g.diag_phase(0);
+  g.panel_update_phase(0);
+  g.row_panel_bcast(0, true, true);
+  g.col_panel_bcast(0, true, true);
+  for (std::size_t k = 0; k < p.nb; ++k) {
+    const std::size_t k1 = k + 1;
+    if (k1 < p.nb) {
+      g.lookahead_phase(k, k1);
+      g.diag_phase(k1);
+      g.panel_update_phase(k1);
+      g.row_panel_bcast(k1, /*roots=*/true, /*recvs=*/false);
+      g.col_panel_bcast(k1, /*roots=*/true, /*recvs=*/false);
+      g.outer_phase(k);
+      g.row_panel_bcast(k1, /*roots=*/false, /*recvs=*/true);
+      g.col_panel_bcast(k1, /*roots=*/false, /*recvs=*/true);
+    } else {
+      g.outer_phase(k);
+    }
+  }
+  return s;
+}
+
+ScheduleTotals totals(const Schedule& s) {
+  ScheduleTotals t;
+  for (const Step& st : s.steps) {
+    if (is_comp(st.op.kind)) {
+      ++t.comp_ops;
+      t.flops += st.op.flops;
+    } else {
+      ++t.comm_ops;
+      t.payload_bytes += st.op.bytes;
+    }
+  }
+  return t;
+}
+
+}  // namespace parfw::sched

@@ -1,0 +1,88 @@
+#include "sched/trace.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include <chrono>
+
+namespace parfw::sched {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+void StatsTraceSink::record(const TraceEvent& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpStats& s = stats_[e.name];
+  ++s.count;
+  s.bytes += e.bytes;
+  s.flops += e.flops;
+  s.seconds += e.t_end - e.t_begin;
+}
+
+StatsTraceSink::OpStats StatsTraceSink::of(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(name);
+  return it == stats_.end() ? OpStats{} : it->second;
+}
+
+StatsTraceSink::OpStats StatsTraceSink::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpStats out;
+  for (const auto& [name, s] : stats_) {
+    out.count += s.count;
+    out.bytes += s.bytes;
+    out.flops += s.flops;
+    out.seconds += s.seconds;
+  }
+  return out;
+}
+
+std::map<std::string, StatsTraceSink::OpStats> StatsTraceSink::table() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ChromeTraceSink::record(const TraceEvent& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(e);
+}
+
+std::size_t ChromeTraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void ChromeTraceSink::write(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  double epoch = std::numeric_limits<double>::max();
+  for (const TraceEvent& e : events) epoch = std::min(epoch, e.t_begin);
+  if (events.empty()) epoch = 0.0;
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    const double us = (e.t_begin - epoch) * 1e6;
+    const double dur = (e.t_end - e.t_begin) * 1e6;
+    os << "{\"name\":\"" << e.name << "\",\"cat\":\"sched\",";
+    if (dur > 0.0)
+      os << "\"ph\":\"X\",\"dur\":" << dur << ",";
+    else
+      os << "\"ph\":\"i\",\"s\":\"t\",";
+    os << "\"ts\":" << us << ",\"pid\":0,\"tid\":" << e.rank
+       << ",\"args\":{\"k\":" << e.k << ",\"bytes\":" << e.bytes
+       << ",\"flops\":" << e.flops << "}}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace parfw::sched

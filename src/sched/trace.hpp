@@ -1,0 +1,98 @@
+// TraceSink — the shared observability seam of the schedule IR
+// (DESIGN.md §2 system #15).
+//
+// Both interpreters of the schedule IR — the data-carrying distributed
+// runtime (dist::parallel_fw over mpisim) and the metadata-costing DES
+// (perf::simulate) — report every executed op through this interface, so
+// a real run and a simulated run of the same schedule emit directly
+// comparable traces. The mpisim runtime and the ooGSrGemm engine report
+// through the same seam (message deliveries, offload pipeline stages).
+//
+// Sinks must be thread-safe: mpisim ranks are OS threads and call
+// record() concurrently.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parfw::sched {
+
+/// One executed op. `name` must point to a string with static storage
+/// duration (op names, phase names) — sinks keep the pointer, not a copy.
+struct TraceEvent {
+  int rank = 0;               ///< world rank (or DES process id)
+  const char* name = "";      ///< op / phase name
+  std::uint32_t k = 0;        ///< FW iteration (0 when not applicable)
+  double t_begin = 0.0;       ///< seconds since the run's local epoch
+  double t_end = 0.0;         ///< >= t_begin; == t_begin for instants
+  std::int64_t bytes = 0;     ///< payload bytes (comm ops, transfers)
+  double flops = 0.0;         ///< arithmetic work (compute ops)
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& e) = 0;
+};
+
+/// Seconds since a process-wide monotonic epoch — the shared time base of
+/// every real-execution recorder (dist interpreter, mpisim deliveries,
+/// offload pipeline), so their events land on one coherent timeline. DES
+/// events use virtual clocks instead; ChromeTraceSink::write normalises
+/// either to t = 0.
+double now_seconds();
+
+/// Discards everything (the default when no sink is plumbed in).
+class NullTraceSink final : public TraceSink {
+ public:
+  void record(const TraceEvent&) override {}
+};
+
+/// Aggregates per-op-name totals — the cheap always-on statistics sink.
+class StatsTraceSink final : public TraceSink {
+ public:
+  struct OpStats {
+    std::uint64_t count = 0;
+    std::int64_t bytes = 0;
+    double flops = 0.0;
+    double seconds = 0.0;  ///< Σ (t_end - t_begin)
+  };
+
+  void record(const TraceEvent& e) override;
+
+  /// Totals for one op name (zeros when the name never fired).
+  OpStats of(const std::string& name) const;
+  /// Grand totals over every op name.
+  OpStats total() const;
+  /// Snapshot of the whole per-name table.
+  std::map<std::string, OpStats> table() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, OpStats> stats_;
+};
+
+/// Records every event and serialises them in the Chrome trace-event JSON
+/// format (load in chrome://tracing or https://ui.perfetto.dev). Events
+/// render one row per rank; zero-duration events become instants.
+class ChromeTraceSink final : public TraceSink {
+ public:
+  void record(const TraceEvent& e) override;
+
+  /// Write the JSON document. Timestamps are normalised so the earliest
+  /// recorded event sits at t = 0.
+  void write(std::ostream& os) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace parfw::sched

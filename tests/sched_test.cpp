@@ -1,0 +1,403 @@
+// Tests for the schedule IR (src/sched/) and its two interpreters.
+//
+// The headline suite is the DES-vs-real cross-validation: for every
+// variant x placement, the wire bytes the metadata-costing interpreter
+// (perf::build_fw_program) derives from the IR must equal the traffic the
+// mpisim runtime actually accounts while the data-carrying interpreter
+// (dist::parallel_fw) executes the SAME schedule.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "core/diag_update.hpp"
+#include "dist/driver.hpp"
+#include "dist/parallel_fw.hpp"
+#include "perf/experiments.hpp"
+#include "perf/machine.hpp"
+#include "perf/schedule.hpp"
+#include "sched/ir.hpp"
+#include "sched/trace.hpp"
+
+namespace parfw {
+namespace {
+
+using sched::OpKind;
+using sched::Variant;
+
+constexpr OpKind kAllOpKinds[] = {
+    OpKind::kDiagUpdate,     OpKind::kDiagBcastRow,  OpKind::kDiagBcastCol,
+    OpKind::kPanelUpdateRow, OpKind::kPanelUpdateCol, OpKind::kRowPanelBcast,
+    OpKind::kColPanelBcast,  OpKind::kLookaheadRow,  OpKind::kLookaheadCol,
+    OpKind::kOuterUpdate};
+
+constexpr Variant kAllVariants[] = {Variant::kBaseline, Variant::kPipelined,
+                                    Variant::kAsync, Variant::kOffload};
+
+sched::Schedule small_schedule(Variant v, const dist::GridSpec& grid,
+                               std::size_t nb, std::size_t b) {
+  sched::ScheduleParams sp;
+  sp.variant = v;
+  sp.nb = nb;
+  sp.b = b;
+  sp.word_bytes = sizeof(float);
+  sp.diag_flops = diag_update_flops(b, DiagStrategy::kClassic);
+  return sched::build_schedule(grid, sp);
+}
+
+// ---------------------------------------------------------------------------
+// Tag space (owned by the IR; dist and DES both draw from sched::tag_of).
+
+TEST(TagSpace, InjectiveAcrossIterationsAndPhases) {
+  std::set<std::int32_t> seen;
+  for (std::size_t k = 0; k < 2048; ++k) {
+    for (int phase = 0; phase < sched::kTagsPerIter; ++phase) {
+      const std::int32_t tag = sched::tag_of(k, phase);
+      EXPECT_GE(tag, sched::kTagBase);
+      EXPECT_TRUE(seen.insert(tag).second)
+          << "tag " << tag << " reused at k=" << k << " phase=" << phase;
+    }
+  }
+}
+
+TEST(TagSpace, ConcurrentIterationsNeverAlias) {
+  // The pipelined/async schedules keep the collectives of iterations k and
+  // k+1 in flight at once; their tag ranges must be disjoint for every k.
+  for (std::size_t k = 0; k + 1 < 100000; ++k) {
+    ASSERT_LT(sched::tag_of(k, sched::kTagsPerIter - 1),
+              sched::tag_of(k + 1, 0));
+  }
+}
+
+TEST(TagSpace, PhaseConstantsStayInsideTheIterationBlock) {
+  for (int phase :
+       {sched::kTagDiagRow, sched::kTagDiagCol, sched::kTagRowPanel,
+        sched::kTagColPanel, sched::kTagDiagPredRow, sched::kTagDiagPredCol,
+        sched::kTagRowPanelPred}) {
+    EXPECT_GE(phase, 0);
+    EXPECT_LT(phase, sched::kTagsPerIter);
+  }
+  EXPECT_EQ(sched::tag_of(0, sched::kTagDiagRow), sched::kTagBase);
+}
+
+TEST(TagSpace, RelayHandshakeOffsetsFitTheMatchKey) {
+  // The DES background-relay agents derive ready/done tags as
+  // tag + (1 << 22) and tag + (1 << 23). Plain tags must stay below
+  // 1 << 22 so the three ranges never collide and everything fits the
+  // simulator's 24-bit match-key tag field. That holds up to
+  // k = 524161 — n ≈ 400M vertices at b = 768, two orders of magnitude
+  // past the paper's largest run.
+  const std::size_t max_k = ((std::size_t{1} << 22) - sched::kTagBase) /
+                                sched::kTagsPerIter -
+                            1;
+  EXPECT_GE(max_k, 524161u);
+  const std::int32_t tag = sched::tag_of(max_k, sched::kTagsPerIter - 1);
+  EXPECT_LT(tag, 1 << 22);
+  EXPECT_LT(tag + (1 << 23), 1 << 24);
+}
+
+// ---------------------------------------------------------------------------
+// Generator structure.
+
+TEST(Generators, EveryVariantCoversAllIterationsOnAllRanks) {
+  const auto grid = dist::GridSpec::row_major(2, 3);
+  const std::size_t nb = 6, b = 4;
+  for (Variant v : kAllVariants) {
+    const sched::Schedule s = small_schedule(v, grid, nb, b);
+    std::set<std::uint32_t> diag_k;
+    std::vector<std::set<std::uint32_t>> outer_k(
+        static_cast<std::size_t>(grid.size()));
+    for (const sched::Step& step : s.steps) {
+      ASSERT_GE(step.rank, 0);
+      ASSERT_LT(step.rank, grid.size());
+      ASSERT_LT(step.op.k, nb);
+      if (step.op.kind == OpKind::kDiagUpdate) {
+        EXPECT_TRUE(diag_k.insert(step.op.k).second)
+            << "duplicate DiagUpdate k=" << step.op.k;
+      }
+      if (step.op.kind == OpKind::kOuterUpdate) {
+        EXPECT_TRUE(
+            outer_k[static_cast<std::size_t>(step.rank)].insert(step.op.k)
+                .second);
+      }
+    }
+    EXPECT_EQ(diag_k.size(), nb) << variant_name(v);
+    for (const auto& per_rank : outer_k)
+      EXPECT_EQ(per_rank.size(), nb) << variant_name(v);
+  }
+}
+
+TEST(Generators, CollectiveKindsFollowTheVariant) {
+  const auto grid = dist::GridSpec::row_major(2, 2);
+  for (Variant v : kAllVariants) {
+    const sched::Schedule s = small_schedule(v, grid, 4, 4);
+    for (const sched::Step& step : s.steps) {
+      const sched::Op& op = step.op;
+      if (op.kind == OpKind::kDiagBcastRow ||
+          op.kind == OpKind::kDiagBcastCol) {
+        EXPECT_EQ(op.coll, sched::CollKind::kTree);
+      }
+      if (op.kind == OpKind::kRowPanelBcast ||
+          op.kind == OpKind::kColPanelBcast) {
+        EXPECT_EQ(op.coll, v == Variant::kAsync ? sched::CollKind::kRing
+                                                : sched::CollKind::kTree);
+      }
+      if (sched::is_comm(op.kind)) {
+        EXPECT_GT(op.bytes, 0);
+        EXPECT_GE(op.tag, sched::kTagBase);
+        EXPECT_GE(op.root, 0);
+      }
+      EXPECT_EQ(op.offload,
+                v == Variant::kOffload && op.kind == OpKind::kOuterUpdate);
+    }
+  }
+}
+
+TEST(Generators, LookaheadOnlyInPipelinedSchedules) {
+  const auto grid = dist::GridSpec::row_major(2, 2);
+  for (Variant v : kAllVariants) {
+    const sched::Schedule s = small_schedule(v, grid, 4, 4);
+    bool has_lookahead = false;
+    for (const sched::Step& step : s.steps)
+      has_lookahead |= step.op.kind == OpKind::kLookaheadRow ||
+                       step.op.kind == OpKind::kLookaheadCol;
+    EXPECT_EQ(has_lookahead,
+              v == Variant::kPipelined || v == Variant::kAsync)
+        << variant_name(v);
+  }
+}
+
+TEST(Generators, DeterministicAndRankProgramIsTheRankRestriction) {
+  const auto grid = dist::GridSpec::tiled(2, 1, 1, 2);
+  const sched::Schedule a = small_schedule(Variant::kAsync, grid, 4, 4);
+  const sched::Schedule b = small_schedule(Variant::kAsync, grid, 4, 4);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].rank, b.steps[i].rank);
+    EXPECT_EQ(a.steps[i].op.kind, b.steps[i].op.kind);
+    EXPECT_EQ(a.steps[i].op.k, b.steps[i].op.k);
+    EXPECT_EQ(a.steps[i].op.tag, b.steps[i].op.tag);
+  }
+  for (int w = 0; w < grid.size(); ++w) {
+    const std::vector<sched::Op> prog = a.rank_program(w);
+    std::size_t i = 0;
+    for (const sched::Step& step : a.steps) {
+      if (step.rank != w) continue;
+      ASSERT_LT(i, prog.size());
+      EXPECT_EQ(prog[i].kind, step.op.kind);
+      EXPECT_EQ(prog[i].k, step.op.k);
+      ++i;
+    }
+    EXPECT_EQ(i, prog.size());
+  }
+}
+
+TEST(Generators, BaselineTotalsMatchClosedForm) {
+  const auto grid = dist::GridSpec::row_major(2, 3);
+  const std::size_t nb = 6, b = 4;
+  const sched::Schedule s = small_schedule(Variant::kBaseline, grid, nb, b);
+  const sched::ScheduleTotals t = sched::totals(s);
+
+  const double db = static_cast<double>(b), dnb = static_cast<double>(nb);
+  const double diag = diag_update_flops(b, DiagStrategy::kClassic);
+  // Per iteration: panels update all nb row blocks and all nb column
+  // blocks (2b^3 each), the outer update covers the full nb x nb grid.
+  const double expect_flops =
+      dnb * (diag + 4 * dnb * db * db * db + 2 * dnb * dnb * db * db * db);
+  EXPECT_DOUBLE_EQ(t.flops, expect_flops);
+
+  // Payload bytes summed over per-member comm ops: each iteration posts a
+  // b^2 diagonal to pc row members and pr column members, a full block row
+  // to the pr members of each column chain, and a full block column to the
+  // pc members of each row chain.
+  const std::int64_t w = sizeof(float);
+  const std::int64_t bb = static_cast<std::int64_t>(b * b) * w;
+  const std::int64_t per_iter =
+      (grid.cols() + grid.rows()) * bb +
+      grid.rows() * static_cast<std::int64_t>(nb) * bb +
+      grid.cols() * static_cast<std::int64_t>(nb) * bb;
+  EXPECT_EQ(t.payload_bytes, static_cast<std::int64_t>(nb) * per_iter);
+}
+
+TEST(Generators, SharedCompWorkIsVariantInvariant) {
+  const auto grid = dist::GridSpec::row_major(2, 2);
+  const auto base = sched::totals(small_schedule(Variant::kBaseline, grid, 4, 4));
+  const auto off = sched::totals(small_schedule(Variant::kOffload, grid, 4, 4));
+  const auto pipe = sched::totals(small_schedule(Variant::kPipelined, grid, 4, 4));
+  const auto async = sched::totals(small_schedule(Variant::kAsync, grid, 4, 4));
+  // Offload only re-binds the outer update; async only re-binds the
+  // collective algorithm. The arithmetic schedule is unchanged.
+  EXPECT_DOUBLE_EQ(base.flops, off.flops);
+  EXPECT_DOUBLE_EQ(pipe.flops, async.flops);
+  EXPECT_EQ(base.payload_bytes, off.payload_bytes);
+  EXPECT_EQ(pipe.payload_bytes, async.payload_bytes);
+  // Look-ahead re-derives the next iteration's panels early: extra flops.
+  EXPECT_GT(pipe.flops, base.flops);
+}
+
+// ---------------------------------------------------------------------------
+// Trace sinks.
+
+TEST(TraceSinks, StatsAggregatesPerName) {
+  sched::StatsTraceSink sink;
+  sink.record({0, "OuterUpdate", 0, 1.0, 3.0, 0, 100.0});
+  sink.record({1, "OuterUpdate", 1, 2.0, 2.5, 0, 50.0});
+  sink.record({0, "RowPanelBcast", 0, 0.0, 1.0, 640, 0.0});
+  const auto outer = sink.of("OuterUpdate");
+  EXPECT_EQ(outer.count, 2u);
+  EXPECT_DOUBLE_EQ(outer.flops, 150.0);
+  EXPECT_DOUBLE_EQ(outer.seconds, 2.5);
+  EXPECT_EQ(sink.of("RowPanelBcast").bytes, 640);
+  EXPECT_EQ(sink.of("nope").count, 0u);
+  EXPECT_EQ(sink.total().count, 3u);
+}
+
+TEST(TraceSinks, ChromeTraceWritesWellFormedJson) {
+  sched::ChromeTraceSink sink;
+  sink.record({0, "OuterUpdate", 2, 1.0, 2.0, 0, 64.0});
+  sink.record({3, "msg", 0, 1.5, 1.5, 128, 0.0});
+  std::ostringstream os;
+  sink.write(os);
+  const std::string json = os.str();
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"OuterUpdate\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // duration event
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant event
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TraceSinks, DesEmitsScheduleLabelledEvents) {
+  const perf::MachineConfig m = perf::MachineConfig::summit();
+  sched::StatsTraceSink sink;
+  const perf::GridSetup setup = perf::make_grid(m, 1, /*reordered=*/true);
+  perf::simulate_fw_placement(m, Variant::kAsync, setup, 1, 12 * 768.0, 768.0,
+                              /*comm_only=*/false, &sink);
+  EXPECT_GT(sink.of(sched::op_name(OpKind::kOuterUpdate)).count, 0u);
+  EXPECT_GT(sink.of(sched::op_name(OpKind::kRowPanelBcast)).bytes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Real execution vs the IR's own metadata.
+
+TEST(CrossValidation, RealTraceMatchesScheduleTotals) {
+  const std::size_t n = 64, b = 8;
+  const auto grid = dist::GridSpec::row_major(2, 2);
+  dist::DistFwOptions opt;
+  opt.variant = Variant::kAsync;
+  opt.block_size = b;
+  sched::StatsTraceSink stats;
+  opt.trace = &stats;
+  DenseEntryGen<float> gen(11, 0.9, 1.0f, 80.0f, /*integral=*/true);
+  dist::run_parallel_fw<MinPlus<float>>(n, gen, grid, 2, opt);
+
+  const sched::Schedule s =
+      small_schedule(Variant::kAsync, grid, n / b, b);
+  const sched::ScheduleTotals t = sched::totals(s);
+
+  double flops = 0.0;
+  std::int64_t bytes = 0;
+  std::uint64_t comp = 0, comm = 0;
+  for (OpKind kind : kAllOpKinds) {
+    const auto st = stats.of(sched::op_name(kind));
+    flops += st.flops;
+    bytes += st.bytes;
+    (sched::is_comm(kind) ? comm : comp) += st.count;
+  }
+  EXPECT_DOUBLE_EQ(flops, t.flops);
+  EXPECT_EQ(bytes, t.payload_bytes);
+  EXPECT_EQ(comp, t.comp_ops);
+  EXPECT_EQ(comm, t.comm_ops);
+}
+
+TEST(CrossValidation, TracingDoesNotChangeResults) {
+  const std::size_t n = 64, b = 8;
+  const auto grid = dist::GridSpec::row_major(2, 2);
+  DenseEntryGen<float> gen(23, 0.85, 1.0f, 90.0f, /*integral=*/true);
+  dist::DistFwOptions opt;
+  opt.variant = Variant::kPipelined;
+  opt.block_size = b;
+  const auto plain = dist::run_parallel_fw<MinPlus<float>>(n, gen, grid, 2, opt);
+  sched::ChromeTraceSink sink;
+  opt.trace = &sink;
+  const auto traced = dist::run_parallel_fw<MinPlus<float>>(n, gen, grid, 2, opt);
+  EXPECT_GT(sink.size(), 0u);
+  ASSERT_EQ(plain.dist.size(), traced.dist.size());
+  EXPECT_EQ(std::memcmp(plain.dist.data(), traced.dist.data(),
+                        plain.dist.size() * sizeof(float)),
+            0);
+}
+
+// The headline check (ISSUE satellite 1): the DES lowering of the IR must
+// predict EXACTLY the wire traffic mpisim accounts when the real
+// interpreter executes the same schedule. parallel_fw's only non-schedule
+// traffic is the row/column communicator split, so a split-only run is
+// subtracted from the full run.
+class DesVsReal : public ::testing::TestWithParam<std::tuple<Variant, bool>> {};
+
+TEST_P(DesVsReal, WireBytesMatchExactly) {
+  const auto [variant, reordered] = GetParam();
+  const std::size_t n = 64, b = 8;
+  const dist::GridSpec grid = reordered ? dist::GridSpec::tiled(2, 1, 1, 2)
+                                        : dist::GridSpec::row_major(2, 2);
+  const int ranks_per_node = 2;
+
+  dist::DistFwOptions opt;
+  opt.variant = variant;
+  opt.block_size = b;
+  if (variant == Variant::kOffload) {
+    opt.oog.mx = opt.oog.nx = 2 * b;
+    opt.oog.num_streams = 2;
+  }
+  mpi::RuntimeOptions ropt;
+  ropt.node_model = grid.node_model(ranks_per_node);
+
+  DenseEntryGen<float> gen(5, 0.9, 1.0f, 80.0f, /*integral=*/true);
+  const mpi::TrafficStats full = mpi::Runtime::run(
+      grid.size(),
+      [&](mpi::Comm& world) {
+        dist::BlockCyclicMatrix<float> local(n, b, grid,
+                                             grid.coord_of(world.rank()));
+        local.fill(gen);
+        dist::parallel_fw<MinPlus<float>>(world, local, opt);
+      },
+      ropt);
+  const mpi::TrafficStats split_only = mpi::Runtime::run(
+      grid.size(),
+      [&](mpi::Comm& world) { (void)dist::make_row_col_comms(world, grid); },
+      ropt);
+
+  perf::FwProblem prob;
+  prob.variant = variant;
+  prob.n = static_cast<double>(n);
+  prob.b = static_cast<double>(b);
+  std::vector<int> node_of(static_cast<std::size_t>(grid.size()));
+  for (int w = 0; w < grid.size(); ++w)
+    node_of[static_cast<std::size_t>(w)] = ropt.node_model.node(w);
+  const perf::MachineConfig m = perf::MachineConfig::summit();
+  ASSERT_EQ(m.word_bytes, static_cast<int>(sizeof(float)));
+  const perf::BuiltProgram built =
+      perf::build_fw_program(m, prob, grid, node_of);
+  const perf::WireTotals wire =
+      perf::program_traffic(built.programs, built.node_of);
+
+  EXPECT_EQ(full.bytes_total - split_only.bytes_total,
+            static_cast<std::uint64_t>(wire.bytes_total));
+  EXPECT_EQ(full.bytes_internode - split_only.bytes_internode,
+            static_cast<std::uint64_t>(wire.bytes_internode));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsBothPlacements, DesVsReal,
+    ::testing::Combine(::testing::ValuesIn(kAllVariants),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<DesVsReal::ParamType>& info) {
+      return std::string(variant_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_tiled" : "_rowmajor");
+    });
+
+}  // namespace
+}  // namespace parfw

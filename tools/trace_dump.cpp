@@ -1,0 +1,142 @@
+// trace_dump — execute one ParallelFw variant, real or simulated, and
+// write the run's Chrome-trace JSON (load it in chrome://tracing or
+// https://ui.perfetto.dev; see README "Tracing").
+//
+// Both modes interpret the SAME schedule IR (src/sched/ir.hpp):
+//   --mode real   runs dist::parallel_fw over the in-process mpisim
+//                 runtime (threads as ranks) and records wall-clock op
+//                 events plus per-message delivery instants;
+//   --mode des    lowers the schedule for a Summit-scale cluster and
+//                 records the discrete-event simulator's virtual
+//                 timeline.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "dist/block_cyclic.hpp"
+#include "dist/driver.hpp"
+#include "dist/grid.hpp"
+#include "dist/parallel_fw.hpp"
+#include "perf/experiments.hpp"
+#include "sched/trace.hpp"
+#include "util/cli.hpp"
+
+using namespace parfw;
+
+namespace {
+
+void print_usage() {
+  std::puts(
+      "trace_dump - write a Chrome-trace JSON of one ParallelFw run\n"
+      "  --mode real|des     real mpisim execution or DES replay (default real)\n"
+      "  --variant V         baseline|pipelined|async|offload (default async)\n"
+      "  --out FILE          output path (default trace.json)\n"
+      "real mode:\n"
+      "  --pr R --pc C       process grid (default 2x2)\n"
+      "  --n N --block B     matrix size / block size (default 96 / 8)\n"
+      "des mode:\n"
+      "  --nodes N           cluster nodes (default 4)\n"
+      "  --n N --block B     vertices / block size (default 65536 / 768)\n"
+      "  --reordered         tiled (Figure 1) placement\n");
+}
+
+int parse_variant(const std::string& name, dist::Variant* out) {
+  for (dist::Variant v :
+       {dist::Variant::kBaseline, dist::Variant::kPipelined,
+        dist::Variant::kAsync, dist::Variant::kOffload}) {
+    if (name == dist::variant_name(v)) {
+      *out = v;
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "unknown --variant '%s'\n", name.c_str());
+  return 2;
+}
+
+int run_real(const CliArgs& args, dist::Variant variant,
+             sched::ChromeTraceSink& sink) {
+  using S = MinPlus<float>;
+  const int pr = static_cast<int>(args.get_int("pr", 2));
+  const int pc = static_cast<int>(args.get_int("pc", 2));
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 96));
+  const std::size_t b = static_cast<std::size_t>(args.get_int("block", 8));
+  const auto grid = dist::GridSpec::row_major(pr, pc);
+
+  dist::DistFwOptions opt;
+  opt.variant = variant;
+  opt.block_size = b;
+  opt.trace = &sink;
+  if (variant == dist::Variant::kOffload) {
+    opt.oog.mx = opt.oog.nx = 2 * b;
+    opt.oog.num_streams = 2;
+  }
+
+  mpi::RuntimeOptions ropt;
+  ropt.node_model = grid.node_model(std::max(1, grid.size() / 2));
+  ropt.trace = &sink;
+
+  DenseEntryGen<float> gen(7, 0.85, 1.0f, 90.0f, /*integral=*/true);
+  mpi::Runtime::run(
+      grid.size(),
+      [&](mpi::Comm& world) {
+        dist::BlockCyclicMatrix<float> local(n, b, grid,
+                                             grid.coord_of(world.rank()));
+        local.fill(gen);
+        world.barrier();
+        dist::parallel_fw<S>(world, local, opt);
+      },
+      ropt);
+  return 0;
+}
+
+int run_des(const CliArgs& args, dist::Variant variant,
+            sched::ChromeTraceSink& sink) {
+  const perf::MachineConfig m = perf::MachineConfig::summit();
+  const int nodes = static_cast<int>(args.get_int("nodes", 4));
+  const double n = static_cast<double>(args.get_int("n", 65536));
+  const double b = static_cast<double>(args.get_int("block", 768));
+  const perf::GridSetup setup =
+      perf::make_grid(m, nodes, args.get_bool("reordered"));
+  const perf::RunPoint p = perf::simulate_fw_placement(
+      m, variant, setup, nodes, n, b, /*comm_only=*/false, &sink);
+  std::fprintf(stderr, "simulated %.3f s makespan, %.2f PFLOP/s\n", p.seconds,
+               p.pflops);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv,
+                     {"mode", "variant", "out", "pr", "pc", "n", "block",
+                      "nodes", "reordered", "help"});
+  if (args.get_bool("help")) {
+    print_usage();
+    return 0;
+  }
+  dist::Variant variant = dist::Variant::kAsync;
+  if (int rc = parse_variant(args.get("variant", "async"), &variant)) return rc;
+  const std::string mode = args.get("mode", "real");
+
+  sched::ChromeTraceSink sink;
+  int rc;
+  if (mode == "real")
+    rc = run_real(args, variant, sink);
+  else if (mode == "des")
+    rc = run_des(args, variant, sink);
+  else {
+    std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  if (rc != 0) return rc;
+
+  const std::string out = args.get("out", "trace.json");
+  std::ofstream os(out);
+  if (!os) {
+    std::fprintf(stderr, "cannot open '%s'\n", out.c_str());
+    return 1;
+  }
+  sink.write(os);
+  std::fprintf(stderr, "wrote %zu events to %s\n", sink.size(), out.c_str());
+  return 0;
+}
