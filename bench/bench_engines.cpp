@@ -56,13 +56,13 @@ int main() {
   {
     auto m = dense_g.distance_matrix<S>();
     const double ms = time_it(
-        [&] { blocked_floyd_warshall<S>(m.view(), {.block_size = 64}); });
+        [&] { blocked_floyd_warshall<S>(m.view(), {{.block_size = 64}}); });
     report("blocked FW b=64", std::move(m), ms);
   }
   {
     auto m = dense_g.distance_matrix<S>();
     const double ms = time_it(
-        [&] { blocked_floyd_warshall<S>(m.view(), {.block_size = 192}); });
+        [&] { blocked_floyd_warshall<S>(m.view(), {{.block_size = 192}}); });
     report("blocked FW b=192", std::move(m), ms);
   }
   {
@@ -86,13 +86,13 @@ int main() {
   const auto multi = gen::multi_component(4, 192, 0.2, 99);
   auto dense_solve = multi.distance_matrix<S>();
   const double t_dense = time_it(
-      [&] { blocked_floyd_warshall<S>(dense_solve.view(), {.block_size = 64}); });
+      [&] { blocked_floyd_warshall<S>(dense_solve.view(), {{.block_size = 64}}); });
   Matrix<float> comp_result;
-  const double t_comp = time_it([&] {
-    comp_result = component_apsp<S>(multi, {.algorithm = ApspAlgorithm::kBlocked,
-                                            .block_size = 64})
-                      .dist;
-  });
+  ApspOptions comp_opt;
+  comp_opt.algorithm = ApspAlgorithm::kBlocked;
+  comp_opt.block_size = 64;
+  const double t_comp = time_it(
+      [&] { comp_result = component_apsp<S>(multi, comp_opt).dist; });
   std::printf("\nmulti-component (4 x 192): dense solve %.0f ms, "
               "component solve %.0f ms (%.1fx; ideal 16x by flops), "
               "outputs match: %s\n",

@@ -33,7 +33,7 @@ int main() {
 
     auto dense_m = g.distance_matrix<S>();
     Timer t_dense;
-    blocked_floyd_warshall<S>(dense_m.view(), {.block_size = b});
+    blocked_floyd_warshall<S>(dense_m.view(), {{.block_size = b}});
     const double ms_dense = t_dense.millis();
 
     auto sparse_m = g.distance_matrix<S>();
@@ -57,7 +57,7 @@ int main() {
       chains.add_edge(c * 32 + i, c * 32 + i + 1, 1.0);
   auto m1 = chains.distance_matrix<S>();
   Timer t1;
-  blocked_floyd_warshall<S>(m1.view(), {.block_size = b});
+  blocked_floyd_warshall<S>(m1.view(), {{.block_size = b}});
   const double ms1 = t1.millis();
   auto m2 = chains.distance_matrix<S>();
   Timer t2;

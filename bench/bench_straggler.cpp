@@ -13,9 +13,17 @@
 //       scenario for the ring: panel transfers ride background NIC-agent
 //       relays that overlap the bulk compute, so inflated transfers hide
 //       under OuterUpdate instead of extending a synchronous broadcast.
+//   [c] REAL execution under message LOSS (not DES): a seeded drop-rate
+//       sweep through the mpisim reliability envelope — the run must
+//       complete exactly, paying only retransmissions. PARFW_FAULT_SEED
+//       overrides the fault seed.
 #include <cstdio>
+#include <cstdlib>
 
+#include "core/floyd_warshall.hpp"
+#include "dist/driver.hpp"
 #include "fig_common.hpp"
+#include "util/timer.hpp"
 
 using namespace parfw;
 using namespace parfw::perf;
@@ -84,10 +92,49 @@ int main() {
   }
   std::printf("%s", tb.str().c_str());
 
+  // [c] Real execution (mpisim, not DES): seeded message loss absorbed by
+  // the retry envelope. Small problem — this measures the recovery
+  // machinery, not Summit-scale makespans.
+  std::uint64_t fault_seed = 20240806;
+  if (const char* env = std::getenv("PARFW_FAULT_SEED"))
+    fault_seed = std::strtoull(env, nullptr, 10);
+  const std::size_t rn = 256, rb = 32;
+  DenseEntryGen<float> gen(4711, 0.9, 1.0f, 90.0f, /*integral=*/true);
+  auto expected = gen.full(static_cast<vertex_t>(rn));
+  floyd_warshall<MinPlus<float>>(expected.view());
+
+  std::printf("\n[c] real execution under message loss (n=%zu, 2x2 grid, "
+              "seed=%llu)\n\n",
+              rn, static_cast<unsigned long long>(fault_seed));
+  Table tc({"drop rate", "wall ms", "drops", "retries", "resent KiB",
+            "result ok"});
+  for (double rate : {0.0, 0.02, 0.05}) {
+    dist::DistFwOptions opt;
+    opt.variant = sched::Variant::kAsync;
+    opt.block_size = rb;
+    opt.faults.seed = rate > 0 ? fault_seed : 0;
+    opt.faults.drop_prob = rate;
+    opt.resilience.send_timeout = 0.002;
+    Timer t;
+    const auto res = dist::run_parallel_fw<MinPlus<float>>(
+        rn, gen, dist::GridSpec::row_major(2, 2), /*ranks_per_node=*/2, opt);
+    const bool ok =
+        max_abs_diff<float>(expected.view(), res.dist.view()) == 0.0;
+    tc.add_row({Table::num(rate, 2), Table::num(t.millis(), 0),
+                Table::num(static_cast<double>(res.traffic.drops_injected), 0),
+                Table::num(static_cast<double>(res.traffic.retries), 0),
+                Table::num(static_cast<double>(res.traffic.retry_bytes) / 1024,
+                           1),
+                ok ? "yes" : "NO"});
+  }
+  std::printf("%s", tc.str().c_str());
+
   bench::footer(
       "expect: [a] pipelined adds the fewest seconds (overlap slack absorbs\n"
       "compute noise the synchronous baseline propagates); [b] +async adds\n"
       "the fewest seconds under link noise (background ring relays hide\n"
-      "slow transfers under compute) — the paper's §3.3 asynchrony claim.");
+      "slow transfers under compute) — the paper's §3.3 asynchrony claim;\n"
+      "[c] every drop rate completes exactly, wall time growing with the\n"
+      "retransmission volume (DESIGN.md \"Resilience\").");
   return 0;
 }

@@ -86,7 +86,7 @@ int main() {
   for (const Edge& e : g.edges())
     conf_graph.add_edge(e.src, e.dst, 1.0 / (1.0 + e.weight));
   auto conf = conf_graph.distance_matrix<MaxMin<double>>();
-  blocked_floyd_warshall<MaxMin<double>>(conf.view(), {.block_size = 64});
+  blocked_floyd_warshall<MaxMin<double>>(conf.view(), {{.block_size = 64}});
   const vertex_t a = central.front().second;
   const vertex_t b2 = central.back().second;
   std::printf("\nconfidence between hub %lld and fringe %lld: "

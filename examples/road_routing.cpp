@@ -70,8 +70,10 @@ int main() {
 
   // Validate the incremental result against a fresh solve.
   for (const auto& u : clearings) roads.add_edge(u.src, u.dst, u.new_weight);
-  const auto fresh = apsp<MinPlus<double>>(roads, {.algorithm = ApspAlgorithm::kBlocked,
-                                                   .block_size = 32});
+  ApspOptions fresh_opt;
+  fresh_opt.algorithm = ApspAlgorithm::kBlocked;
+  fresh_opt.block_size = 32;
+  const auto fresh = apsp<MinPlus<double>>(roads, fresh_opt);
   std::printf("  incremental vs full recompute: max |diff| = %.2e\n",
               max_abs_diff<double>(live.view(), fresh.dist.view()));
   return 0;

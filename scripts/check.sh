@@ -3,6 +3,7 @@
 #
 #   scripts/check.sh [build-dir]
 #   scripts/check.sh --san address|thread|undefined [build-dir]
+#   scripts/check.sh --faults [build-dir]
 #
 # 1. Configure + build (Release, all warnings).
 # 2. Run the full ctest suite.
@@ -14,14 +15,35 @@
 # the concurrency-heavy suites under it — mpisim ranks are real OS
 # threads, so `--san thread` is the data-race gate for the runtime and
 # the trace sinks.
+#
+# --faults is the resilience gate: the fault-injection matrix and the
+# crash-restart suites under AddressSanitizer, so recovery paths
+# (retransmission, world abort/unwind, checkpoint replay) are exercised
+# with full leak/overflow checking.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 san=""
-if [[ "${1:-}" == "--san" ]]; then
+faults=0
+if [[ "${1:-}" == "--faults" ]]; then
+  faults=1
+  shift
+elif [[ "${1:-}" == "--san" ]]; then
   san="${2:?usage: check.sh --san address|thread|undefined [build-dir]}"
   shift 2
+fi
+
+if [[ "$faults" == 1 ]]; then
+  build_dir="${1:-$repo_root/build-faults}"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPARFW_SAN=address -DPARFW_BUILD_BENCH=OFF -DPARFW_BUILD_EXAMPLES=OFF
+  cmake --build "$build_dir" -j"$(nproc)" \
+    --target test_mpisim_stress test_resilience
+  "$build_dir/tests/test_mpisim_stress" --gtest_filter='FaultMatrix.*'
+  "$build_dir/tests/test_resilience"
+  echo "check.sh --faults: OK"
+  exit 0
 fi
 
 if [[ -n "$san" ]]; then

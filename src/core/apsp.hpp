@@ -1,10 +1,12 @@
 // High-level APSP front door.
 //
 // apsp() picks an execution strategy (sequential FW, blocked FW, blocked +
-// thread parallel, device-offload) over a chosen semiring and returns the
-// closed distance matrix, optionally with predecessors for path queries.
-// This is the API the examples use; the distributed driver in src/dist/
-// has its own entry point because it needs a runtime handle.
+// thread parallel) over a chosen semiring and returns the closed distance
+// matrix, optionally with predecessors for path queries. The distributed
+// strategy (kDistributed) is declared here but dispatched by parfw::solve
+// in dist/solve.hpp — the ONE front door covering every strategy — so that
+// core stays free of the runtime/grid machinery; calling apsp() directly
+// with kDistributed is an error pointing there.
 #pragma once
 
 #include <cstdint>
@@ -13,8 +15,11 @@
 
 #include "core/blocked_fw.hpp"
 #include "core/blocked_fw_paths.hpp"
+#include "core/checkpoint_store.hpp"
 #include "core/floyd_warshall.hpp"
+#include "core/solve_options.hpp"
 #include "graph/graph.hpp"
+#include "sched/variant.hpp"
 
 namespace parfw {
 
@@ -22,16 +27,34 @@ enum class ApspAlgorithm {
   kSequential,       ///< Algorithm 1
   kBlocked,          ///< Algorithm 2, single thread
   kBlockedParallel,  ///< Algorithm 2, SRGEMM over the global thread pool
+  kDistributed,      ///< ParallelFw over mpisim (dispatched by parfw::solve)
 };
 
-struct ApspOptions {
+/// Distributed execution strategy (ApspAlgorithm::kDistributed). The grid
+/// is described by shape here and materialised as a dist::GridSpec by
+/// solve(), so this header needs no dist dependency.
+struct DistStrategy {
+  sched::Variant variant = sched::Variant::kAsync;
+  int grid_rows = 2, grid_cols = 2;  ///< process grid P_r x P_c
+  /// NIC accounting (paper §3.4.1): ranks sharing a node.
+  int ranks_per_node = 1;
+  /// Paper Figure 1 +Reordering placement: node grid of
+  /// (grid_rows/node_rows) x (grid_cols/node_cols) tiles. When set,
+  /// ranks_per_node is implied by the tile size.
+  bool tiled = false;
+  int node_rows = 1, node_cols = 1;
+  /// Checkpoint/restart + runtime reliability envelope.
+  ResilienceOptions resilience{};
+};
+
+struct ApspOptions : SolveCommon {
   ApspAlgorithm algorithm = ApspAlgorithm::kBlockedParallel;
-  std::size_t block_size = 64;
-  DiagStrategy diag = DiagStrategy::kClassic;
   bool track_paths = false;
   /// Refuse to produce results containing a negative cycle (min-plus only);
   /// throws check_error instead.
   bool reject_negative_cycles = false;
+  /// Used iff algorithm == kDistributed.
+  DistStrategy dist{};
 };
 
 /// Result of an APSP solve. dist(i,j) is the closed semiring distance;
@@ -51,6 +74,9 @@ template <typename S>
 ApspResult<typename S::value_type> apsp(const Graph& g,
                                         const ApspOptions& opt = {}) {
   using T = typename S::value_type;
+  PARFW_CHECK_MSG(opt.algorithm != ApspAlgorithm::kDistributed,
+                  "kDistributed dispatches through parfw::solve "
+                  "(dist/solve.hpp), which owns the runtime");
   ApspResult<T> result;
   result.dist = g.distance_matrix<S>();
   auto d = result.dist.view();
@@ -69,19 +95,18 @@ ApspResult<typename S::value_type> apsp(const Graph& g,
         break;
       case ApspAlgorithm::kBlocked: {
         BlockedFwOptions bopt;
-        bopt.block_size = opt.block_size;
-        bopt.diag = opt.diag;
+        static_cast<SolveCommon&>(bopt) = opt;  // shared knobs, verbatim
         blocked_floyd_warshall<S>(d, bopt);
         break;
       }
       case ApspAlgorithm::kBlockedParallel: {
         BlockedFwOptions bopt;
-        bopt.block_size = opt.block_size;
-        bopt.diag = opt.diag;
+        static_cast<SolveCommon&>(bopt) = opt;
         bopt.pool = &ThreadPool::global();
         blocked_floyd_warshall<S>(d, bopt);
         break;
       }
+      case ApspAlgorithm::kDistributed: break;  // rejected above
     }
   }
 

@@ -18,15 +18,16 @@
 #include <functional>
 
 #include "core/diag_update.hpp"
+#include "core/solve_options.hpp"
 #include "srgemm/srgemm.hpp"
 #include "util/matrix.hpp"
 #include "util/thread_pool.hpp"
 
 namespace parfw {
 
-struct BlockedFwOptions {
-  std::size_t block_size = 64;
-  DiagStrategy diag = DiagStrategy::kClassic;
+/// block_size / diag live in the shared SolveCommon base (one source of
+/// defaults for all three option structs — see core/solve_options.hpp).
+struct BlockedFwOptions : SolveCommon {
   /// Thread pool for the SRGEMM driver; nullptr = sequential.
   ThreadPool* pool = nullptr;
   srgemm::Config gemm{};

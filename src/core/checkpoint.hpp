@@ -6,34 +6,72 @@
 // determines the remaining work, so a checkpoint is (header, k, matrix)
 // and restart is "run the block loop from k".
 //
-// Format: a fixed 40-byte header (magic, version, element size, n, next
-// block iteration, block size) followed by the raw row-major matrix.
+// Format v2: the fixed 40-byte v1 header (magic, version, element size,
+// n, next block iteration, block size) followed by a 40-byte extension
+// (schedule position: variant + sched op index; distribution: grid shape,
+// grid coordinate, per-rank tile manifest length), the tile manifest
+// (tile_count pairs of global block coordinates) and the raw row-major
+// matrix payload — the full matrix for single-node blobs (tile_count = 0),
+// a rank's packed local matrix for distributed blobs (dist/checkpoint.hpp).
+// v1 blobs (bare header + full matrix) still load.
+//
+// Blobs travel through any std::iostream or, preferably, through a
+// CheckpointStore key (checkpoint_store.hpp) — the sink/source the
+// distributed resilience layer and the examples use.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <string>
 
 #include "core/blocked_fw.hpp"
+#include "core/checkpoint_store.hpp"
 #include "util/matrix.hpp"
 
 namespace parfw {
 
 struct CheckpointHeader {
   static constexpr std::uint64_t kMagic = 0x50464b43'50415246ull;  // "PARFWCKP"
+  static constexpr std::uint32_t kVersion = 2;
   std::uint64_t magic = kMagic;
-  std::uint32_t version = 1;
+  std::uint32_t version = kVersion;
   std::uint32_t elem_size = 0;
   std::uint64_t n = 0;
   std::uint64_t next_block = 0;  ///< first UNfinished block iteration
   std::uint64_t block_size = 0;
 };
 
-/// Write a checkpoint of an in-progress (or finished) blocked FW run.
+/// v2 extension, immediately after the header. Single-node blobs leave
+/// everything at the defaults (1x1 "grid", full matrix, no manifest).
+struct CheckpointExtV2 {
+  std::uint32_t variant = 0;     ///< sched::Variant of the producing run
+  std::uint32_t grid_rows = 1;   ///< process grid shape
+  std::uint32_t grid_cols = 1;
+  std::int32_t coord_row = 0;    ///< producing rank's grid coordinate
+  std::int32_t coord_col = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t sched_op_index = 0;  ///< schedule position within the run
+  std::uint64_t tile_count = 0;  ///< manifest entries (0 = full matrix)
+};
+static_assert(sizeof(CheckpointHeader) == 40 && sizeof(CheckpointExtV2) == 40,
+              "checkpoint blob layout is part of the on-disk format");
+
+/// One manifest entry: the global block coordinate of a local tile, in
+/// the row-major order the tiles appear in the payload.
+struct CheckpointTileRef {
+  std::uint64_t block_row = 0;
+  std::uint64_t block_col = 0;
+};
+
+/// Write a v2 checkpoint of an in-progress (or finished) single-node
+/// blocked FW run: full matrix, empty manifest.
 template <typename T>
 void save_checkpoint(std::ostream& out, MatrixView<const T> dist,
-                     std::size_t next_block, std::size_t block_size) {
+                     std::size_t next_block, std::size_t block_size,
+                     const CheckpointExtV2& ext = {}) {
   PARFW_CHECK(dist.rows() == dist.cols());
   CheckpointHeader h;
   h.elem_size = sizeof(T);
@@ -41,6 +79,9 @@ void save_checkpoint(std::ostream& out, MatrixView<const T> dist,
   h.next_block = next_block;
   h.block_size = block_size;
   out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  CheckpointExtV2 e = ext;
+  e.tile_count = 0;
+  out.write(reinterpret_cast<const char*>(&e), sizeof(e));
   for (std::size_t i = 0; i < dist.rows(); ++i)
     out.write(reinterpret_cast<const char*>(dist.data() + i * dist.ld()),
               static_cast<std::streamsize>(dist.cols() * sizeof(T)));
@@ -53,19 +94,39 @@ struct LoadedCheckpoint {
   Matrix<T> dist;
   std::size_t next_block = 0;
   std::size_t block_size = 0;
+  CheckpointExtV2 ext{};  ///< defaults for v1 blobs
 };
 
+/// Read the common header and validate magic/version/element size.
+/// Returns the header; v2 blobs additionally fill `ext`.
 template <typename T>
-LoadedCheckpoint<T> load_checkpoint(std::istream& in) {
+CheckpointHeader read_checkpoint_header(std::istream& in,
+                                        CheckpointExtV2& ext) {
   CheckpointHeader h;
   in.read(reinterpret_cast<char*>(&h), sizeof(h));
   PARFW_CHECK_MSG(in.good() && h.magic == CheckpointHeader::kMagic,
                   "not a parallelfw checkpoint");
-  PARFW_CHECK_MSG(h.version == 1, "unsupported checkpoint version " << h.version);
+  PARFW_CHECK_MSG(h.version == 1 || h.version == 2,
+                  "unsupported checkpoint version " << h.version);
   PARFW_CHECK_MSG(h.elem_size == sizeof(T),
                   "checkpoint element size " << h.elem_size
                                              << " != requested " << sizeof(T));
+  ext = CheckpointExtV2{};
+  if (h.version >= 2) {
+    in.read(reinterpret_cast<char*>(&ext), sizeof(ext));
+    PARFW_CHECK_MSG(in.good(), "checkpoint extension truncated");
+  }
+  return h;
+}
+
+/// Load a single-matrix checkpoint (v1, or v2 with an empty manifest).
+/// Distributed per-rank blobs load through dist::load_rank_checkpoint.
+template <typename T>
+LoadedCheckpoint<T> load_checkpoint(std::istream& in) {
   LoadedCheckpoint<T> out;
+  const CheckpointHeader h = read_checkpoint_header<T>(in, out.ext);
+  PARFW_CHECK_MSG(out.ext.tile_count == 0,
+                  "per-rank tile checkpoint; use dist::load_rank_checkpoint");
   out.dist = Matrix<T>(static_cast<std::size_t>(h.n),
                        static_cast<std::size_t>(h.n));
   in.read(reinterpret_cast<char*>(out.dist.data()),
@@ -74,6 +135,40 @@ LoadedCheckpoint<T> load_checkpoint(std::istream& in) {
   out.next_block = static_cast<std::size_t>(h.next_block);
   out.block_size = static_cast<std::size_t>(h.block_size);
   return out;
+}
+
+// --- CheckpointStore plumbing --------------------------------------------
+
+/// Store a serialised blob under `key`. Returns the blob size in bytes.
+inline std::size_t put_blob(CheckpointStore& store, const std::string& key,
+                            const std::string& blob) {
+  store.put(key, std::span<const std::uint8_t>(
+                     reinterpret_cast<const std::uint8_t*>(blob.data()),
+                     blob.size()));
+  return blob.size();
+}
+
+/// Save a single-matrix checkpoint into a store.
+template <typename T>
+std::size_t save_checkpoint(CheckpointStore& store, const std::string& key,
+                            MatrixView<const T> dist, std::size_t next_block,
+                            std::size_t block_size,
+                            const CheckpointExtV2& ext = {}) {
+  std::ostringstream out(std::ios::binary);
+  save_checkpoint<T>(out, dist, next_block, block_size, ext);
+  return put_blob(store, key, std::move(out).str());
+}
+
+/// Load a single-matrix checkpoint from a store key.
+template <typename T>
+LoadedCheckpoint<T> load_checkpoint(const CheckpointStore& store,
+                                    const std::string& key) {
+  auto blob = store.get(key);
+  PARFW_CHECK_MSG(blob.has_value(), "no checkpoint under key '" << key << "'");
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(blob->data()), blob->size()),
+      std::ios::binary);
+  return load_checkpoint<T>(in);
 }
 
 }  // namespace parfw

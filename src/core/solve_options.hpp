@@ -1,0 +1,27 @@
+// Options shared by every solver entry point.
+//
+// ApspOptions (core front door), BlockedFwOptions (single-node engine) and
+// DistFwOptions (distributed engine) used to repeat block_size / diag with
+// independently drifting defaults; they now all carry this base, so the
+// knobs exist once and a higher layer can slice-assign them down to the
+// engine it dispatches to (e.g. parfw::solve copies the SolveCommon
+// subobject of ApspOptions into the engine options verbatim).
+//
+// NOTE for initialisation style: C++20 designated initialisers cannot name
+// inherited members, so `{.block_size = b}` on a derived options struct
+// becomes `{{.block_size = b}}` (brace-initialising the SolveCommon base
+// subobject), and mixed base/derived designations need statement form.
+#pragma once
+
+#include <cstddef>
+
+#include "core/diag_update.hpp"
+
+namespace parfw {
+
+struct SolveCommon {
+  std::size_t block_size = 64;  ///< blocked/block-cyclic block size b
+  DiagStrategy diag = DiagStrategy::kClassic;
+};
+
+}  // namespace parfw

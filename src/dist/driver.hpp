@@ -1,12 +1,25 @@
 // Convenience driver: spin up the in-process runtime, distribute a
-// deterministically-generated matrix, run a ParallelFw variant, gather the
-// result, and report traffic statistics. This is the entry point the
-// tests, benches and the distributed example use.
+// matrix, run a ParallelFw variant, gather the result, and report traffic
+// statistics. This is the entry point the tests, benches and the
+// distributed example use.
+//
+// Supervision (DESIGN.md "Resilience"): any RankFailure — an injected
+// crash, an exhausted retry budget, or a peer observed dying — tears the
+// whole world down (Runtime::run joins all threads, then rethrows). The
+// loop here restarts the run: from the last committed checkpoint cut when
+// the options carry a CheckpointStore, from scratch otherwise. Injected
+// one-shot crashes are disarmed on restart; message faults stay active
+// (the environment is still flaky after a restart). Under the idempotent
+// min-plus ⊕, the replayed suffix reproduces the uninterrupted run's
+// result bit-identically — the crash-restart property tests pin it down.
 #pragma once
 
 #include <cstdint>
 
+#include "core/apsp.hpp"
+#include "dist/checkpoint.hpp"
 #include "dist/parallel_fw.hpp"
+#include "dist/parallel_fw_paths.hpp"
 #include "graph/graph.hpp"
 #include "mpisim/runtime.hpp"
 #include "util/timer.hpp"
@@ -16,39 +29,165 @@ namespace parfw::dist {
 template <typename T>
 struct DistRunResult {
   Matrix<T> dist;             ///< gathered closed matrix (at the caller)
-  mpi::TrafficStats traffic;  ///< whole-run communication statistics
+  /// Whole-run communication statistics: every supervised attempt merged,
+  /// crashed ones included, so checkpoint/retry work is never hidden.
+  mpi::TrafficStats traffic;
   double seconds = 0.0;       ///< wall time of the parallel section
+  int restarts = 0;           ///< supervision-loop world restarts
 };
 
-/// Run one distributed APSP end to end. `ranks_per_node` controls the NIC
-/// accounting (paper §3.4.1); use grid.qr()*grid.qc() for placements built
-/// with GridSpec::tiled.
+namespace detail {
+
+/// Supervised execution shared by every driver entry point. `fill` is
+/// called (with the rank's layout and world) to produce the INITIAL local
+/// tiles of a fresh run; restarts load the committed checkpoint instead.
+template <typename S, typename Fill>
+DistRunResult<typename S::value_type> supervised_run(
+    std::size_t n, const Fill& fill, const GridSpec& grid, int ranks_per_node,
+    const DistFwOptions& opt) {
+  using T = typename S::value_type;
+  DistRunResult<T> result;
+
+  // run_opt is this attempt's view of the options: the interpreter reads
+  // the crash coordinate from it, so restarts disarm it here (and in the
+  // runtime's copy below).
+  DistFwOptions run_opt = opt;
+
+  mpi::RuntimeOptions ropt;
+  ropt.node_model = grid.node_model(ranks_per_node);
+  ropt.trace = opt.trace;
+  ropt.faults = opt.faults;
+  ropt.max_retries = opt.resilience.max_retries;
+  ropt.send_timeout = opt.resilience.send_timeout;
+  mpi::TrafficStats attempt;
+  ropt.stats_out = &attempt;  // survives the throw on a crashed attempt
+
+  CheckpointStore* store = opt.resilience.store;
+  Timer timer;
+  for (;;) {
+    // Restart from a checkpoint only if a cut was committed by a PREVIOUS
+    // attempt of this run (the caller is responsible for handing a fresh
+    // store per logical run).
+    std::uint64_t resume_k = 0;
+    bool resume = false;
+    if (result.restarts > 0 && store != nullptr) {
+      if (auto commit = read_commit(*store)) {
+        PARFW_CHECK_MSG(commit->n == n &&
+                            commit->block_size == opt.block_size &&
+                            commit->world_size ==
+                                static_cast<std::uint32_t>(grid.size()),
+                        "committed checkpoint does not match this run");
+        resume = true;
+        resume_k = commit->k0;
+      }
+    }
+    try {
+      mpi::Runtime::run(
+          grid.size(),
+          [&](mpi::Comm& world) {
+            BlockCyclicMatrix<T> local(n, opt.block_size, grid,
+                                       grid.coord_of(world.rank()));
+            if (resume)
+              load_rank_checkpoint<T>(*store, resume_k, local);
+            else
+              fill(local, world);
+            world.barrier();
+            parallel_fw_resume<S>(world, local,
+                                  static_cast<std::size_t>(resume_k), run_opt);
+            world.barrier();
+            Matrix<T> gathered = local.gather(world);
+            if (world.rank() == 0) result.dist = std::move(gathered);
+          },
+          ropt);
+      result.traffic.merge(attempt);
+      break;
+    } catch (const mpi::RankFailure&) {
+      result.traffic.merge(attempt);  // crashed attempt's work stays visible
+      attempt = {};
+      PARFW_CHECK_MSG(result.restarts < opt.resilience.max_restarts,
+                      "giving up after " << result.restarts
+                                         << " world restarts");
+      ++result.restarts;
+      // Injected crashes are one-shot: disarm both the interpreter's and
+      // the runtime's copy; message faults stay armed.
+      run_opt.faults.crash_rank = -1;
+      run_opt.faults.crash_at_op = -1;
+      ropt.faults.crash_rank = -1;
+      ropt.faults.crash_at_op = -1;
+    }
+  }
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace detail
+
+/// Run one distributed APSP end to end on a deterministically-generated
+/// matrix. `ranks_per_node` controls the NIC accounting (paper §3.4.1);
+/// use grid.qr()*grid.qc() for placements built with GridSpec::tiled.
 template <typename S>
 DistRunResult<typename S::value_type> run_parallel_fw(
     std::size_t n, const DenseEntryGen<typename S::value_type>& gen,
     const GridSpec& grid, int ranks_per_node, const DistFwOptions& opt = {}) {
   using T = typename S::value_type;
-  DistRunResult<T> result;
+  return detail::supervised_run<S>(
+      n,
+      [&gen](BlockCyclicMatrix<T>& local, mpi::Comm&) { local.fill(gen); },
+      grid, ranks_per_node, opt);
+}
 
-  mpi::RuntimeOptions ropt;
-  ropt.node_model = grid.node_model(ranks_per_node);
+/// Graph front door: solve APSP for `g` distributed, returning the same
+/// ApspResult the core apsp() returns — this is what parfw::solve
+/// (dist/solve.hpp) dispatches to for ApspAlgorithm::kDistributed.
+/// Requires g.num_vertices() % opt.block_size == 0 (block-cyclic layout).
+/// With track_paths the predecessor-carrying solver runs (bulk-synchronous;
+/// checkpoint cuts and crash injection apply to the value solver only).
+template <typename S>
+ApspResult<typename S::value_type> run_parallel_fw(
+    const Graph& g, const GridSpec& grid, int ranks_per_node,
+    const DistFwOptions& opt = {}, bool track_paths = false) {
+  using T = typename S::value_type;
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  Matrix<T> full = g.distance_matrix<S>();
+  ApspResult<T> out;
 
-  Timer timer;
-  result.traffic = mpi::Runtime::run(
-      grid.size(),
-      [&](mpi::Comm& world) {
-        BlockCyclicMatrix<T> local(n, opt.block_size, grid,
-                                   grid.coord_of(world.rank()));
-        local.fill(gen);
-        world.barrier();
-        parallel_fw<S>(world, local, opt);
-        world.barrier();
-        Matrix<T> gathered = local.gather(world);
-        if (world.rank() == 0) result.dist = std::move(gathered);
+  if (track_paths) {
+    Matrix<std::int64_t> pred_full;
+    mpi::RuntimeOptions ropt;
+    ropt.node_model = grid.node_model(ranks_per_node);
+    ropt.trace = opt.trace;
+    mpi::Runtime::run(
+        grid.size(),
+        [&](mpi::Comm& world) {
+          BlockCyclicMatrix<T> local(n, opt.block_size, grid,
+                                     grid.coord_of(world.rank()));
+          BlockCyclicMatrix<std::int64_t> plocal(n, opt.block_size, grid,
+                                                 grid.coord_of(world.rank()));
+          local.load(full.view());
+          init_predecessors_dist<S>(local, plocal);
+          world.barrier();
+          parallel_fw_paths<S>(world, local, plocal, opt);
+          world.barrier();
+          Matrix<T> gathered = local.gather(world);
+          Matrix<std::int64_t> pgathered = plocal.gather(world);
+          if (world.rank() == 0) {
+            out.dist = std::move(gathered);
+            pred_full = std::move(pgathered);
+          }
+        },
+        ropt);
+    out.pred = std::move(pred_full);
+    return out;
+  }
+
+  auto res = detail::supervised_run<S>(
+      n,
+      [&full](BlockCyclicMatrix<T>& local, mpi::Comm&) {
+        local.load(full.view());
       },
-      ropt);
-  result.seconds = timer.seconds();
-  return result;
+      grid, ranks_per_node, opt);
+  out.dist = std::move(res.dist);
+  return out;
 }
 
 }  // namespace parfw::dist

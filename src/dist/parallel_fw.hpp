@@ -36,15 +36,20 @@
 #include <memory>
 #include <span>
 
+#include "core/checkpoint_store.hpp"
 #include "core/diag_update.hpp"
+#include "core/solve_options.hpp"
 #include "devsim/device.hpp"
 #include "dist/block_cyclic.hpp"
+#include "dist/checkpoint.hpp"
 #include "dist/grid.hpp"
 #include "mpisim/communicator.hpp"
+#include "mpisim/fault.hpp"
 #include "offload/oog_srgemm.hpp"
 #include "sched/ir.hpp"
 #include "sched/trace.hpp"
 #include "srgemm/srgemm.hpp"
+#include "util/timer.hpp"
 
 namespace parfw::dist {
 
@@ -53,10 +58,10 @@ namespace parfw::dist {
 using Variant = sched::Variant;
 using sched::variant_name;
 
-struct DistFwOptions {
+/// block_size / diag live in the shared SolveCommon base (see
+/// core/solve_options.hpp).
+struct DistFwOptions : SolveCommon {
   Variant variant = Variant::kAsync;
-  std::size_t block_size = 64;  ///< block-cyclic block size b
-  DiagStrategy diag = DiagStrategy::kClassic;
   srgemm::Config gemm{};
   /// kOffload: per-rank simulated device capacity and chunking.
   std::size_t device_memory_bytes = std::size_t{256} << 20;
@@ -65,6 +70,16 @@ struct DistFwOptions {
   /// sched::now_seconds() timeline). Must be thread-safe: mpisim ranks
   /// are threads and all record into the same sink.
   sched::TraceSink* trace = nullptr;
+  /// Checkpoint/restart knobs. Checkpoint cuts are emitted into the
+  /// schedule iff resilience.store is set and checkpoint_every > 0; the
+  /// driver's supervision loop (driver.hpp) also reads max_retries /
+  /// send_timeout / max_restarts from here.
+  ResilienceOptions resilience{};
+  /// Deterministic fault injection, installed into RuntimeOptions by the
+  /// driver. The interpreter itself only consumes the crash coordinate
+  /// (crash_rank throws RankFailure at its first own step with global
+  /// index >= crash_at_op); message faults live in the runtime.
+  mpi::FaultPlan faults{};
 };
 
 /// Row and column communicators of the 2-D grid: `row` spans my grid row
@@ -86,12 +101,16 @@ inline RowColComms make_row_col_comms(mpi::Comm& world, const GridSpec& grid) {
   return RowColComms{std::move(row), std::move(col)};
 }
 
-/// Execute distributed FW on this rank's share of the matrix. Collective
-/// over `world`, which must have exactly grid.size() ranks. On return the
+/// Execute distributed FW on this rank's share of the matrix, starting at
+/// pivot iteration `start_k` — the resume entry point. The matrix must
+/// already hold the state of a run whose iterations < start_k completed
+/// (a restored checkpoint; start_k = 0 = fresh input). Collective over
+/// `world`, which must have exactly grid.size() ranks. On return the
 /// local matrix holds this rank's blocks of the closed distance matrix.
 template <typename S>
-void parallel_fw(mpi::Comm& world, BlockCyclicMatrix<typename S::value_type>& a,
-                 const DistFwOptions& opt = {}) {
+void parallel_fw_resume(mpi::Comm& world,
+                        BlockCyclicMatrix<typename S::value_type>& a,
+                        std::size_t start_k, const DistFwOptions& opt = {}) {
   static_assert(is_idempotent<S>(), "distributed FW requires idempotent ⊕");
   using T = typename S::value_type;
   const GridSpec& grid = a.grid();
@@ -108,13 +127,17 @@ void parallel_fw(mpi::Comm& world, BlockCyclicMatrix<typename S::value_type>& a,
   mpi::Comm& col_comm = comms.col;
 
   // Generate this run's schedule. The generator validates the geometry
-  // (at least one block per process row/column).
+  // (at least one block per process row/column). Checkpoint cuts are
+  // emitted only when there is a store to receive the snapshots.
   sched::ScheduleParams sp;
   sp.variant = opt.variant;
   sp.nb = nb;
   sp.b = b;
   sp.word_bytes = sizeof(T);
   sp.diag_flops = diag_update_flops(b, opt.diag);
+  sp.start_k = start_k;
+  if (opt.resilience.store != nullptr)
+    sp.checkpoint_every = opt.resilience.checkpoint_every;
   const sched::Schedule schedule = sched::build_schedule(grid, sp);
 
   Matrix<T> akk(b, b);  // closed diagonal block of iteration k
@@ -142,8 +165,21 @@ void parallel_fw(mpi::Comm& world, BlockCyclicMatrix<typename S::value_type>& a,
                                    m.size() * sizeof(T)};
   };
 
+  // Injected crash coordinate: the global step index of the generated
+  // schedule — the SAME ordering the DES interprets, so "crash at op N"
+  // names one point in the run across replays. One-shot: the supervision
+  // loop disarms it on restart.
+  const bool crash_me =
+      opt.faults.crash_armed() && opt.faults.crash_rank == my;
+
+  std::int64_t step_index = -1;
   for (const sched::Step& step : schedule.steps) {
+    ++step_index;
     if (step.rank != my) continue;
+    if (crash_me && step_index >= opt.faults.crash_at_op)
+      throw mpi::RankFailure(
+          my, "injected crash at schedule op " + std::to_string(step_index) +
+                  " (rank " + std::to_string(my) + ")");
     const sched::Op& op = step.op;
     const std::size_t k = op.k;
     const double t0 = opt.trace ? sched::now_seconds() : 0.0;
@@ -230,6 +266,39 @@ void parallel_fw(mpi::Comm& world, BlockCyclicMatrix<typename S::value_type>& a,
         }
         break;
       }
+      case sched::OpKind::kCheckpoint: {
+        // Coordinated cut before iteration k. The offload variant first
+        // drains the device so every tile is host-resident (ooGSrGemm is
+        // synchronous, but the flush makes the guarantee explicit and
+        // covers future async streaming). Barrier #1 aligns all ranks at
+        // the cut; everyone snapshots; barrier #2 guarantees all blobs
+        // are stored before rank 0 commits the cut — an uncommitted
+        // checkpoint is invisible to restart.
+        if (device) device->synchronize();
+        world.barrier();
+        SchedulePosition pos;
+        pos.variant = opt.variant;
+        pos.k0 = k;
+        pos.sched_op_index = static_cast<std::uint64_t>(step_index);
+        if (opt.resilience.store != nullptr) {
+          Timer ckpt_timer;
+          const std::size_t blob_bytes =
+              save_rank_checkpoint<T>(*opt.resilience.store, a, pos);
+          world.world().add_checkpoint(blob_bytes, ckpt_timer.seconds());
+        }
+        world.barrier();
+        if (my == 0 && opt.resilience.store != nullptr) {
+          CommitRecord rec;
+          rec.k0 = pos.k0;
+          rec.variant = static_cast<std::uint32_t>(opt.variant);
+          rec.world_size = static_cast<std::uint32_t>(world.size());
+          rec.n = a.n();
+          rec.block_size = b;
+          rec.sched_op_index = pos.sched_op_index;
+          write_commit(*opt.resilience.store, rec);
+        }
+        break;
+      }
     }
 
     if (opt.trace) {
@@ -244,6 +313,13 @@ void parallel_fw(mpi::Comm& world, BlockCyclicMatrix<typename S::value_type>& a,
       opt.trace->record(e);
     }
   }
+}
+
+/// Full run from fresh input — the signature every existing caller uses.
+template <typename S>
+void parallel_fw(mpi::Comm& world, BlockCyclicMatrix<typename S::value_type>& a,
+                 const DistFwOptions& opt = {}) {
+  parallel_fw_resume<S>(world, a, /*start_k=*/0, opt);
 }
 
 }  // namespace parfw::dist

@@ -1,0 +1,55 @@
+// parfw::solve — the ONE front door over every execution strategy.
+//
+// core/apsp.hpp's apsp() covers the single-node strategies but cannot see
+// the distributed engine (core must not depend on the runtime); this
+// header closes the loop: solve() dispatches kDistributed to the dist
+// driver (materialising the GridSpec from ApspOptions::dist and threading
+// the shared SolveCommon + ResilienceOptions through) and everything else
+// to apsp(). Examples/tools/tests call this and pick a strategy with an
+// enum instead of choosing between two entry points with different shapes.
+#pragma once
+
+#include "core/apsp.hpp"
+#include "dist/driver.hpp"
+
+namespace parfw {
+
+/// Materialise the process grid described by a DistStrategy.
+inline dist::GridSpec grid_of(const DistStrategy& ds) {
+  if (!ds.tiled) return dist::GridSpec::row_major(ds.grid_rows, ds.grid_cols);
+  PARFW_CHECK_MSG(ds.node_rows > 0 && ds.node_cols > 0 &&
+                      ds.grid_rows % ds.node_rows == 0 &&
+                      ds.grid_cols % ds.node_cols == 0,
+                  "tiled placement: node grid must divide the process grid");
+  return dist::GridSpec::tiled(ds.node_rows, ds.node_cols,
+                               ds.grid_rows / ds.node_rows,
+                               ds.grid_cols / ds.node_cols);
+}
+
+/// Solve APSP on a graph over semiring S with any strategy, including the
+/// distributed ones. Back-compat: apsp() and dist::run_parallel_fw keep
+/// working; this is sugar gluing them behind one option struct.
+template <typename S>
+ApspResult<typename S::value_type> solve(const Graph& g,
+                                         const ApspOptions& opt = {}) {
+  if (opt.algorithm != ApspAlgorithm::kDistributed) return apsp<S>(g, opt);
+
+  const DistStrategy& ds = opt.dist;
+  const dist::GridSpec grid = grid_of(ds);
+  const int rpn = ds.tiled ? grid.qr() * grid.qc() : ds.ranks_per_node;
+
+  dist::DistFwOptions dopt;
+  static_cast<SolveCommon&>(dopt) = opt;  // block_size / diag, verbatim
+  dopt.variant = ds.variant;
+  dopt.resilience = ds.resilience;
+
+  ApspResult<typename S::value_type> result = dist::run_parallel_fw<S>(
+      g, grid, rpn, dopt, opt.track_paths);
+  if (opt.reject_negative_cycles) {
+    PARFW_CHECK_MSG(!has_negative_cycle<S>(result.dist.view()),
+                    "input graph contains a negative cycle");
+  }
+  return result;
+}
+
+}  // namespace parfw

@@ -1,0 +1,83 @@
+// Deterministic fault injection for the in-process runtime.
+//
+// A FaultPlan is installed via RuntimeOptions and drives three message
+// fault classes (drop / delay / duplication) plus a one-shot rank crash
+// pinned to the global schedule-op order (the sched IR's step index — the
+// same coordinate both interpreters share, so "crash at op N" means the
+// same point in every replay). Every message-fault decision is a pure
+// hash of (seed, flow, sequence number, delivery attempt): the plan
+// replays identically across runs, placements and thread interleavings.
+//
+// Recovery is the runtime's job, not the plan's: World::await simulates
+// the sender's retransmission timer (bounded exponential backoff,
+// per-message retry budget) and re-drives dropped deliveries, so the
+// algorithms above never see a lost message — only latency. Crashes and
+// exhausted retry budgets surface as the typed RankFailure below, which
+// the dist driver's supervision loop turns into a checkpoint restart.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace parfw::mpi {
+
+struct FaultPlan {
+  std::uint64_t seed = 0;  ///< seeds every roll; 0 disables message faults
+  double drop_prob = 0.0;  ///< P(one delivery attempt is lost)
+  double dup_prob = 0.0;   ///< P(a delivery arrives twice)
+  double delay_prob = 0.0; ///< P(a delivery is held back delay_seconds)
+  double delay_seconds = 0.002;
+  /// One-shot crash: rank `crash_rank` throws RankFailure when it is about
+  /// to execute its first schedule op with global step index >= crash_at_op
+  /// (injected by the dist::parallel_fw interpreter). -1 disarms.
+  int crash_rank = -1;
+  std::int64_t crash_at_op = -1;
+
+  bool message_faults() const {
+    return seed != 0 &&
+           (drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0);
+  }
+  bool crash_armed() const { return crash_rank >= 0 && crash_at_op >= 0; }
+  bool any() const { return message_faults() || crash_armed(); }
+};
+
+/// Typed failure of a rank (injected crash, exhausted retry budget, or a
+/// peer's death observed through World::abort). The dist driver catches
+/// this and restarts from the last coordinated checkpoint.
+class RankFailure : public std::runtime_error {
+ public:
+  RankFailure(int rank, const std::string& what)
+      : std::runtime_error(what), rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+namespace detail {
+inline std::uint64_t fault_mix(std::uint64_t z) {
+  // splitmix64 finaliser (same generator family as util/rng.hpp).
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+}  // namespace detail
+
+/// Deterministic uniform [0,1) roll for one (flow, seq, salt, attempt)
+/// coordinate. `flow` identifies the (context, src, tag, dst) stream.
+inline double fault_roll(std::uint64_t seed, std::uint64_t flow,
+                         std::uint64_t seq, std::uint64_t salt,
+                         std::uint64_t attempt) {
+  std::uint64_t h = detail::fault_mix(seed ^ flow);
+  h = detail::fault_mix(h ^ (seq * 0xff51afd7ed558ccdull));
+  h = detail::fault_mix(h ^ (salt * 0xc4ceb9fe1a85ec53ull) ^ attempt);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+inline constexpr std::uint64_t kFaultSaltDrop = 1;
+inline constexpr std::uint64_t kFaultSaltDup = 2;
+inline constexpr std::uint64_t kFaultSaltDelay = 3;
+
+}  // namespace parfw::mpi

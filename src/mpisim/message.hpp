@@ -1,6 +1,7 @@
 // Message envelope and matching key for the in-process runtime.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -15,6 +16,17 @@ using tag_t = int;
 /// semantics, which is what the distributed FW variants assume.
 struct Message {
   std::vector<std::uint8_t> payload;
+  /// Reliability envelope (populated only when a FaultPlan is active):
+  /// per-(MatchKey, dst) flow sequence number — the receiver delivers
+  /// strictly in seq order, discards stale duplicates, and re-drives
+  /// dropped seqs on timeout.
+  std::uint64_t seq = 0;
+  /// Retransmission attempts already spent on this message (bounded by
+  /// RuntimeOptions::max_retries).
+  std::uint32_t attempt = 0;
+  /// Delay injection: the receiver may not consume this before then.
+  /// Default-constructed (clock epoch) = deliverable immediately.
+  std::chrono::steady_clock::time_point not_before{};
 };
 
 /// Matching key: messages are matched by (context, source, tag) in FIFO

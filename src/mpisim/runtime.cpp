@@ -1,12 +1,26 @@
 #include "mpisim/runtime.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
+#include <optional>
 #include <thread>
 
 #include "mpisim/communicator.hpp"
 #include "util/check.hpp"
 
 namespace parfw::mpi {
+
+namespace {
+
+/// Flow id of a (key, dst) stream — the coordinate fault rolls hash over.
+std::uint64_t flow_of(const MatchKey& key, rank_t dst) {
+  return MatchKeyHash{}(key) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) *
+          0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace
 
 NodeModel NodeModel::contiguous(int world_size, int ranks_per_node) {
   PARFW_CHECK(ranks_per_node > 0);
@@ -33,9 +47,34 @@ World::World(int size, NodeModel node_model, sched::TraceSink* trace)
   traffic_.nic_bytes.assign(static_cast<std::size_t>(nodes), 0);
 }
 
+void World::throw_aborted() const {
+  // aborted_rank_/abort_reason_ are written before the release-store of
+  // aborted_ and only read after its acquire-load — no lock needed.
+  throw RankFailure(aborted_rank_, abort_reason_);
+}
+
+void World::count_fault(std::uint64_t TrafficStats::* counter,
+                        const char* name, rank_t rank, std::int64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(traffic_mu_);
+    traffic_.*counter += 1;
+  }
+  if (trace_) {
+    sched::TraceEvent e;
+    e.rank = rank;
+    e.name = name;
+    e.t_begin = e.t_end = sched::now_seconds();
+    e.bytes = bytes;
+    trace_->record(e);
+  }
+}
+
 void World::deliver(const MatchKey& key, rank_t dst, Message msg) {
   PARFW_DCHECK(dst >= 0 && dst < size_);
+  const std::int64_t bytes = static_cast<std::int64_t>(msg.payload.size());
   {
+    // Logical accounting: one message per send call, regardless of what
+    // the fault plan does to it — keeps the totals DES-comparable.
     std::lock_guard<std::mutex> lock(traffic_mu_);
     ++traffic_.messages;
     traffic_.bytes_total += msg.payload.size();
@@ -52,36 +91,189 @@ void World::deliver(const MatchKey& key, rank_t dst, Message msg) {
     e.rank = key.src;
     e.name = "msg";
     e.t_begin = e.t_end = sched::now_seconds();
-    e.bytes = static_cast<std::int64_t>(msg.payload.size());
+    e.bytes = bytes;
     trace_->record(e);
   }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  if (!faults_.message_faults()) {
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.queues[key].push_back(std::move(msg));
+    }
+    box.cv.notify_all();
+    return;
+  }
+
+  // Fault path: stamp the flow sequence number, then roll drop / delay /
+  // duplication independently. Every roll is a pure hash of
+  // (seed, flow, seq, attempt) — deterministic across interleavings.
+  const std::uint64_t flow = flow_of(key, dst);
+  bool dropped = false, delayed = false, dup = false;
   {
     std::lock_guard<std::mutex> lock(box.mu);
-    box.queues[key].push_back(std::move(msg));
+    msg.seq = box.next_seq[key]++;
+    dropped = fault_roll(faults_.seed, flow, msg.seq, kFaultSaltDrop,
+                         /*attempt=*/0) < faults_.drop_prob;
+    if (dropped) {
+      box.lost[key].push_back(std::move(msg));
+    } else {
+      delayed = fault_roll(faults_.seed, flow, msg.seq, kFaultSaltDelay, 0) <
+                faults_.delay_prob;
+      if (delayed)
+        msg.not_before = std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(
+                                 faults_.delay_seconds));
+      dup = fault_roll(faults_.seed, flow, msg.seq, kFaultSaltDup, 0) <
+            faults_.dup_prob;
+      auto& q = box.queues[key];
+      if (dup) q.push_back(msg);  // extra copy, same seq: discarded at recv
+      q.push_back(std::move(msg));
+    }
   }
-  box.cv.notify_all();
+  if (dropped) count_fault(&TrafficStats::drops_injected, "drop", key.src, bytes);
+  if (delayed) count_fault(&TrafficStats::delays_injected, "delay", key.src, bytes);
+  if (dup) count_fault(&TrafficStats::dups_injected, "dup", key.src, bytes);
+  if (!dropped) box.cv.notify_all();
 }
 
 Message World::await(const MatchKey& key, rank_t dst) {
   PARFW_DCHECK(dst >= 0 && dst < size_);
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mu);
-  box.cv.wait(lock, [&] {
+
+  if (!faults_.message_faults()) {
+    box.cv.wait(lock, [&] {
+      if (aborted()) return true;
+      auto it = box.queues.find(key);
+      return it != box.queues.end() && !it->second.empty();
+    });
+    if (aborted()) throw_aborted();
     auto it = box.queues.find(key);
-    return it != box.queues.end() && !it->second.empty();
-  });
-  auto it = box.queues.find(key);
-  Message msg = std::move(it->second.front());
-  it->second.pop_front();
-  if (it->second.empty()) box.queues.erase(it);
-  return msg;
+    Message msg = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) box.queues.erase(it);
+    return msg;
+  }
+
+  // Reliability envelope. Messages are consumed strictly in per-flow seq
+  // order; a gap means the expected message was dropped (parked in
+  // box.lost) or is still in flight. On timeout we play the sender's
+  // retransmission timer: re-drive the oldest lost message of this flow,
+  // with bounded exponential backoff and a per-message retry budget.
+  using clock = std::chrono::steady_clock;
+  const std::uint64_t flow = flow_of(key, dst);
+  const double timeout_cap = send_timeout_ * 8.0;
+  double timeout = send_timeout_;
+  for (;;) {
+    if (aborted()) throw_aborted();
+    const std::uint64_t exp = box.expected[key];
+    std::optional<clock::time_point> due;
+    auto it = box.queues.find(key);
+    if (it != box.queues.end()) {
+      auto& q = it->second;
+      auto qi = q.begin();
+      while (qi != q.end()) {
+        if (qi->seq < exp) {
+          // Stale duplicate (dup injection, or a retransmission that
+          // raced its original): discard.
+          qi = q.erase(qi);
+          count_fault(&TrafficStats::dup_discarded, "dup_discard", dst, 0);
+          continue;
+        }
+        if (qi->seq == exp) {
+          if (qi->not_before <= clock::now()) {
+            Message msg = std::move(*qi);
+            q.erase(qi);
+            if (q.empty()) box.queues.erase(it);
+            ++box.expected[key];
+            return msg;
+          }
+          due = qi->not_before;  // delayed: sleep until deliverable
+          break;
+        }
+        ++qi;  // future seq — keep scanning (the gap resolves via retry)
+      }
+    }
+    if (due) {
+      box.cv.wait_until(lock, *due);
+      continue;
+    }
+    if (box.cv.wait_for(lock, std::chrono::duration<double>(timeout)) ==
+        std::cv_status::timeout) {
+      auto lit = box.lost.find(key);
+      if (lit != box.lost.end() && !lit->second.empty() &&
+          lit->second.front().seq == box.expected[key]) {
+        Message m = std::move(lit->second.front());
+        lit->second.pop_front();
+        if (lit->second.empty()) box.lost.erase(lit);
+        m.attempt += 1;
+        {
+          std::lock_guard<std::mutex> tlock(traffic_mu_);
+          ++traffic_.retries;
+          traffic_.retry_bytes += m.payload.size();
+        }
+        if (trace_) {
+          sched::TraceEvent e;
+          e.rank = dst;
+          e.name = "retry";
+          e.t_begin = e.t_end = sched::now_seconds();
+          e.bytes = static_cast<std::int64_t>(m.payload.size());
+          trace_->record(e);
+        }
+        if (static_cast<int>(m.attempt) > max_retries_)
+          throw RankFailure(
+              dst, "retry budget exhausted (" + std::to_string(max_retries_) +
+                       ") waiting on src " + std::to_string(key.src) +
+                       " tag " + std::to_string(key.tag));
+        // The retransmission itself rolls the drop die again (same seq,
+        // new attempt); duplicates/delays are not re-injected.
+        if (fault_roll(faults_.seed, flow, m.seq, kFaultSaltDrop,
+                       m.attempt) < faults_.drop_prob) {
+          count_fault(&TrafficStats::drops_injected, "drop", key.src,
+                      static_cast<std::int64_t>(m.payload.size()));
+          box.lost[key].push_front(std::move(m));
+        } else {
+          m.not_before = {};
+          box.queues[key].push_back(std::move(m));
+        }
+      }
+      timeout = std::min(timeout * 2.0, timeout_cap);  // bounded backoff
+    }
+  }
+}
+
+void World::abort(int failed_rank, const std::string& reason) {
+  bool expected = false;
+  if (!abort_claimed_.compare_exchange_strong(expected, true)) return;
+  aborted_rank_ = failed_rank;
+  abort_reason_ = reason;
+  aborted_.store(true, std::memory_order_release);
+  // Wake everyone. Locks are taken so no waiter misses the flag between
+  // its predicate check and its wait.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(group_mu_);
+    group_cv_.notify_all();
+  }
+}
+
+void World::add_checkpoint(std::uint64_t bytes, double seconds) {
+  std::lock_guard<std::mutex> lock(traffic_mu_);
+  ++traffic_.checkpoints;
+  traffic_.checkpoint_bytes += bytes;
+  traffic_.checkpoint_seconds += seconds;
 }
 
 void World::barrier() { group_barrier(/*context=*/0, size_); }
 
 void World::group_barrier(std::uint64_t context, int group_size) {
   std::unique_lock<std::mutex> lock(group_mu_);
+  if (aborted()) throw_aborted();
   GroupBarrier& gb = group_barriers_[context];
   const std::uint64_t my_gen = gb.gen;
   if (++gb.count == group_size) {
@@ -90,7 +282,8 @@ void World::group_barrier(std::uint64_t context, int group_size) {
     group_cv_.notify_all();
     return;
   }
-  group_cv_.wait(lock, [&] { return gb.gen != my_gen; });
+  group_cv_.wait(lock, [&] { return gb.gen != my_gen || aborted(); });
+  if (gb.gen == my_gen) throw_aborted();  // woken by abort, not completion
 }
 
 TrafficStats World::traffic() const {
@@ -104,7 +297,7 @@ TrafficStats World::traffic() const {
 
 TrafficStats Runtime::run(int world_size, const std::function<void(Comm&)>& fn,
                           const RuntimeOptions& opt) {
-  World world(world_size, opt.node_model, opt.trace);
+  World world(world_size, opt);
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(world_size));
@@ -117,14 +310,41 @@ TrafficStats Runtime::run(int world_size, const std::function<void(Comm&)>& fn,
         Comm comm(&world, r);
         fn(comm);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // One rank down must not deadlock the rest: kill the world so
+        // every blocked peer throws RankFailure and unwinds.
+        world.abort(r, "rank " + std::to_string(r) + " failed");
       }
     });
   }
   for (auto& t : threads) t.join();
+  if (opt.stats_out) *opt.stats_out = world.traffic();
   if (first_error) std::rethrow_exception(first_error);
   return world.traffic();
+}
+
+void TrafficStats::merge(const TrafficStats& o) {
+  messages += o.messages;
+  bytes_total += o.bytes_total;
+  bytes_internode += o.bytes_internode;
+  if (nic_bytes.size() < o.nic_bytes.size())
+    nic_bytes.resize(o.nic_bytes.size(), 0);
+  for (std::size_t i = 0; i < o.nic_bytes.size(); ++i)
+    nic_bytes[i] += o.nic_bytes[i];
+  max_nic_bytes = 0;
+  for (const auto b : nic_bytes) max_nic_bytes = std::max(max_nic_bytes, b);
+  drops_injected += o.drops_injected;
+  dups_injected += o.dups_injected;
+  delays_injected += o.delays_injected;
+  retries += o.retries;
+  dup_discarded += o.dup_discarded;
+  retry_bytes += o.retry_bytes;
+  checkpoints += o.checkpoints;
+  checkpoint_bytes += o.checkpoint_bytes;
+  checkpoint_seconds += o.checkpoint_seconds;
 }
 
 }  // namespace parfw::mpi

@@ -13,6 +13,14 @@
 //   * communicator split (process rows/columns of the 2-D grid),
 //   * tree broadcast (library bcast) and ring broadcast (the paper's
 //     custom PanelBcast collective, §3.3) — see collectives.hpp.
+//
+// Resilience (DESIGN.md "Resilience"): when RuntimeOptions carries a
+// FaultPlan, deliveries grow a reliability envelope — per-flow sequence
+// numbers, receiver-side in-order delivery, duplicate discard, and a
+// simulated retransmission timer (bounded exponential backoff from
+// send_timeout, per-message budget max_retries) that re-drives dropped
+// messages. Rank crashes propagate through World::abort: every blocked
+// peer is woken and throws RankFailure instead of deadlocking.
 #pragma once
 
 #include <atomic>
@@ -22,9 +30,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "mpisim/fault.hpp"
 #include "mpisim/message.hpp"
 #include "sched/trace.hpp"
 
@@ -45,7 +55,10 @@ struct NodeModel {
   static NodeModel contiguous(int world_size, int ranks_per_node);
 };
 
-/// Per-run communication statistics.
+/// Per-run communication statistics. messages / bytes_* count LOGICAL
+/// sends (one per send call, at first delivery attempt) so they stay
+/// exactly DES-comparable even under injected faults; the resilience
+/// counters below account the fault/recovery machinery separately.
 struct TrafficStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes_total = 0;
@@ -53,29 +66,69 @@ struct TrafficStats {
   /// max over nodes of (bytes in + bytes out through the NIC)
   std::uint64_t max_nic_bytes = 0;
   std::vector<std::uint64_t> nic_bytes;  ///< per node
+
+  // --- resilience counters (zero unless a FaultPlan / checkpointing ran) ---
+  std::uint64_t drops_injected = 0;   ///< delivery attempts lost
+  std::uint64_t dups_injected = 0;    ///< extra copies delivered
+  std::uint64_t delays_injected = 0;  ///< deliveries held back
+  std::uint64_t retries = 0;          ///< retransmission attempts driven
+  std::uint64_t dup_discarded = 0;    ///< stale duplicates dropped at recv
+  std::uint64_t retry_bytes = 0;      ///< payload bytes retransmitted
+  std::uint64_t checkpoints = 0;      ///< rank snapshots taken
+  std::uint64_t checkpoint_bytes = 0; ///< bytes written to the store
+  double checkpoint_seconds = 0.0;    ///< wall time spent snapshotting
+
+  /// Accumulate another run's statistics (the supervision loop merges
+  /// every attempt, crashed ones included, into one whole-run view).
+  void merge(const TrafficStats& o);
 };
 
 struct RuntimeOptions {
   NodeModel node_model{};
   /// When set, every message delivery is recorded as an instant event
   /// ("msg", rank = source, bytes = payload size) on the shared
-  /// sched::now_seconds() timeline. Sinks must be thread-safe.
+  /// sched::now_seconds() timeline; injected faults and retransmissions
+  /// are recorded as "drop"/"dup"/"delay"/"retry" instants. Sinks must be
+  /// thread-safe.
   sched::TraceSink* trace = nullptr;
+  /// Seeded deterministic fault injection (off by default).
+  FaultPlan faults{};
+  /// Reliability envelope: per-message retransmission budget and initial
+  /// timeout (doubles per retry, bounded). Only consulted when
+  /// faults.message_faults() — fault-free runs keep the fast wait path.
+  int max_retries = 6;
+  double send_timeout = 0.01;  ///< seconds
+  /// When set, Runtime::run copies the world's final TrafficStats here
+  /// even when a rank failure makes it throw — a crashed attempt's
+  /// retries/checkpoint counters stay observable to the supervisor.
+  TrafficStats* stats_out = nullptr;
 };
 
 /// Shared state of one run. Created by Runtime::run; ranks hold a pointer.
 class World {
  public:
   World(int size, NodeModel node_model, sched::TraceSink* trace = nullptr);
+  World(int size, const RuntimeOptions& opt)
+      : World(size, opt.node_model, opt.trace) {
+    faults_ = opt.faults;
+    max_retries_ = opt.max_retries;
+    send_timeout_ = opt.send_timeout;
+  }
 
   int size() const { return size_; }
   const NodeModel& node_model() const { return node_model_; }
   /// Trace sink of this run (nullptr when tracing is off).
   sched::TraceSink* trace() const { return trace_; }
+  /// Fault plan of this run (default-constructed = no faults).
+  const FaultPlan& faults() const { return faults_; }
 
   /// Deliver a message (eager copy already made by the caller).
   void deliver(const MatchKey& key, rank_t dst, Message msg);
   /// Block until a message matching `key` is available at `dst`; pop it.
+  /// Under an active fault plan this runs the reliability envelope:
+  /// in-seq delivery, duplicate discard, delay honouring, and timeout
+  /// re-drive of dropped messages. Throws RankFailure if the world is
+  /// aborted while waiting or the retry budget is exhausted.
   Message await(const MatchKey& key, rank_t dst);
 
   /// World-wide barrier over all ranks (sense-reversing, generation count).
@@ -88,6 +141,15 @@ class World {
   /// global and allocation order is synchronised by the callers' barrier).
   std::uint64_t next_context() { return next_context_.fetch_add(1); }
 
+  /// Kill the world: wake every rank blocked in await/group_barrier; they
+  /// throw RankFailure. First abort wins. Runtime::run calls this when any
+  /// rank's body throws, so one crash can never deadlock the others.
+  void abort(int failed_rank, const std::string& reason);
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
+  /// Checkpoint accounting (surfaced through traffic()).
+  void add_checkpoint(std::uint64_t bytes, double seconds);
+
   TrafficStats traffic() const;
 
  private:
@@ -95,12 +157,30 @@ class World {
     std::mutex mu;
     std::condition_variable cv;
     std::unordered_map<MatchKey, std::deque<Message>, MatchKeyHash> queues;
+    // Reliability envelope state (touched only under an active fault
+    // plan). Dropped messages park in `lost` until the receiver's
+    // retransmission timer re-drives them into `queues`.
+    std::unordered_map<MatchKey, std::uint64_t, MatchKeyHash> next_seq;
+    std::unordered_map<MatchKey, std::uint64_t, MatchKeyHash> expected;
+    std::unordered_map<MatchKey, std::deque<Message>, MatchKeyHash> lost;
   };
+
+  [[noreturn]] void throw_aborted() const;
+  void count_fault(std::uint64_t TrafficStats::* counter, const char* name,
+                   rank_t rank, std::int64_t bytes);
 
   int size_;
   NodeModel node_model_;
   sched::TraceSink* trace_ = nullptr;
+  FaultPlan faults_{};
+  int max_retries_ = 6;
+  double send_timeout_ = 0.01;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::atomic<bool> aborted_{false};
+  std::atomic<bool> abort_claimed_{false};
+  int aborted_rank_ = -1;
+  std::string abort_reason_;
 
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
@@ -123,7 +203,9 @@ class World {
 
 /// Entry point: spawn `world_size` rank threads, run `fn(world_comm)` on
 /// each, join, and return the aggregated traffic statistics. Any exception
-/// thrown by a rank is rethrown (first one wins) after all threads joined.
+/// thrown by a rank aborts the world (peers blocked in receives/barriers
+/// wake and throw RankFailure) and is rethrown (first one wins) after all
+/// threads joined.
 class Runtime {
  public:
   static TrafficStats run(int world_size,

@@ -117,6 +117,28 @@ struct Gen {
              2.0 * owned(r, pr) * b * owned(c, pc) * b * b);
   }
 
+  // Coordinated checkpoint cut before iteration k: one op per rank, at a
+  // point in the global order where every collective of iterations < k is
+  // complete, so the tiles alone (plus k) define the remaining work. The
+  // data interpreter binds this to barrier + snapshot + barrier; the DES
+  // sees a zero-flop compute op. op.bytes records the rank's local tile
+  // footprint (snapshot size metadata, not wire bytes).
+  void checkpoint_phase(std::size_t k) {
+    for (int r = 0; r < pr; ++r)
+      for (int c = 0; c < pc; ++c) {
+        Op op;
+        op.kind = OpKind::kCheckpoint;
+        op.k = static_cast<std::uint32_t>(k);
+        op.bytes = static_cast<std::int64_t>(owned(r, pr) * b * owned(c, pc) *
+                                             b * word);
+        s.steps.push_back({grid.world_rank({r, c}), op});
+      }
+  }
+  bool want_checkpoint(std::size_t k) const {
+    return p.checkpoint_every > 0 && k > p.start_k &&
+           k % p.checkpoint_every == 0;
+  }
+
   // Look-ahead: OuterUpdate(k) restricted to the (k+1) panel strips, on
   // the ranks that own them. op.k carries k (the update iteration); the
   // strip location is k+1, derived by the interpreter.
@@ -140,6 +162,7 @@ Schedule build_schedule(const dist::GridSpec& grid, const ScheduleParams& p) {
   PARFW_CHECK_MSG(p.nb >= static_cast<std::size_t>(pr) &&
                       p.nb >= static_cast<std::size_t>(pc),
                   "need at least one block per process row/column");
+  PARFW_CHECK_MSG(p.start_k <= p.nb, "resume point beyond the last iteration");
 
   Schedule s;
   s.variant = p.variant;
@@ -162,8 +185,10 @@ Schedule build_schedule(const dist::GridSpec& grid, const ScheduleParams& p) {
 
   if (!pipelined) {
     // Algorithm 3 (bulk synchronous); kOffload differs only in how the
-    // interpreter binds kOuterUpdate (op.offload).
-    for (std::size_t k = 0; k < p.nb; ++k) {
+    // interpreter binds kOuterUpdate (op.offload). Resuming from start_k
+    // needs no prologue: each iteration regenerates its own panels.
+    for (std::size_t k = p.start_k; k < p.nb; ++k) {
+      if (g.want_checkpoint(k)) g.checkpoint_phase(k);
       g.diag_phase(k);
       g.panel_update_phase(k);
       g.row_panel_bcast(k, /*roots=*/true, /*recvs=*/true);
@@ -172,16 +197,23 @@ Schedule build_schedule(const dist::GridSpec& grid, const ScheduleParams& p) {
     }
     return s;
   }
+  if (p.start_k == p.nb) return s;  // resumed past the end: nothing left
 
-  // Algorithm 4 (pipelined / async). Prologue establishes the k = 0
-  // panels; thereafter iteration k+1's Diag/Panel phases and the root
-  // side of PanelBcast(k+1) run before the bulk OuterUpdate(k), and the
-  // receive side after it.
-  g.diag_phase(0);
-  g.panel_update_phase(0);
-  g.row_panel_bcast(0, true, true);
-  g.col_panel_bcast(0, true, true);
-  for (std::size_t k = 0; k < p.nb; ++k) {
+  // Algorithm 4 (pipelined / async). Prologue establishes the start_k
+  // panels (start_k = 0 for a fresh run; a resume re-derives the panel
+  // buffers from the checkpointed tiles — bit-identical, see
+  // ScheduleParams::start_k); thereafter iteration k+1's Diag/Panel
+  // phases and the root side of PanelBcast(k+1) run before the bulk
+  // OuterUpdate(k), and the receive side after it.
+  g.diag_phase(p.start_k);
+  g.panel_update_phase(p.start_k);
+  g.row_panel_bcast(p.start_k, true, true);
+  g.col_panel_bcast(p.start_k, true, true);
+  for (std::size_t k = p.start_k; k < p.nb; ++k) {
+    // Cut at the top of body k: PanelBcast(k) recv sides closed in body
+    // k-1, so the tiles already carry PanelUpdate(k) — exactly the state
+    // the resume prologue(k) re-derives.
+    if (g.want_checkpoint(k)) g.checkpoint_phase(k);
     const std::size_t k1 = k + 1;
     if (k1 < p.nb) {
       g.lookahead_phase(k, k1);

@@ -28,29 +28,10 @@
 #include <vector>
 
 #include "dist/grid.hpp"
+#include "sched/variant.hpp"
 #include "util/check.hpp"
 
 namespace parfw::sched {
-
-/// The paper's schedule variants (§3: Algorithms 3-4, §4: Me-ParallelFw).
-/// +Reordering is not a variant: it is the same schedule generated for a
-/// GridSpec::tiled placement instead of row_major.
-enum class Variant {
-  kBaseline,   ///< Algorithm 3: bulk-synchronous, tree broadcasts
-  kPipelined,  ///< Algorithm 4: (k+1) look-ahead
-  kAsync,      ///< kPipelined + ring PanelBcast (§3.3)
-  kOffload,    ///< Me-ParallelFw: baseline schedule, OuterUpdate via ooGSrGemm
-};
-
-inline const char* variant_name(Variant v) {
-  switch (v) {
-    case Variant::kBaseline: return "baseline";
-    case Variant::kPipelined: return "pipelined";
-    case Variant::kAsync: return "async";
-    case Variant::kOffload: return "offload";
-  }
-  return "?";
-}
 
 // --- tag space ---------------------------------------------------------------
 //
@@ -94,6 +75,7 @@ enum class OpKind : std::uint8_t {
   kLookaheadRow,    ///< OuterUpdate(k) restricted to the (k+1) row strip
   kLookaheadCol,    ///< OuterUpdate(k) restricted to the (k+1) col strip
   kOuterUpdate,     ///< bulk OuterUpdate(k) on the whole local matrix
+  kCheckpoint,      ///< coordinated snapshot cut before iteration k
 };
 
 inline const char* op_name(OpKind kind) {
@@ -108,6 +90,7 @@ inline const char* op_name(OpKind kind) {
     case OpKind::kLookaheadRow: return "LookaheadRow";
     case OpKind::kLookaheadCol: return "LookaheadCol";
     case OpKind::kOuterUpdate: return "OuterUpdate";
+    case OpKind::kCheckpoint: return "Checkpoint";
   }
   return "?";
 }
@@ -169,6 +152,19 @@ struct ScheduleParams {
   std::size_t b = 0;           ///< block size
   std::size_t word_bytes = 4;  ///< sizeof one matrix element
   double diag_flops = 0.0;     ///< cost metadata for one DiagUpdate
+  /// Resume support: first pivot iteration to EXECUTE. A schedule built
+  /// with start_k > 0 assumes the matrix state already reflects all
+  /// iterations < start_k (a loaded checkpoint); the pipelined/async
+  /// generators re-emit the prologue (Diag/Panel/Bcast of start_k) so the
+  /// panel buffers — which are never checkpointed — are regenerated.
+  /// Re-running those closed-panel updates is a bit-identical no-op under
+  /// the idempotent ⊕ (same argument as the in-place PanelUpdate).
+  std::size_t start_k = 0;
+  /// Emit a coordinated kCheckpoint cut (one op per rank) before every
+  /// iteration k with k % checkpoint_every == 0 and k > start_k. 0 = off.
+  /// Cuts sit at points where all collectives of iterations < k are
+  /// complete on every rank, so the tiles alone define the remaining work.
+  std::size_t checkpoint_every = 0;
 };
 
 /// Generate the schedule for one variant on one placement. The grid IS

@@ -1,0 +1,29 @@
+// The ParallelFw schedule variants (paper §3: Algorithms 3-4, §4:
+// Me-ParallelFw), split out of ir.hpp so layers that only need to NAME a
+// variant (e.g. the core front-door options in core/apsp.hpp, checkpoint
+// headers) can do so without pulling in the grid/IR machinery.
+//
+// +Reordering is not a variant: it is the same schedule generated for a
+// GridSpec::tiled placement instead of row_major.
+#pragma once
+
+namespace parfw::sched {
+
+enum class Variant {
+  kBaseline,   ///< Algorithm 3: bulk-synchronous, tree broadcasts
+  kPipelined,  ///< Algorithm 4: (k+1) look-ahead
+  kAsync,      ///< kPipelined + ring PanelBcast (§3.3)
+  kOffload,    ///< Me-ParallelFw: baseline schedule, OuterUpdate via ooGSrGemm
+};
+
+inline const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kBaseline: return "baseline";
+    case Variant::kPipelined: return "pipelined";
+    case Variant::kAsync: return "async";
+    case Variant::kOffload: return "offload";
+  }
+  return "?";
+}
+
+}  // namespace parfw::sched

@@ -27,23 +27,29 @@ TEST(ComponentApsp, MatchesDenseSolveOnMultiComponentGraph) {
   const auto g = gen::multi_component(4, 20, 0.3, 11);
   auto dense = g.distance_matrix<S>();
   floyd_warshall<S>(dense.view());
-  const auto split = component_apsp<S>(g, {.algorithm = ApspAlgorithm::kBlocked,
-                                           .block_size = 8});
+  ApspOptions opt;
+  opt.algorithm = ApspAlgorithm::kBlocked;
+  opt.block_size = 8;
+  const auto split = component_apsp<S>(g, opt);
   // Blocked vs sequential sum orders differ; double rounding only.
   EXPECT_LT(max_abs_diff<double>(dense.view(), split.dist.view()), 1e-9);
 }
 
 TEST(ComponentApsp, SingleComponentDegeneratesToPlainApsp) {
   const auto g = gen::erdos_renyi(50, 0.2, 12);
-  const auto a = apsp<S>(g, {.algorithm = ApspAlgorithm::kSequential});
-  const auto b = component_apsp<S>(g, {.algorithm = ApspAlgorithm::kSequential});
+  ApspOptions opt;
+  opt.algorithm = ApspAlgorithm::kSequential;
+  const auto a = apsp<S>(g, opt);
+  const auto b = component_apsp<S>(g, opt);
   // Same algorithm, same order (single component is an identity remap).
   EXPECT_EQ(max_abs_diff<double>(a.dist.view(), b.dist.view()), 0.0);
 }
 
 TEST(ComponentApsp, PathsRemapToOriginalIds) {
   const auto g = gen::multi_component(3, 12, 0.5, 13);
-  ApspOptions opt{.algorithm = ApspAlgorithm::kSequential, .track_paths = true};
+  ApspOptions opt;
+  opt.algorithm = ApspAlgorithm::kSequential;
+  opt.track_paths = true;
   const auto r = component_apsp<S>(g, opt);
   const auto w = g.distance_matrix<S>();
   for (vertex_t s = 0; s < g.num_vertices(); ++s)
@@ -170,13 +176,13 @@ TEST(Checkpoint, ResumeReproducesUninterruptedRun) {
 
   // Uninterrupted run.
   auto full = gen.full(static_cast<vertex_t>(n));
-  blocked_floyd_warshall<Sf>(full.view(), {.block_size = b});
+  blocked_floyd_warshall<Sf>(full.view(), {{.block_size = b}});
 
   // Interrupted run: checkpoint at every iteration, "crash" after 3.
   auto crashing = gen.full(static_cast<vertex_t>(n));
   std::stringstream ckpt;
   blocked_floyd_warshall_range<Sf>(
-      crashing.view(), 0, {.block_size = b},
+      crashing.view(), 0, {{.block_size = b}},
       [&](std::size_t k_done, MatrixView<float> view) {
         if (k_done == 3) {
           ckpt.str("");
@@ -188,7 +194,7 @@ TEST(Checkpoint, ResumeReproducesUninterruptedRun) {
   auto restored = load_checkpoint<float>(ckpt);
   EXPECT_EQ(restored.next_block, 3u);
   blocked_floyd_warshall_range<Sf>(restored.dist.view(), restored.next_block,
-                                   {.block_size = restored.block_size});
+                                   {{.block_size = restored.block_size}});
   EXPECT_EQ(max_abs_diff<float>(full.view(), restored.dist.view()), 0.0);
 }
 
@@ -199,13 +205,13 @@ TEST(Checkpoint, ResumeFromEveryIteration) {
   DenseEntryGen<float> gen(33, 1.0, 1.0f, 30.0f, /*integral=*/true);
   const std::size_t n = 40, b = 8, nb = n / b;
   auto full = gen.full(static_cast<vertex_t>(n));
-  blocked_floyd_warshall<Sf>(full.view(), {.block_size = b});
+  blocked_floyd_warshall<Sf>(full.view(), {{.block_size = b}});
 
   for (std::size_t stop = 1; stop <= nb; ++stop) {
     std::stringstream ss;
     auto scratch = gen.full(static_cast<vertex_t>(n));
     blocked_floyd_warshall_range<Sf>(
-        scratch.view(), 0, {.block_size = b},
+        scratch.view(), 0, {{.block_size = b}},
         [&](std::size_t k_done, MatrixView<float> v) {
           if (k_done == stop)
             save_checkpoint<float>(ss, MatrixView<const float>(v), k_done, b);
@@ -213,7 +219,7 @@ TEST(Checkpoint, ResumeFromEveryIteration) {
     auto loaded = load_checkpoint<float>(ss);
     EXPECT_EQ(loaded.next_block, stop);
     blocked_floyd_warshall_range<Sf>(loaded.dist.view(), loaded.next_block,
-                                     {.block_size = loaded.block_size});
+                                     {{.block_size = loaded.block_size}});
     EXPECT_EQ(max_abs_diff<float>(full.view(), loaded.dist.view()), 0.0)
         << "resume from " << stop;
   }

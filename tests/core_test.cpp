@@ -146,7 +146,7 @@ TEST(BlockedFw, FloatPrecisionMatchesSequentialBitwise) {
   auto a = g.distance_matrix<Sf>();
   auto b = a.clone();
   floyd_warshall<Sf>(a.view());
-  blocked_floyd_warshall<Sf>(b.view(), {.block_size = 17});
+  blocked_floyd_warshall<Sf>(b.view(), {{.block_size = 17}});
   // min/+ over identical inputs is exact: results must agree bitwise.
   EXPECT_EQ(max_abs_diff<float>(a.view(), b.view()), 0.0);
 }
@@ -216,10 +216,13 @@ TEST(Paths, ReconstructedPathsAreValidAndOptimal) {
 
 TEST(Paths, BlockedPathsMatchSequentialDistances) {
   const auto g = gen::erdos_renyi(50, 0.25, 92, 1.0, 100.0, /*integral=*/true);
-  ApspOptions seq{.algorithm = ApspAlgorithm::kSequential, .track_paths = true};
-  ApspOptions blk{.algorithm = ApspAlgorithm::kBlocked,
-                  .block_size = 13,
-                  .track_paths = true};
+  ApspOptions seq;
+  seq.algorithm = ApspAlgorithm::kSequential;
+  seq.track_paths = true;
+  ApspOptions blk;
+  blk.algorithm = ApspAlgorithm::kBlocked;
+  blk.track_paths = true;
+  blk.block_size = 13;
   const auto a = apsp<S>(g, seq);
   const auto b = apsp<S>(g, blk);
   EXPECT_EQ(max_abs_diff<double>(a.dist.view(), b.dist.view()), 0.0);
@@ -238,8 +241,10 @@ TEST(Paths, BlockedPathsMatchSequentialDistances) {
 
 TEST(Paths, SelfPathIsSingleton) {
   const auto g = gen::ring(5);
-  const auto r = apsp<S>(g, {.algorithm = ApspAlgorithm::kSequential,
-                             .track_paths = true});
+  ApspOptions opt;
+  opt.algorithm = ApspAlgorithm::kSequential;
+  opt.track_paths = true;
+  const auto r = apsp<S>(g, opt);
   EXPECT_EQ(r.path(2, 2), (std::vector<std::int64_t>{2}));
 }
 
@@ -247,9 +252,16 @@ TEST(Paths, SelfPathIsSingleton) {
 
 TEST(Apsp, AlgorithmsAgree) {
   const auto g = gen::erdos_renyi(96, 0.2, 10, 1.0, 100.0, /*integral=*/true);
-  const auto a = apsp<S>(g, {.algorithm = ApspAlgorithm::kSequential});
-  const auto b = apsp<S>(g, {.algorithm = ApspAlgorithm::kBlocked, .block_size = 24});
-  const auto c = apsp<S>(g, {.algorithm = ApspAlgorithm::kBlockedParallel});
+  ApspOptions sopt;
+  sopt.algorithm = ApspAlgorithm::kSequential;
+  const auto a = apsp<S>(g, sopt);
+  ApspOptions blk;
+  blk.algorithm = ApspAlgorithm::kBlocked;
+  blk.block_size = 24;
+  const auto b = apsp<S>(g, blk);
+  ApspOptions popt;
+  popt.algorithm = ApspAlgorithm::kBlockedParallel;
+  const auto c = apsp<S>(g, popt);
   EXPECT_EQ(max_abs_diff<double>(a.dist.view(), b.dist.view()), 0.0);
   EXPECT_EQ(max_abs_diff<double>(a.dist.view(), c.dist.view()), 0.0);
 }
@@ -279,7 +291,7 @@ TEST(Apsp, MaxMinWidestPath) {
   EXPECT_EQ(d(0, 3), 3.0);
   EXPECT_EQ(d(2, 1), 6.0);
   auto blocked = g.distance_matrix<W>();
-  blocked_floyd_warshall<W>(blocked.view(), {.block_size = 2});
+  blocked_floyd_warshall<W>(blocked.view(), {{.block_size = 2}});
   EXPECT_EQ(max_abs_diff<double>(d.view(), blocked.view()), 0.0);
 }
 
@@ -292,7 +304,7 @@ TEST(Apsp, TransitiveClosure) {
   Matrix<std::uint8_t> m(5, 5, B::zero());
   for (vertex_t v = 0; v < 5; ++v) m(v, v) = B::one();
   for (const Edge& e : g.edges()) m(e.src, e.dst) = B::one();
-  blocked_floyd_warshall<B>(m.view(), {.block_size = 2});
+  blocked_floyd_warshall<B>(m.view(), {{.block_size = 2}});
   EXPECT_EQ(m(0, 2), 1);
   EXPECT_EQ(m(0, 4), 0);
   EXPECT_EQ(m(3, 4), 1);

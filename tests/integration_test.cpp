@@ -25,7 +25,7 @@ TEST(IntegerWeights, Int32MatchesDoubleOracle) {
   const auto g = gen::erdos_renyi(60, 0.15, 901, 1.0, 1000.0, /*integral=*/true);
 
   auto di = g.distance_matrix<Si>();
-  blocked_floyd_warshall<Si>(di.view(), {.block_size = 16});
+  blocked_floyd_warshall<Si>(di.view(), {{.block_size = 16}});
   auto dd = g.distance_matrix<Sd>();
   floyd_warshall<Sd>(dd.view());
 
@@ -50,7 +50,7 @@ TEST(IntegerWeights, Int64LargeWeightsNoOverflow) {
                static_cast<double>((std::int64_t{1} << 40) +
                                    static_cast<std::int64_t>(rng.next_below(1000))));
   auto d = g.distance_matrix<S64>();
-  blocked_floyd_warshall<S64>(d.view(), {.block_size = 4});
+  blocked_floyd_warshall<S64>(d.view(), {{.block_size = 4}});
   EXPECT_GT(d(0, 19), std::int64_t{19} << 40);
   EXPECT_FALSE(value_traits<std::int64_t>::is_inf(d(0, 19)));
   EXPECT_TRUE(value_traits<std::int64_t>::is_inf(d(19, 0)));

@@ -19,8 +19,10 @@ class ClosureProperties : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ClosureProperties, TriangleInequalityHolds) {
   const auto g = gen::erdos_renyi(45, 0.15, GetParam());
-  const auto r = apsp<S>(g, {.algorithm = ApspAlgorithm::kBlocked,
-                             .block_size = 16});
+  ApspOptions opt;
+  opt.algorithm = ApspAlgorithm::kBlocked;
+  opt.block_size = 16;
+  const auto r = apsp<S>(g, opt);
   const auto& d = r.dist;
   for (std::size_t i = 0; i < 45; ++i)
     for (std::size_t k = 0; k < 45; ++k)
@@ -36,7 +38,7 @@ TEST_P(ClosureProperties, ClosureIsAFixpoint) {
   auto again = d.clone();
   floyd_warshall<S>(again.view());
   EXPECT_EQ(max_abs_diff<double>(d.view(), again.view()), 0.0);
-  blocked_floyd_warshall<S>(again.view(), {.block_size = 8});
+  blocked_floyd_warshall<S>(again.view(), {{.block_size = 8}});
   EXPECT_EQ(max_abs_diff<double>(d.view(), again.view()), 0.0);
 }
 
@@ -82,7 +84,7 @@ TEST_P(ClosureProperties, SolverFamilyAgreesBitwise) {
   floyd_warshall<S>(seq.view());
 
   auto blocked = g.distance_matrix<S>();
-  blocked_floyd_warshall<S>(blocked.view(), {.block_size = 13});
+  blocked_floyd_warshall<S>(blocked.view(), {{.block_size = 13}});
   EXPECT_EQ(max_abs_diff<double>(seq.view(), blocked.view()), 0.0);
 
   auto rk = g.distance_matrix<S>();

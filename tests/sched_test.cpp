@@ -238,6 +238,91 @@ TEST(Generators, SharedCompWorkIsVariantInvariant) {
 }
 
 // ---------------------------------------------------------------------------
+// Resume / checkpoint schedules (DESIGN.md "Resilience").
+
+TEST(ResumeSchedule, DefaultParamsEmitNoCheckpointOps) {
+  const auto grid = dist::GridSpec::row_major(2, 2);
+  for (const Variant v : kAllVariants)
+    for (const sched::Step& s : small_schedule(v, grid, 6, 8).steps)
+      EXPECT_NE(s.op.kind, OpKind::kCheckpoint) << variant_name(v);
+}
+
+TEST(ResumeSchedule, CheckpointCutsLandEveryNthIteration) {
+  const auto grid = dist::GridSpec::row_major(2, 2);
+  for (const Variant v : kAllVariants) {
+    sched::ScheduleParams sp;
+    sp.variant = v;
+    sp.nb = 6;
+    sp.b = 8;
+    sp.word_bytes = sizeof(float);
+    sp.checkpoint_every = 2;
+    const auto s = sched::build_schedule(grid, sp);
+    std::set<std::size_t> cut_iters;
+    std::size_t cut_ops = 0;
+    for (const sched::Step& step : s.steps)
+      if (step.op.kind == OpKind::kCheckpoint) {
+        cut_iters.insert(step.op.k);
+        ++cut_ops;
+      }
+    // Cuts at k = 2 and 4 (never at the start), one op per rank per cut.
+    EXPECT_EQ(cut_iters, (std::set<std::size_t>{2, 4})) << variant_name(v);
+    EXPECT_EQ(cut_ops, cut_iters.size() * static_cast<std::size_t>(grid.size()))
+        << variant_name(v);
+  }
+}
+
+TEST(ResumeSchedule, StartKReplaysExactlyTheSuffix) {
+  // The resume schedule must cover iterations start_k..nb-1 and nothing
+  // earlier; a start at nb is a valid empty program.
+  const auto grid = dist::GridSpec::row_major(2, 2);
+  for (const Variant v : kAllVariants) {
+    sched::ScheduleParams sp;
+    sp.variant = v;
+    sp.nb = 6;
+    sp.b = 8;
+    sp.word_bytes = sizeof(float);
+    sp.start_k = 3;
+    const auto s = sched::build_schedule(grid, sp);
+    std::set<std::size_t> iters;
+    for (const sched::Step& step : s.steps) iters.insert(step.op.k);
+    EXPECT_EQ(*iters.begin(), 3u) << variant_name(v);
+    EXPECT_EQ(*iters.rbegin(), 5u) << variant_name(v);
+    EXPECT_EQ(iters.size(), 3u) << variant_name(v);
+
+    sp.start_k = 6;
+    EXPECT_TRUE(sched::build_schedule(grid, sp).steps.empty())
+        << variant_name(v);
+  }
+}
+
+TEST(ResumeSchedule, SuffixOpsMatchTheFullScheduleTail) {
+  // Replay correctness leans on the resume schedule emitting the SAME ops
+  // (modulo the pipelined prologue re-staging start_k's panels) the full
+  // schedule would run from start_k on — spot-check the baseline variant,
+  // whose loop body has no cross-iteration staging.
+  const auto grid = dist::GridSpec::row_major(2, 2);
+  sched::ScheduleParams sp;
+  sp.variant = Variant::kBaseline;
+  sp.nb = 5;
+  sp.b = 8;
+  sp.word_bytes = sizeof(float);
+  const auto full = sched::build_schedule(grid, sp);
+  sp.start_k = 2;
+  const auto resumed = sched::build_schedule(grid, sp);
+
+  std::vector<sched::Step> tail;
+  for (const sched::Step& step : full.steps)
+    if (step.op.k >= 2) tail.push_back(step);
+  ASSERT_EQ(tail.size(), resumed.steps.size());
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].rank, resumed.steps[i].rank) << i;
+    EXPECT_EQ(tail[i].op.kind, resumed.steps[i].op.kind) << i;
+    EXPECT_EQ(tail[i].op.k, resumed.steps[i].op.k) << i;
+    EXPECT_EQ(tail[i].op.tag, resumed.steps[i].op.tag) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Trace sinks.
 
 TEST(TraceSinks, StatsAggregatesPerName) {

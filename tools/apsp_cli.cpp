@@ -16,6 +16,7 @@
 
 #include "core/apsp.hpp"
 #include "core/component_apsp.hpp"
+#include "dist/solve.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "util/cli.hpp"
@@ -32,9 +33,12 @@ void print_usage() {
       "  --format el|gr      input format (default el)\n"
       "  --gen er|grid|pa    generate instead of reading\n"
       "  --n N --p P --seed S   generator parameters\n"
-      "  --algorithm seq|blocked|parallel   (default parallel)\n"
+      "  --algorithm seq|blocked|parallel|dist   (default parallel)\n"
       "  --semiring minplus|maxmin          (default minplus)\n"
       "  --block N           block size (default 64)\n"
+      "  --dist PRxPC        process grid for --algorithm dist (default 2x2;\n"
+      "                      requires n divisible by --block)\n"
+      "  --variant baseline|pipelined|async|offload   dist schedule (async)\n"
       "  --paths             track predecessors (enables path queries)\n"
       "  --components        solve per connected component\n"
       "  --query S,T         print dist (and path) for the pair; repeatable\n"
@@ -44,13 +48,16 @@ void print_usage() {
 template <typename S>
 int run(const Graph& g, const CliArgs& args) {
   ApspOptions opt;
-  const std::string alg = args.get("algorithm", "parallel");
+  const std::string alg =
+      args.get("algorithm", args.has("dist") ? "dist" : "parallel");
   if (alg == "seq")
     opt.algorithm = ApspAlgorithm::kSequential;
   else if (alg == "blocked")
     opt.algorithm = ApspAlgorithm::kBlocked;
   else if (alg == "parallel")
     opt.algorithm = ApspAlgorithm::kBlockedParallel;
+  else if (alg == "dist")
+    opt.algorithm = ApspAlgorithm::kDistributed;
   else {
     std::fprintf(stderr, "unknown --algorithm '%s'\n", alg.c_str());
     return 2;
@@ -58,10 +65,35 @@ int run(const Graph& g, const CliArgs& args) {
   opt.block_size = static_cast<std::size_t>(args.get_int("block", 64));
   opt.track_paths = args.get_bool("paths");
 
+  if (opt.algorithm == ApspAlgorithm::kDistributed) {
+    int pr = 2, pc = 2;
+    char x = 0;
+    std::istringstream ds(args.get("dist", "2x2"));
+    if (!(ds >> pr >> x >> pc) || x != 'x' || pr < 1 || pc < 1) {
+      std::fprintf(stderr, "bad --dist (expected PRxPC, e.g. 2x2)\n");
+      return 2;
+    }
+    opt.dist.grid_rows = pr;
+    opt.dist.grid_cols = pc;
+    const std::string variant = args.get("variant", "async");
+    if (variant == "baseline")
+      opt.dist.variant = sched::Variant::kBaseline;
+    else if (variant == "pipelined")
+      opt.dist.variant = sched::Variant::kPipelined;
+    else if (variant == "async")
+      opt.dist.variant = sched::Variant::kAsync;
+    else if (variant == "offload")
+      opt.dist.variant = sched::Variant::kOffload;
+    else {
+      std::fprintf(stderr, "unknown --variant '%s'\n", variant.c_str());
+      return 2;
+    }
+  }
+
   Timer t;
   const auto result = args.get_bool("components")
                           ? component_apsp<S>(g, opt)
-                          : apsp<S>(g, opt);
+                          : solve<S>(g, opt);
   std::fprintf(stderr, "solved %lld vertices in %.3f s (%s)\n",
                static_cast<long long>(g.num_vertices()), t.seconds(),
                alg.c_str());
@@ -112,7 +144,8 @@ int main(int argc, char** argv) {
     const CliArgs args(argc, argv,
                        {"input", "format", "gen", "n", "p", "seed",
                         "algorithm", "semiring", "block", "paths",
-                        "components", "query", "output", "help"});
+                        "components", "query", "output", "dist", "variant",
+                        "help"});
     if (args.get_bool("help") || argc == 1) {
       print_usage();
       return argc == 1 ? 2 : 0;
