@@ -26,6 +26,7 @@ int main() {
   const double b = 768;
   const auto legends = paper_legends();
   bench::FigTrace trace;  // PARFW_TRACE=<file> records the first run
+  bench::BenchJson bj;    // PARFW_BENCH_JSON=<file> emits the datapoints
   const double gpu_wall = max_in_gpu_vertices(m, nodes);
   const double peak_pf =
       nodes * m.gpus_per_node * m.srgemm_peak_flops / 1e15;
@@ -44,10 +45,14 @@ int main() {
         if (l.name == name) {
           const RunPoint p = simulate_fw(m, l, nodes, n, b, trace.sink());
           row.push_back(Table::num(p.pflops, 3));
+          bj.add("Fig7/" + std::string(name) + "/" + Table::num(n, 0),
+                 p.seconds, "PFLOP/s", p.pflops);
         }
     }
     const RunPoint off = simulate_fw(m, legends[4], nodes, n, b);
     row.push_back(Table::num(off.pflops, 3));
+    bj.add("Fig7/offload/" + Table::num(n, 0), off.seconds, "PFLOP/s",
+           off.pflops);
     row.push_back(fits ? "" : "beyond GPU memory");
     t.add_row(row);
   }

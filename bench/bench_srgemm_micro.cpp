@@ -13,9 +13,12 @@
 //                      --benchmark_out_format=json).
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "graph/graph.hpp"
 #include "semiring/semiring.hpp"
 #include "srgemm/srgemm.hpp"
+#include "telemetry/export.hpp"
 
 namespace {
 
@@ -139,4 +142,13 @@ BENCHMARK(BM_SrgemmPanelShapeSimd)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// PARFW_METRICS=json|prom|table dumps the ambient kernel-dispatch series
+// (calls, flops, GF/s per kernel×micro-shape) after the run.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  parfw::telemetry::dump_env(std::cerr);
+  return 0;
+}

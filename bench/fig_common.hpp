@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "perf/experiments.hpp"
 #include "perf/machine.hpp"
@@ -51,6 +53,65 @@ class FigTrace {
   std::string path_ = env_path();
   sched::ChromeTraceSink sink_;
   bool used_ = false;
+};
+
+/// Opt-in machine-readable output for the figure benches: when the
+/// PARFW_BENCH_JSON environment variable names a file, every datapoint
+/// recorded through `add()` is written there at scope exit in the
+/// google-benchmark JSON layout ({"benchmarks": [{"name", counters}]}),
+/// so scripts/bench_compare.py diffs figure benches and google-benchmark
+/// binaries with the same code path. The DES datapoints are
+/// deterministic, which is what makes a committed baseline
+/// (BENCH_dist.json) a meaningful regression gate.
+class BenchJson {
+ public:
+  BenchJson() = default;
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() {
+    if (path_.empty() || rows_.empty()) return;
+    std::ofstream os(path_);
+    os << "{\n  \"context\": {\"source\": \"parfw figure bench\"},\n"
+       << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
+                    "\"real_time\": %.17g, \"time_unit\": \"s\", "
+                    "\"%s\": %.17g}%s\n",
+                    r.name.c_str(), r.seconds, r.counter.c_str(), r.value,
+                    i + 1 < rows_.size() ? "," : "");
+      os << buf;
+    }
+    os << "  ]\n}\n";
+    std::fprintf(stderr, "[bench-json] wrote %zu datapoints to %s\n",
+                 rows_.size(), path_.c_str());
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Record one datapoint: `name` keys the comparison (keep it stable
+  /// across runs), `seconds` is the modelled/measured duration, and
+  /// `counter`/`value` is the throughput figure (e.g. "PFLOP/s").
+  void add(const std::string& name, double seconds,
+           const std::string& counter, double value) {
+    if (enabled()) rows_.push_back({name, seconds, counter, value});
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double seconds;
+    std::string counter;
+    double value;
+  };
+  static std::string env_path() {
+    const char* p = std::getenv("PARFW_BENCH_JSON");
+    return p == nullptr ? "" : p;
+  }
+  std::string path_ = env_path();
+  std::vector<Row> rows_;
 };
 
 inline void header(const std::string& title, const std::string& paper_note) {

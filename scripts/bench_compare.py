@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Diff two benchmark JSON files and fail on throughput regressions.
+
+    bench_compare.py BASELINE.json FRESH.json [--tolerance 0.15]
+                     [--metric NAME]
+
+Both files use the google-benchmark JSON layout ({"benchmarks": [...]})
+— emitted natively by the google-benchmark binaries
+(--benchmark_out=...) and by the figure benches via PARFW_BENCH_JSON
+(bench/fig_common.hpp BenchJson). Benchmarks are matched by "name";
+the comparison runs over the name intersection and fails if it is
+empty (renamed-away baselines must be re-recorded, not silently
+skipped).
+
+Per benchmark the compared metric is, in order of preference: the
+--metric key when given; a throughput counter both sides carry
+(GFLOP/s, PFLOP/s, bytes_per_second, items_per_second; higher is
+better); else real_time (lower is better). A regression is a change
+past --tolerance in the bad direction; improvements and in-band noise
+pass. Exit status: 0 ok, 1 regression (or empty intersection),
+2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+THROUGHPUT_KEYS = ("GFLOP/s", "PFLOP/s", "bytes_per_second",
+                   "items_per_second")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        rows[b["name"]] = b
+    if not rows:
+        sys.exit(f"bench_compare: no benchmarks in {path}")
+    return rows
+
+
+def pick_metric(base, fresh, forced):
+    """Return (key, higher_is_better) usable on both rows."""
+    if forced:
+        if forced not in base or forced not in fresh:
+            return None
+        return forced, not forced.endswith("time")
+    for k in THROUGHPUT_KEYS:
+        if k in base and k in fresh:
+            return k, True
+    if "real_time" in base and "real_time" in fresh:
+        return "real_time", False
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="compare benchmark JSONs, fail on regression")
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    ap.add_argument("--metric", default=None,
+                    help="force this counter key instead of auto-detect")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    names = sorted(set(base) & set(fresh))
+    if not names:
+        print("bench_compare: FAIL — no common benchmark names between "
+              f"{args.baseline} and {args.fresh}", file=sys.stderr)
+        return 1
+
+    width = max(len(n) for n in names)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'metric':<16} {'baseline':>12} "
+          f"{'fresh':>12} {'ratio':>7}  verdict")
+    for name in names:
+        picked = pick_metric(base[name], fresh[name], args.metric)
+        if picked is None:
+            print(f"{name:<{width}}  (metric missing on one side; skipped)")
+            continue
+        key, higher_better = picked
+        b, f = float(base[name][key]), float(fresh[name][key])
+        if b == 0:
+            print(f"{name:<{width}}  (baseline {key} is zero; skipped)")
+            continue
+        ratio = f / b
+        bad = ratio < 1 - args.tolerance if higher_better \
+            else ratio > 1 + args.tolerance
+        verdict = "REGRESSION" if bad else "ok"
+        if bad:
+            regressions.append(name)
+        print(f"{name:<{width}}  {key:<16} {b:12.4g} {f:12.4g} "
+              f"{ratio:7.3f}  {verdict}")
+
+    print(f"\n{len(names)} compared, {len(regressions)} regressed "
+          f"(tolerance {args.tolerance:.0%})")
+    if regressions:
+        print("bench_compare: FAIL —", ", ".join(regressions),
+              file=sys.stderr)
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #   scripts/check.sh [build-dir]
 #   scripts/check.sh --san address|thread|undefined [build-dir]
 #   scripts/check.sh --faults [build-dir]
+#   scripts/check.sh --bench [build-dir]
 #
 # 1. Configure + build (Release, all warnings).
 # 2. Run the full ctest suite.
@@ -20,18 +21,66 @@
 # crash-restart suites under AddressSanitizer, so recovery paths
 # (retransmission, world abort/unwind, checkpoint replay) are exercised
 # with full leak/overflow checking.
+#
+# --bench is the perf-regression gate: it reruns the SRGEMM micro-bench
+# and the (deterministic) Figure 7 DES sweep and diffs both against the
+# committed baselines (BENCH_srgemm.json / BENCH_dist.json) with
+# scripts/bench_compare.py, failing on a >15% throughput regression. It
+# also runs trace_dump --mode metrics on every variant, which both
+# asserts measured wire bytes == the DES prediction and leaves metric
+# snapshots (JSON + Prometheus) under <build>/metrics/ for CI artifacts.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 san=""
 faults=0
+bench=0
 if [[ "${1:-}" == "--faults" ]]; then
   faults=1
+  shift
+elif [[ "${1:-}" == "--bench" ]]; then
+  bench=1
   shift
 elif [[ "${1:-}" == "--san" ]]; then
   san="${2:?usage: check.sh --san address|thread|undefined [build-dir]}"
   shift 2
+fi
+
+if [[ "$bench" == 1 ]]; then
+  build_dir="${1:-$repo_root/build}"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j"$(nproc)" \
+    --target bench_srgemm_micro bench_fig7_64node_perf \
+             bench_fig10_phase_breakdown trace_dump_cli
+  out_dir="$build_dir/metrics"
+  mkdir -p "$out_dir"
+
+  echo "== SRGEMM micro-bench vs BENCH_srgemm.json =="
+  "$build_dir/bench/bench_srgemm_micro" \
+    --benchmark_min_time=0.1 \
+    --benchmark_out="$out_dir/srgemm_fresh.json" \
+    --benchmark_out_format=json
+  python3 "$repo_root/scripts/bench_compare.py" \
+    "$repo_root/BENCH_srgemm.json" "$out_dir/srgemm_fresh.json"
+
+  echo "== Figure 7 DES sweep vs BENCH_dist.json =="
+  PARFW_BENCH_JSON="$out_dir/dist_fresh.json" \
+    "$build_dir/bench/bench_fig7_64node_perf" > /dev/null
+  python3 "$repo_root/scripts/bench_compare.py" \
+    "$repo_root/BENCH_dist.json" "$out_dir/dist_fresh.json"
+
+  echo "== phase breakdown (measured vs modelled) =="
+  "$build_dir/bench/bench_fig10_phase_breakdown"
+
+  echo "== reconciliation + metric snapshots =="
+  for v in baseline pipelined async offload; do
+    "$build_dir/tools/trace_dump" --mode metrics --variant "$v" \
+      --metrics-json "$out_dir/metrics_$v.json" \
+      --metrics-prom "$out_dir/metrics_$v.prom"
+  done
+  echo "check.sh --bench: OK (snapshots in $out_dir)"
+  exit 0
 fi
 
 if [[ "$faults" == 1 ]]; then
@@ -51,10 +100,11 @@ if [[ -n "$san" ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DPARFW_SAN="$san" -DPARFW_BUILD_BENCH=OFF -DPARFW_BUILD_EXAMPLES=OFF
   cmake --build "$build_dir" -j"$(nproc)" \
-    --target test_mpisim_stress test_mpisim test_sched
+    --target test_mpisim_stress test_mpisim test_sched test_telemetry
   "$build_dir/tests/test_mpisim_stress"
   "$build_dir/tests/test_mpisim"
   "$build_dir/tests/test_sched"
+  "$build_dir/tests/test_telemetry"
   echo "check.sh --san $san: OK"
   exit 0
 fi
@@ -67,8 +117,10 @@ cmake --build "$build_dir" -j"$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j"$(nproc)"
 
 echo "== SRGEMM bench smoke (scalar tiled vs SIMD, n=512) =="
+# Unsuffixed min_time: the "0.2s" form is rejected by google-benchmark
+# < 1.8 (deprecation warning on newer versions, which still accept it).
 "$build_dir/bench/bench_srgemm_micro" \
   --benchmark_filter='BM_Srgemm(TiledScalar|Simd)/512$' \
-  --benchmark_min_time=0.2s
+  --benchmark_min_time=0.2
 
 echo "check.sh: OK"

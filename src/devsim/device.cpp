@@ -76,13 +76,24 @@ void Device::throttle(const TransferModel& m, std::size_t bytes) {
     std::this_thread::sleep_for(std::chrono::duration<double>(secs));
 }
 
+void Device::accumulate_seconds(std::atomic<double>& acc, double s) {
+  double cur = acc.load(std::memory_order_relaxed);
+  while (!acc.compare_exchange_weak(cur, cur + s, std::memory_order_relaxed)) {
+  }
+}
+
 void Device::memcpy_h2d(Stream& s, void* dst_dev, const void* src_host,
                         std::size_t bytes) {
   bytes_h2d_.fetch_add(bytes);
   const TransferModel model = cfg_.h2d;
+  auto* busy = &h2d_seconds_;
   s.enqueue([=] {
+    const auto t0 = std::chrono::steady_clock::now();
     throttle(model, bytes);
     std::memcpy(dst_dev, src_host, bytes);
+    accumulate_seconds(*busy, std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count());
   });
 }
 
@@ -90,9 +101,14 @@ void Device::memcpy_d2h(Stream& s, void* dst_host, const void* src_dev,
                         std::size_t bytes) {
   bytes_d2h_.fetch_add(bytes);
   const TransferModel model = cfg_.d2h;
+  auto* busy = &d2h_seconds_;
   s.enqueue([=] {
+    const auto t0 = std::chrono::steady_clock::now();
     throttle(model, bytes);
     std::memcpy(dst_host, src_dev, bytes);
+    accumulate_seconds(*busy, std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count());
   });
 }
 
@@ -117,6 +133,8 @@ DeviceCounters Device::counters() const {
   c.kernels_launched = kernels_.load();
   c.allocs = allocs_.load();
   c.peak_bytes_in_use = peak_.load();
+  c.h2d_seconds = h2d_seconds_.load();
+  c.d2h_seconds = d2h_seconds_.load();
   return c;
 }
 
@@ -126,6 +144,8 @@ void Device::reset_counters() {
   kernels_ = 0;
   allocs_ = 0;
   peak_ = bytes_in_use_.load();
+  h2d_seconds_ = 0.0;
+  d2h_seconds_ = 0.0;
 }
 
 }  // namespace parfw::dev

@@ -58,13 +58,20 @@ struct DeviceConfig {
   TransferModel d2h{};
 };
 
-/// Traffic/usage counters, readable at any time (atomics).
+/// Traffic/usage counters, readable at any time (atomics). The transfer
+/// busy-seconds measure the stream workers' wall time inside copies
+/// (throttle sleep + memcpy), so bytes / seconds is the achieved link
+/// utilisation when a TransferModel is active. Exported through the
+/// telemetry adapter (telemetry/adapters.hpp) — one export path; this
+/// struct stays as the cheap back-compat view.
 struct DeviceCounters {
   std::uint64_t bytes_h2d = 0;
   std::uint64_t bytes_d2h = 0;
   std::uint64_t kernels_launched = 0;
   std::uint64_t allocs = 0;
   std::uint64_t peak_bytes_in_use = 0;
+  double h2d_seconds = 0.0;  ///< stream-worker busy time in H2D copies
+  double d2h_seconds = 0.0;  ///< stream-worker busy time in D2H copies
 };
 
 class Device;
@@ -158,12 +165,14 @@ class Device {
   void* raw_alloc(std::size_t bytes, std::size_t align);
   void raw_free(void* p, std::size_t bytes) noexcept;
   static void throttle(const TransferModel& m, std::size_t bytes);
+  static void accumulate_seconds(std::atomic<double>& acc, double s);
 
   DeviceConfig cfg_;
   std::atomic<std::size_t> bytes_in_use_{0};
   std::atomic<std::uint64_t> peak_{0};
   std::atomic<std::uint64_t> bytes_h2d_{0}, bytes_d2h_{0}, kernels_{0},
       allocs_{0};
+  std::atomic<double> h2d_seconds_{0.0}, d2h_seconds_{0.0};
 
   std::mutex streams_mu_;
   std::vector<Stream*> streams_;  // registry for synchronize(); not owning

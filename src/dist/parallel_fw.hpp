@@ -49,6 +49,7 @@
 #include "sched/ir.hpp"
 #include "sched/trace.hpp"
 #include "srgemm/srgemm.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace parfw::dist {
@@ -70,6 +71,13 @@ struct DistFwOptions : SolveCommon {
   /// sched::now_seconds() timeline). Must be thread-safe: mpisim ranks
   /// are threads and all record into the same sink.
   sched::TraceSink* trace = nullptr;
+  /// When set, the interpreter lands per-phase series into this registry:
+  /// a fw.phase.seconds{phase=...,variant=...} histogram (one observation
+  /// per executed op — i.e. per k-round instance of that phase, across
+  /// all ranks) plus fw.phase.count / fw.phase.bytes / fw.phase.flops
+  /// counters carrying the schedule's modelled per-op metadata. The
+  /// registry is shared by all rank threads; recording is lock-free.
+  telemetry::Registry* metrics = nullptr;
   /// Checkpoint/restart knobs. Checkpoint cuts are emitted into the
   /// schedule iff resilience.store is set and checkpoint_every > 0; the
   /// driver's supervision loop (driver.hpp) also reads max_retries /
@@ -160,6 +168,7 @@ void parallel_fw_resume(mpi::Comm& world,
   const int my = world.rank();
   oog.trace = opt.trace;
   oog.trace_rank = my;
+  oog.metrics = opt.metrics;
   auto bytes_of = [](Matrix<T>& m) {
     return std::span<std::uint8_t>{reinterpret_cast<std::uint8_t*>(m.data()),
                                    m.size() * sizeof(T)};
@@ -182,7 +191,8 @@ void parallel_fw_resume(mpi::Comm& world,
                   " (rank " + std::to_string(my) + ")");
     const sched::Op& op = step.op;
     const std::size_t k = op.k;
-    const double t0 = opt.trace ? sched::now_seconds() : 0.0;
+    const bool timed = opt.trace != nullptr || opt.metrics != nullptr;
+    const double t0 = timed ? sched::now_seconds() : 0.0;
     Matrix<T>& rowp = rowp_buf[k & 1];
     Matrix<T>& colp = colp_buf[k & 1];
 
@@ -301,16 +311,32 @@ void parallel_fw_resume(mpi::Comm& world,
       }
     }
 
-    if (opt.trace) {
-      sched::TraceEvent e;
-      e.rank = my;
-      e.name = sched::op_name(op.kind);
-      e.k = op.k;
-      e.t_begin = t0;
-      e.t_end = sched::now_seconds();
-      e.bytes = op.bytes;
-      e.flops = op.flops;
-      opt.trace->record(e);
+    if (timed) {
+      const double t1 = sched::now_seconds();
+      if (opt.trace) {
+        sched::TraceEvent e;
+        e.rank = my;
+        e.name = sched::op_name(op.kind);
+        e.k = op.k;
+        e.t_begin = t0;
+        e.t_end = t1;
+        e.bytes = op.bytes;
+        e.flops = op.flops;
+        opt.trace->record(e);
+      }
+      if (opt.metrics) {
+        const std::string labels = std::string("phase=") +
+                                   sched::op_name(op.kind) +
+                                   ",variant=" + variant_name(opt.variant);
+        opt.metrics->histogram("fw.phase.seconds", labels).observe(t1 - t0);
+        opt.metrics->counter("fw.phase.count", labels).inc();
+        if (op.bytes > 0)
+          opt.metrics->counter("fw.phase.bytes", labels)
+              .add(static_cast<std::uint64_t>(op.bytes));
+        if (op.flops > 0)
+          opt.metrics->counter("fw.phase.flops", labels)
+              .add(static_cast<std::uint64_t>(op.flops));
+      }
     }
   }
 }

@@ -60,6 +60,13 @@ void Comm::bcast_bytes(std::span<std::uint8_t> data, rank_t root, tag_t tag) {
   PARFW_CHECK(root >= 0 && root < p);
   if (p == 1 || data.empty()) return;
 
+  // Per-collective byte distribution, one observation per collective
+  // (recorded at the root so p participating ranks don't multi-count).
+  if (telemetry::Registry* reg = world_->metrics();
+      reg != nullptr && my_rank_ == root)
+    reg->histogram("mpi.coll_bytes", "coll=tree")
+        .observe(static_cast<double>(data.size()));
+
   const std::vector<rank_t> order = relay_order(root);
   int vrank = 0;
   while (order[static_cast<std::size_t>(vrank)] != my_rank_) ++vrank;
@@ -86,6 +93,11 @@ void Comm::ring_bcast_bytes(std::span<std::uint8_t> data, rank_t root,
   const int p = size();
   PARFW_CHECK(root >= 0 && root < p);
   if (p == 1 || data.empty()) return;
+
+  if (telemetry::Registry* reg = world_->metrics();
+      reg != nullptr && my_rank_ == root)
+    reg->histogram("mpi.coll_bytes", "coll=ring")
+        .observe(static_cast<double>(data.size()));
 
   const std::vector<rank_t> order = relay_order(root);
   int pos = 0;

@@ -47,6 +47,20 @@ World::World(int size, NodeModel node_model, sched::TraceSink* trace)
   traffic_.nic_bytes.assign(static_cast<std::size_t>(nodes), 0);
 }
 
+void World::set_metrics(telemetry::Registry* reg) {
+  metrics_ = reg;
+  if (reg == nullptr) {
+    mh_ = MetricHandles{};
+    return;
+  }
+  mh_.sends = &reg->counter("mpi.sends");
+  mh_.send_bytes = &reg->counter("mpi.send_bytes");
+  mh_.msg_bytes = &reg->histogram("mpi.msg_bytes");
+  mh_.send_seconds = &reg->histogram("mpi.send_seconds");
+  mh_.recv_wait_seconds = &reg->histogram("mpi.recv_wait_seconds");
+  mh_.retry_msg_bytes = &reg->histogram("mpi.retry_msg_bytes");
+}
+
 void World::throw_aborted() const {
   // aborted_rank_/abort_reason_ are written before the release-store of
   // aborted_ and only read after its acquire-load — no lock needed.
@@ -72,6 +86,13 @@ void World::count_fault(std::uint64_t TrafficStats::* counter,
 void World::deliver(const MatchKey& key, rank_t dst, Message msg) {
   PARFW_DCHECK(dst >= 0 && dst < size_);
   const std::int64_t bytes = static_cast<std::int64_t>(msg.payload.size());
+  // Send latency = time to stamp, account and enqueue the eager copy.
+  telemetry::ScopedTimer send_timer(mh_.send_seconds);
+  if (metrics_ != nullptr) {
+    mh_.sends->inc();
+    mh_.send_bytes->add(msg.payload.size());
+    mh_.msg_bytes->observe(static_cast<double>(bytes));
+  }
   {
     // Logical accounting: one message per send call, regardless of what
     // the fault plan does to it — keeps the totals DES-comparable.
@@ -140,6 +161,8 @@ void World::deliver(const MatchKey& key, rank_t dst, Message msg) {
 
 Message World::await(const MatchKey& key, rank_t dst) {
   PARFW_DCHECK(dst >= 0 && dst < size_);
+  // Receive-wait latency: entry to matched-message return (or unwind).
+  telemetry::ScopedTimer recv_timer(mh_.recv_wait_seconds);
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mu);
 
@@ -214,6 +237,8 @@ Message World::await(const MatchKey& key, rank_t dst) {
           ++traffic_.retries;
           traffic_.retry_bytes += m.payload.size();
         }
+        if (metrics_ != nullptr)
+          mh_.retry_msg_bytes->observe(static_cast<double>(m.payload.size()));
         if (trace_) {
           sched::TraceEvent e;
           e.rank = dst;

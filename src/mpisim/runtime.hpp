@@ -37,6 +37,7 @@
 #include "mpisim/fault.hpp"
 #include "mpisim/message.hpp"
 #include "sched/trace.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace parfw::mpi {
 
@@ -102,6 +103,17 @@ struct RuntimeOptions {
   /// even when a rank failure makes it throw — a crashed attempt's
   /// retries/checkpoint counters stay observable to the supervisor.
   TrafficStats* stats_out = nullptr;
+  /// When set, the world records live series into this registry:
+  /// mpi.sends / mpi.send_bytes counters, mpi.msg_bytes and
+  /// mpi.send_seconds / mpi.recv_wait_seconds latency histograms, and
+  /// mpi.retry_msg_bytes for the reliability envelope (its count is the
+  /// retry count; payload distribution per retransmission). The
+  /// collectives add per-collective byte histograms (mpi.coll_bytes,
+  /// labelled coll=tree|ring). TrafficStats stays the cheap back-compat
+  /// aggregate; telemetry/adapters.hpp publishes it into a registry at
+  /// end of run (under a distinct label set — the adapter gauges reuse
+  /// the mpi.retries / mpi.retry_bytes names).
+  telemetry::Registry* metrics = nullptr;
 };
 
 /// Shared state of one run. Created by Runtime::run; ranks hold a pointer.
@@ -113,6 +125,7 @@ class World {
     faults_ = opt.faults;
     max_retries_ = opt.max_retries;
     send_timeout_ = opt.send_timeout;
+    set_metrics(opt.metrics);
   }
 
   int size() const { return size_; }
@@ -152,6 +165,12 @@ class World {
 
   TrafficStats traffic() const;
 
+  /// Metrics registry of this run (nullptr when metrics are off).
+  telemetry::Registry* metrics() const { return metrics_; }
+  /// Attach a registry; resolves the hot-path handles once. Call before
+  /// rank threads start (Runtime::run does).
+  void set_metrics(telemetry::Registry* reg);
+
  private:
   struct Mailbox {
     std::mutex mu;
@@ -175,6 +194,18 @@ class World {
   FaultPlan faults_{};
   int max_retries_ = 6;
   double send_timeout_ = 0.01;
+  telemetry::Registry* metrics_ = nullptr;
+  // Hot-path metric handles, resolved once in set_metrics (registry
+  // handles are stable, so deliveries/awaits touch only atomics).
+  struct MetricHandles {
+    telemetry::Counter* sends = nullptr;
+    telemetry::Counter* send_bytes = nullptr;
+    telemetry::Histogram* msg_bytes = nullptr;
+    telemetry::Histogram* send_seconds = nullptr;
+    telemetry::Histogram* recv_wait_seconds = nullptr;
+    telemetry::Histogram* retry_msg_bytes = nullptr;
+  };
+  MetricHandles mh_{};
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
 
   std::atomic<bool> aborted_{false};

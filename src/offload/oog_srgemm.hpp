@@ -25,6 +25,7 @@
 #include "sched/trace.hpp"
 #include "semiring/semiring.hpp"
 #include "srgemm/srgemm.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/matrix.hpp"
 
 namespace parfw::offload {
@@ -38,6 +39,12 @@ struct OogConfig {
   /// bytes = chunk size) on the sched::now_seconds() timeline.
   sched::TraceSink* trace = nullptr;
   int trace_rank = 0;  ///< rank attributed to the events (devsim is local)
+  /// When set, the pipeline lands series into this registry:
+  /// oog.inflight_depth / oog.inflight_max gauges (X-buffer occupancy —
+  /// depth s means full compute/transfer/hostUpdate overlap),
+  /// oog.host_update_seconds histogram, and oog.bytes_h2d / oog.bytes_d2h
+  /// transfer counters.
+  telemetry::Registry* metrics = nullptr;
 };
 
 /// Statistics of one ooGSrGemm invocation (validated by tests against the
@@ -108,6 +115,8 @@ OogStats oog_srgemm(dev::Device& device,
       device.memcpy_h2d(st, dA.data() + (r0 + row) * k,
                         A.data() + (r0 + row) * A.ld(), k * sizeof(T));
     stats.elems_h2d += nr * k;
+    if (cfg.metrics)
+      cfg.metrics->counter("oog.bytes_h2d").add(nr * k * sizeof(T));
     a_ready[i] = st.record();
     a_up[i] = true;
   };
@@ -120,6 +129,8 @@ OogStats oog_srgemm(dev::Device& device,
       device.memcpy_h2d(st, dB.data() + row * n + c0,
                         B.data() + row * B.ld() + c0, nc * sizeof(T));
     stats.elems_h2d += k * nc;
+    if (cfg.metrics)
+      cfg.metrics->counter("oog.bytes_h2d").add(k * nc * sizeof(T));
     b_ready[j] = st.record();
     b_up[j] = true;
   };
@@ -134,13 +145,19 @@ OogStats oog_srgemm(dev::Device& device,
     const std::size_t r0 = p.i * cfg.mx, c0 = p.j * cfg.nx;
     const std::size_t nr = std::min(cfg.mx, m - r0);
     const std::size_t nc = std::min(cfg.nx, n - c0);
-    const double t0 = cfg.trace ? sched::now_seconds() : 0.0;
+    const bool timed = cfg.trace != nullptr || cfg.metrics != nullptr;
+    const double t0 = timed ? sched::now_seconds() : 0.0;
     MatrixView<const T> xv(staging[p.r].data(), nr, nc, cfg.nx);
     srgemm::ewise_add<S>(xv, C.sub(r0, c0, nr, nc), cfg.gemm.pool);
-    if (cfg.trace)
-      cfg.trace->record(sched::TraceEvent{
-          cfg.trace_rank, "oogHost", 0, t0, sched::now_seconds(),
-          static_cast<std::int64_t>(nr * nc * sizeof(T)), 0.0});
+    if (timed) {
+      const double t1 = sched::now_seconds();
+      if (cfg.trace)
+        cfg.trace->record(sched::TraceEvent{
+            cfg.trace_rank, "oogHost", 0, t0, t1,
+            static_cast<std::int64_t>(nr * nc * sizeof(T)), 0.0});
+      if (cfg.metrics)
+        cfg.metrics->histogram("oog.host_update_seconds").observe(t1 - t0);
+    }
   };
 
   std::size_t next_stream = 0;
@@ -189,6 +206,13 @@ OogStats oog_srgemm(dev::Device& device,
       stats.elems_d2h += nr * nc;
 
       inflight.push_back(Pending{st.record(), i, j, r});
+      if (cfg.metrics) {
+        cfg.metrics->counter("oog.bytes_d2h")
+            .add(((nr - 1) * ldx + nc) * sizeof(T));
+        const double depth = static_cast<double>(inflight.size());
+        cfg.metrics->gauge("oog.inflight_depth").set(depth);
+        cfg.metrics->gauge("oog.inflight_max").update_max(depth);
+      }
       ++stats.blocks;
     }
   }
@@ -241,13 +265,19 @@ OogStats oog_srgemm_device(dev::Device& device,
     const std::size_t r0 = p.i * cfg.mx, c0 = p.j * cfg.nx;
     const std::size_t nr = std::min(cfg.mx, m - r0);
     const std::size_t nc = std::min(cfg.nx, n - c0);
-    const double t0 = cfg.trace ? sched::now_seconds() : 0.0;
+    const bool timed = cfg.trace != nullptr || cfg.metrics != nullptr;
+    const double t0 = timed ? sched::now_seconds() : 0.0;
     MatrixView<const T> xv(staging[p.r].data(), nr, nc, cfg.nx);
     srgemm::ewise_add<S>(xv, C.sub(r0, c0, nr, nc), cfg.gemm.pool);
-    if (cfg.trace)
-      cfg.trace->record(sched::TraceEvent{
-          cfg.trace_rank, "oogHost", 0, t0, sched::now_seconds(),
-          static_cast<std::int64_t>(nr * nc * sizeof(T)), 0.0});
+    if (timed) {
+      const double t1 = sched::now_seconds();
+      if (cfg.trace)
+        cfg.trace->record(sched::TraceEvent{
+            cfg.trace_rank, "oogHost", 0, t0, t1,
+            static_cast<std::int64_t>(nr * nc * sizeof(T)), 0.0});
+      if (cfg.metrics)
+        cfg.metrics->histogram("oog.host_update_seconds").observe(t1 - t0);
+    }
   };
 
   std::size_t next_stream = 0;
@@ -281,6 +311,13 @@ OogStats oog_srgemm_device(dev::Device& device,
                         ((nr - 1) * ldx + nc) * sizeof(T));
       stats.elems_d2h += nr * nc;
       inflight.push_back(Pending{st.record(), i, j, r});
+      if (cfg.metrics) {
+        cfg.metrics->counter("oog.bytes_d2h")
+            .add(((nr - 1) * ldx + nc) * sizeof(T));
+        const double depth = static_cast<double>(inflight.size());
+        cfg.metrics->gauge("oog.inflight_depth").set(depth);
+        cfg.metrics->gauge("oog.inflight_max").update_max(depth);
+      }
     }
   }
   while (!inflight.empty()) {

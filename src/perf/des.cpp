@@ -87,7 +87,7 @@ SimStats simulate(const std::vector<RankProgram>& programs,
         stats.total_comp_seconds += op.seconds;
         if (trace)
           trace->record(sched::TraceEvent{w, op_label(op), op.k, start, end,
-                                          op.bytes, 0.0});
+                                          op.bytes, op.flops});
         ++pc[ws];
         break;
       }

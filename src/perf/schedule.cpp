@@ -27,9 +27,9 @@ class ProgramBuilder {
   std::vector<RankProgram> take() { return std::move(progs_); }
 
   void comp(int w, double seconds, std::uint32_t k = 0,
-            std::int16_t kind_src = -1) {
+            std::int16_t kind_src = -1, double flops = 0.0) {
     progs_[static_cast<std::size_t>(w)].push_back(
-        Op{Op::Kind::kComp, seconds, -1, 0, 0, k, kind_src});
+        Op{Op::Kind::kComp, seconds, -1, 0, 0, k, kind_src, flops});
   }
   void send(int src, int dst, std::int64_t bytes, std::int32_t tag,
             std::uint32_t k = 0, std::int16_t kind_src = -1) {
@@ -295,7 +295,8 @@ BuiltProgram build_fw_program(const MachineConfig& m, const FwProblem& prob,
       } else {
         secs = op.flops / rate;
       }
-      builder.comp(w, jittered(w, comp_scale * secs), op.k, kind_src);
+      builder.comp(w, jittered(w, comp_scale * secs), op.k, kind_src,
+                   op.flops);
       continue;
     }
 

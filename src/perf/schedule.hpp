@@ -33,6 +33,10 @@ struct Op {
   std::uint32_t k = 0;       ///< FW iteration of the originating IR op
   /// sched::OpKind of the originating IR op (trace labels), -1 if none.
   std::int16_t kind_src = -1;
+  /// kComp: the IR op's modelled arithmetic work. Carried into the DES
+  /// trace events so a modelled run's per-phase flop totals reconcile
+  /// exactly against a real run of the same schedule (telemetry/reconcile).
+  double flops = 0.0;
 };
 
 using RankProgram = std::vector<Op>;

@@ -8,10 +8,21 @@
 
 namespace parfw::sched {
 
+namespace {
+// One process-wide epoch, captured during static initialisation — BEFORE
+// any rank thread exists — so every thread measures against the same
+// origin. (The previous function-local static was initialised by whichever
+// thread called first; init is thread-safe, but an epoch captured
+// mid-run would sit later than events other threads had already
+// timestamped relative to their own expectations.)
+const std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+}  // namespace
+
 double now_seconds() {
-  using clock = std::chrono::steady_clock;
-  static const clock::time_point epoch = clock::now();
-  return std::chrono::duration<double>(clock::now() - epoch).count();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_epoch)
+      .count();
 }
 
 void StatsTraceSink::record(const TraceEvent& e) {

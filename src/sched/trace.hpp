@@ -45,6 +45,17 @@ class TraceSink {
 /// offload pipeline), so their events land on one coherent timeline. DES
 /// events use virtual clocks instead; ChromeTraceSink::write normalises
 /// either to t = 0.
+///
+/// Monotonicity guarantee: the epoch is a single steady_clock time point
+/// captured at static initialisation (before any rank thread starts), and
+/// steady_clock is monotonic and consistent across threads, so
+/// now_seconds() is non-decreasing along any thread AND two reads ordered
+/// by a happens-before edge (mutex, atomic, message delivery) never go
+/// backwards relative to each other. Call sites may therefore re-read it
+/// per event — the three recorder families do exactly that (the dist
+/// interpreter's per-op begin/end pair, the mpisim runtime's delivery and
+/// fault instants, the ooGSrGemm hostUpdate spans) and their timestamps
+/// interleave correctly on one timeline with no cached clock state.
 double now_seconds();
 
 /// Discards everything (the default when no sink is plumbed in).

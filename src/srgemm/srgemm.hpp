@@ -20,7 +20,9 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -30,6 +32,7 @@
 
 #include "semiring/semiring.hpp"
 #include "srgemm/srgemm_kernels.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/matrix.hpp"
 #include "util/thread_pool.hpp"
 
@@ -44,6 +47,17 @@ enum class Kernel {
   kSimd,    ///< explicit-SIMD micro-kernel + operand packing
 };
 
+inline const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kAuto: return "auto";
+    case Kernel::kNaive: return "naive";
+    case Kernel::kTiled: return "tiled";
+    case Kernel::kPacked: return "packed";
+    case Kernel::kSimd: return "simd";
+  }
+  return "?";
+}
+
 /// Register-fragment shape of the SIMD micro-kernel: MR rows x NV native
 /// vectors of C accumulators (NR = NV * lanes columns).
 enum class MicroShape {
@@ -52,6 +66,16 @@ enum class MicroShape {
   k8x2,   ///< 8 rows x 2 vectors — deepest broadcast reuse
   k4x2,   ///< 4 rows x 2 vectors — fits 16-register ISAs (AVX2/SSE)
 };
+
+inline const char* micro_name(MicroShape m) {
+  switch (m) {
+    case MicroShape::kAuto: return "auto";
+    case MicroShape::k4x4: return "4x4";
+    case MicroShape::k8x2: return "8x2";
+    case MicroShape::k4x2: return "4x2";
+  }
+  return "?";
+}
 
 /// Kernel selection and tiling parameters. Defaults are tuned for a
 /// ~1 MiB L2: 64x256 C macro-tiles with 256-deep k panels. Config::tuned()
@@ -255,6 +279,35 @@ inline void run_slice(MatrixView<const typename S::value_type> A,
   }
 }
 
+/// Ambient dispatch-level metrics (PARFW_METRICS gate): one set of series
+/// per resolved {kernel, micro} pair in the global registry. Recording
+/// costs two atomic adds + two histogram observes per multiply() call —
+/// measured at the dispatch granularity, not per tile, so the kernels
+/// themselves stay untouched.
+template <typename S>
+inline void record_dispatch_metrics(Kernel kernel, const Config& cfg,
+                                    std::size_t m, std::size_t n,
+                                    std::size_t k, bool prepacked,
+                                    double seconds) {
+  telemetry::Registry& reg = telemetry::Registry::global();
+  std::string labels = std::string("kernel=") + kernel_name(kernel);
+  if (kernel == Kernel::kSimd)
+    labels += std::string(",micro=") + micro_name(resolve_micro(cfg.micro));
+  const double fl = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                    static_cast<double>(k);
+  reg.counter("srgemm.calls", labels).inc();
+  reg.counter("srgemm.flops", labels).add(static_cast<std::uint64_t>(fl));
+  if (!prepacked && (kernel == Kernel::kPacked || kernel == Kernel::kSimd)) {
+    // Operand footprint staged through the pack buffers (A and B panels).
+    reg.counter("srgemm.bytes_packed", labels)
+        .add(static_cast<std::uint64_t>((m * k + k * n) *
+                                        sizeof(typename S::value_type)));
+  }
+  reg.histogram("srgemm.seconds", labels).observe(seconds);
+  if (seconds > 0.0)
+    reg.histogram("srgemm.gflops", labels).observe(fl / seconds / 1e9);
+}
+
 template <typename S>
 inline void multiply_impl(MatrixView<const typename S::value_type> A,
                           MatrixView<const typename S::value_type> B,
@@ -265,19 +318,32 @@ inline void multiply_impl(MatrixView<const typename S::value_type> A,
                                         ? Kernel::kPacked
                                         : cfg.kernel);
   const std::size_t m = C.rows();
-  if (cfg.pool != nullptr && cfg.pool->size() > 1 && m >= 2 * cfg.tile_m) {
-    // Row-panel parallelism: each worker owns disjoint rows of C, so no
-    // synchronisation is needed inside the kernel.
-    const std::size_t panels = (m + cfg.tile_m - 1) / cfg.tile_m;
-    cfg.pool->parallel_for(panels, [&](std::size_t p) {
-      const std::size_t r0 = p * cfg.tile_m;
-      const std::size_t nr = std::min(cfg.tile_m, m - r0);
-      run_slice<S>(A.sub(r0, 0, nr, A.cols()), B, C.sub(r0, 0, nr, C.cols()),
-                   cfg, kernel, prepacked);
-    });
-  } else {
-    run_slice<S>(A, B, C, cfg, kernel, prepacked);
+  const auto dispatch = [&] {
+    if (cfg.pool != nullptr && cfg.pool->size() > 1 && m >= 2 * cfg.tile_m) {
+      // Row-panel parallelism: each worker owns disjoint rows of C, so no
+      // synchronisation is needed inside the kernel.
+      const std::size_t panels = (m + cfg.tile_m - 1) / cfg.tile_m;
+      cfg.pool->parallel_for(panels, [&](std::size_t p) {
+        const std::size_t r0 = p * cfg.tile_m;
+        const std::size_t nr = std::min(cfg.tile_m, m - r0);
+        run_slice<S>(A.sub(r0, 0, nr, A.cols()), B,
+                     C.sub(r0, 0, nr, C.cols()), cfg, kernel, prepacked);
+      });
+    } else {
+      run_slice<S>(A, B, C, cfg, kernel, prepacked);
+    }
+  };
+  if (!telemetry::enabled()) {
+    dispatch();
+    return;
   }
+  const auto t0 = std::chrono::steady_clock::now();
+  dispatch();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  record_dispatch_metrics<S>(kernel, cfg, m, C.cols(), A.cols(), prepacked,
+                             secs);
 }
 
 }  // namespace detail

@@ -1,0 +1,81 @@
+// Adapter hooks promoting the pre-telemetry counter structs into the
+// metrics registry, so there is ONE export path (ISSUE 4 satellite 1).
+//
+// devsim::DeviceCounters and mpisim::TrafficStats predate the registry
+// and stay as cheap back-compat views (tests and the supervision loop
+// read them directly); these adapters publish a snapshot of either into
+// a Registry under the canonical metric names, after which every exporter
+// (JSON / Prometheus / table) sees them alongside the native metrics.
+//
+// Header-only on purpose: the telemetry library itself depends only on
+// util+sched; including this header is what pulls in devsim/mpisim, so
+// only call sites that already link those libraries pay the dependency.
+#pragma once
+
+#include <string>
+
+#include "devsim/device.hpp"
+#include "mpisim/runtime.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace parfw::telemetry {
+
+/// Publish a device's counters (allocator watermark, transfer-engine
+/// traffic and busy time) under dev.* with the given label set (e.g.
+/// "rank=3"). Counters are set as gauges because the adapter snapshots
+/// absolute values, not deltas — re-publishing overwrites.
+inline void publish_device_counters(Registry& r, const dev::DeviceCounters& c,
+                                    const std::string& labels = "") {
+  r.gauge("dev.bytes_h2d", labels).set(static_cast<double>(c.bytes_h2d));
+  r.gauge("dev.bytes_d2h", labels).set(static_cast<double>(c.bytes_d2h));
+  r.gauge("dev.kernels_launched", labels)
+      .set(static_cast<double>(c.kernels_launched));
+  r.gauge("dev.allocs", labels).set(static_cast<double>(c.allocs));
+  r.gauge("dev.peak_bytes_in_use", labels)
+      .set(static_cast<double>(c.peak_bytes_in_use));
+  r.gauge("dev.h2d_seconds", labels).set(c.h2d_seconds);
+  r.gauge("dev.d2h_seconds", labels).set(c.d2h_seconds);
+}
+
+/// As above, reading the counters and capacity from a live device.
+/// `dev.mem_utilization` is peak bytes over capacity (the Figure 5/6
+/// buffer-occupancy axis).
+inline void publish_device(Registry& r, const dev::Device& d,
+                           const std::string& labels = "") {
+  const dev::DeviceCounters c = d.counters();
+  publish_device_counters(r, c, labels);
+  if (d.memory_bytes() > 0)
+    r.gauge("dev.mem_utilization", labels)
+        .set(static_cast<double>(c.peak_bytes_in_use) /
+             static_cast<double>(d.memory_bytes()));
+}
+
+/// Publish a run's TrafficStats under mpi.* with the given label set.
+/// The logical counters (messages / bytes) are the DES-comparable totals
+/// — `mpi.bytes_total` published here is exactly what the reconciliation
+/// report checks against perf::program_traffic. When the target registry
+/// also received the World's LIVE series (RuntimeOptions::metrics), pass
+/// a distinguishing label set (e.g. "scope=run") — the live series own
+/// the unlabelled mpi.* namespace.
+inline void publish_traffic_stats(Registry& r, const mpi::TrafficStats& s,
+                                  const std::string& labels = "") {
+  r.gauge("mpi.messages", labels).set(static_cast<double>(s.messages));
+  r.gauge("mpi.bytes_total", labels).set(static_cast<double>(s.bytes_total));
+  r.gauge("mpi.bytes_internode", labels)
+      .set(static_cast<double>(s.bytes_internode));
+  r.gauge("mpi.max_nic_bytes", labels)
+      .set(static_cast<double>(s.max_nic_bytes));
+  r.gauge("mpi.drops_injected", labels)
+      .set(static_cast<double>(s.drops_injected));
+  r.gauge("mpi.dups_injected", labels)
+      .set(static_cast<double>(s.dups_injected));
+  r.gauge("mpi.delays_injected", labels)
+      .set(static_cast<double>(s.delays_injected));
+  r.gauge("mpi.retries", labels).set(static_cast<double>(s.retries));
+  r.gauge("mpi.retry_bytes", labels).set(static_cast<double>(s.retry_bytes));
+  r.gauge("mpi.checkpoints", labels).set(static_cast<double>(s.checkpoints));
+  r.gauge("mpi.checkpoint_bytes", labels)
+      .set(static_cast<double>(s.checkpoint_bytes));
+}
+
+}  // namespace parfw::telemetry

@@ -1,0 +1,131 @@
+#include "telemetry/metrics.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace parfw::telemetry {
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q <= 0.0) return min_.load(std::memory_order_relaxed);
+  if (q >= 1.0) return max_.load(std::memory_order_relaxed);
+  // Rank of the target observation (1-based, ceil): the smallest bucket
+  // whose cumulative count reaches it covers the quantile.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (cum >= target) {
+      // Geometric midpoint of the bucket, clamped into the observed range
+      // so tiny histograms do not report values they never saw.
+      const double mid = std::exp2(
+          kMinExp + (static_cast<double>(i) + 0.5) / kSub);
+      const double lo = min_.load(std::memory_order_relaxed);
+      const double hi = max_.load(std::memory_order_relaxed);
+      return std::min(std::max(mid, lo), hi);
+    }
+  }
+  return max_.load(std::memory_order_relaxed);
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.count = count();
+  if (s.count == 0) return s;
+  s.sum = sum();
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+Registry::Entry& Registry::entry(const std::string& name,
+                                 const std::string& labels, MetricKind kind) {
+  const std::string key = name + '\x1f' + labels;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter: e.counter = std::make_unique<Counter>(); break;
+      case MetricKind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+      case MetricKind::kHistogram:
+        e.hist = std::make_unique<Histogram>();
+        break;
+    }
+    it = entries_.emplace(key, std::move(e)).first;
+  }
+  PARFW_CHECK_MSG(it->second.kind == kind,
+                  "metric '" << name << "{" << labels
+                             << "}' re-registered with a different kind");
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& labels) {
+  return *entry(name, labels, MetricKind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
+  return *entry(name, labels, MetricKind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& labels) {
+  return *entry(name, labels, MetricKind::kHistogram).hist;
+}
+
+std::vector<MetricRow> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricRow> rows;
+  rows.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricRow row;
+    const std::size_t sep = key.find('\x1f');
+    row.name = key.substr(0, sep);
+    row.labels = key.substr(sep + 1);
+    row.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        row.value = static_cast<double>(e.counter->value());
+        break;
+      case MetricKind::kGauge: row.value = e.gauge->value(); break;
+      case MetricKind::kHistogram: row.hist = e.hist->summary(); break;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry;  // leaked: outlive static destructors
+  return *r;
+}
+
+namespace {
+std::atomic<bool> g_enabled{[] {
+  const char* e = std::getenv("PARFW_METRICS");
+  return e != nullptr && e[0] != '\0';
+}()};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+}  // namespace parfw::telemetry

@@ -1,0 +1,69 @@
+// ThreadPool metrics adapter — closes the loop the library graph forbids
+// util from closing itself: telemetry links util, so util's ThreadPool can
+// only expose the PoolObserver seam, and this header implements it against
+// the metrics registry.
+//
+// Series produced (all under the caller's label set):
+//   pool.queue_depth       gauge      depth after the latest push/pop
+//   pool.queue_depth_max   gauge      high-water mark of the above
+//   pool.task_wait_seconds histogram  time a task sat queued
+//   pool.task_run_seconds  histogram  time a task spent executing
+//
+// The observer must outlive the pool it watches (or be detached first);
+// ScopedPoolMetrics handles the detach for the common scoped case.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace parfw::telemetry {
+
+class PoolMetrics final : public PoolObserver {
+ public:
+  explicit PoolMetrics(Registry& reg, const std::string& labels = "")
+      : depth_(&reg.gauge("pool.queue_depth", labels)),
+        depth_max_(&reg.gauge("pool.queue_depth_max", labels)),
+        wait_(&reg.histogram("pool.task_wait_seconds", labels)),
+        run_(&reg.histogram("pool.task_run_seconds", labels)) {}
+
+  void on_queue_depth(std::size_t depth) override {
+    const double d = static_cast<double>(depth);
+    depth_->set(d);
+    depth_max_->update_max(d);
+  }
+
+  void on_task(double wait_seconds, double run_seconds) override {
+    wait_->observe(wait_seconds);
+    run_->observe(run_seconds);
+  }
+
+ private:
+  Gauge* depth_;
+  Gauge* depth_max_;
+  Histogram* wait_;
+  Histogram* run_;
+};
+
+/// RAII attach/detach: installs a PoolMetrics on `pool` for the current
+/// scope and restores the previous observer on destruction.
+class ScopedPoolMetrics {
+ public:
+  ScopedPoolMetrics(ThreadPool& pool, Registry& reg,
+                    const std::string& labels = "")
+      : pool_(&pool), prev_(pool.observer()), metrics_(reg, labels) {
+    pool.set_observer(&metrics_);
+  }
+  ~ScopedPoolMetrics() { pool_->set_observer(prev_); }
+
+  ScopedPoolMetrics(const ScopedPoolMetrics&) = delete;
+  ScopedPoolMetrics& operator=(const ScopedPoolMetrics&) = delete;
+
+ private:
+  ThreadPool* pool_;
+  PoolObserver* prev_;
+  PoolMetrics metrics_;
+};
+
+}  // namespace parfw::telemetry

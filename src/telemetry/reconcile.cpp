@@ -1,0 +1,123 @@
+#include "telemetry/reconcile.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "sched/ir.hpp"
+#include "util/table.hpp"
+
+namespace parfw::telemetry {
+
+namespace {
+
+/// Schedule-phase classification: op names from the IR are phases
+/// (compute or comm); anything else ("msg", "retry", "oogHost", raw
+/// "send"/"recv"/"comp") is auxiliary and excluded from share totals and
+/// exact checks.
+enum class PhaseClass { kCompute, kComm, kAux };
+
+PhaseClass classify(const std::string& name) {
+  using sched::OpKind;
+  for (int i = 0; i <= static_cast<int>(OpKind::kCheckpoint); ++i) {
+    const auto kind = static_cast<OpKind>(i);
+    if (name == sched::op_name(kind))
+      return sched::is_comm(kind) ? PhaseClass::kComm : PhaseClass::kCompute;
+  }
+  return PhaseClass::kAux;
+}
+
+std::string pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::string> ReconcileReport::exact_mismatches() const {
+  std::vector<std::string> out;
+  for (const PhaseDelta& p : phases) {
+    if (!p.compute) continue;
+    if (p.measured.count != p.modelled.count ||
+        p.measured.flops != p.modelled.flops)
+      out.push_back(p.phase);
+  }
+  return out;
+}
+
+std::vector<std::string> ReconcileReport::out_of_band() const {
+  std::vector<std::string> out;
+  for (const PhaseDelta& p : phases)
+    if (std::abs(p.measured_share - p.modelled_share) > share_band)
+      out.push_back(p.phase);
+  return out;
+}
+
+std::string ReconcileReport::table() const {
+  Table t({"phase", "n meas", "n model", "s meas", "s model", "share meas",
+           "share model", "flag"});
+  for (const PhaseDelta& p : phases) {
+    std::string flag;
+    if (p.compute && (p.measured.count != p.modelled.count ||
+                      p.measured.flops != p.modelled.flops))
+      flag = "EXACT-MISMATCH";
+    else if (std::abs(p.measured_share - p.modelled_share) > share_band)
+      flag = ">band";
+    t.add_row({p.phase, std::to_string(p.measured.count),
+               std::to_string(p.modelled.count), Table::num(p.measured.seconds),
+               Table::num(p.modelled.seconds), pct(p.measured_share),
+               pct(p.modelled_share), flag});
+  }
+  std::string out = t.str();
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "\nwire bytes: measured %lld, modelled %lld -> %s "
+                "(band: phase-share delta <= %.0f%%)\n",
+                static_cast<long long>(measured_wire_bytes),
+                static_cast<long long>(modelled_wire_bytes),
+                bytes_match() ? "EXACT MATCH" : "MISMATCH",
+                100.0 * share_band);
+  out += line;
+  return out;
+}
+
+ReconcileReport reconcile(
+    const std::map<std::string, sched::StatsTraceSink::OpStats>& measured,
+    const std::map<std::string, sched::StatsTraceSink::OpStats>& modelled,
+    std::int64_t measured_wire_bytes, std::int64_t modelled_wire_bytes,
+    double share_band) {
+  ReconcileReport rep;
+  rep.measured_wire_bytes = measured_wire_bytes;
+  rep.modelled_wire_bytes = modelled_wire_bytes;
+  rep.share_band = share_band;
+
+  std::set<std::string> names;
+  for (const auto& [n, s] : measured) names.insert(n);
+  for (const auto& [n, s] : modelled) names.insert(n);
+
+  double meas_total = 0.0, model_total = 0.0;
+  for (const std::string& n : names) {
+    if (classify(n) == PhaseClass::kAux) continue;
+    auto mi = measured.find(n);
+    auto di = modelled.find(n);
+    if (mi != measured.end()) meas_total += mi->second.seconds;
+    if (di != modelled.end()) model_total += di->second.seconds;
+  }
+
+  for (const std::string& n : names) {
+    const PhaseClass cls = classify(n);
+    if (cls == PhaseClass::kAux) continue;
+    PhaseDelta p;
+    p.phase = n;
+    p.compute = cls == PhaseClass::kCompute;
+    if (auto it = measured.find(n); it != measured.end()) p.measured = it->second;
+    if (auto it = modelled.find(n); it != modelled.end()) p.modelled = it->second;
+    p.measured_share = meas_total > 0.0 ? p.measured.seconds / meas_total : 0.0;
+    p.modelled_share = model_total > 0.0 ? p.modelled.seconds / model_total : 0.0;
+    rep.phases.push_back(std::move(p));
+  }
+  return rep;
+}
+
+}  // namespace parfw::telemetry

@@ -1,0 +1,78 @@
+// Measured-vs-modelled reconciliation (DESIGN.md §4.8).
+//
+// The schedule IR has two interpreters — the data-carrying distributed
+// runtime and the metadata-costing DES — and both report through the
+// trace seam. This module cross-checks one run of each over the SAME
+// schedule and states, in one table, how far the model is from the
+// measurement:
+//
+//   * compute phases: op counts and flop totals must match EXACTLY (both
+//     sides replay the same per-rank op sequences — any difference is a
+//     bug, and the report flags it);
+//   * wire bytes: the mpisim TrafficStats total must equal the DES
+//     program_traffic prediction EXACTLY (the cross-validation invariant
+//     the sched tests pin; reconcile() re-checks it on every report);
+//   * time: absolute durations are NOT comparable (the DES models the
+//     paper's Summit GPUs; the measurement runs on the host CPU
+//     substrate), so the report compares each phase's SHARE of total
+//     phase time and flags phases whose measured and modelled shares
+//     diverge by more than a stated band.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/trace.hpp"
+
+namespace parfw::telemetry {
+
+/// One phase (op name) in the reconciliation table.
+struct PhaseDelta {
+  std::string phase;
+  sched::StatsTraceSink::OpStats measured;
+  sched::StatsTraceSink::OpStats modelled;
+  double measured_share = 0.0;  ///< fraction of Σ measured phase seconds
+  double modelled_share = 0.0;  ///< fraction of Σ modelled phase seconds
+  bool compute = true;  ///< compute phase (count/flops checked exactly)
+};
+
+struct ReconcileReport {
+  std::vector<PhaseDelta> phases;  ///< sorted by phase name
+  std::int64_t measured_wire_bytes = 0;
+  std::int64_t modelled_wire_bytes = 0;
+  double share_band = 0.25;  ///< max |measured - modelled| phase share
+
+  bool bytes_match() const {
+    return measured_wire_bytes == modelled_wire_bytes;
+  }
+  /// Compute phases whose op count or flop total differ (must be empty
+  /// for two faithful interpreters of one schedule).
+  std::vector<std::string> exact_mismatches() const;
+  /// Phases whose time share diverges by more than share_band.
+  std::vector<std::string> out_of_band() const;
+  /// All three checks: exact byte match, exact compute counts, shares in
+  /// band.
+  bool ok() const {
+    return bytes_match() && exact_mismatches().empty() && out_of_band().empty();
+  }
+
+  /// Human-readable side-by-side table (util/table) plus the wire-byte
+  /// verdict line.
+  std::string table() const;
+};
+
+/// Build the report from the two per-phase trace aggregations (real run
+/// and DES run of the same schedule) plus the two wire-byte totals.
+/// `measured`/`modelled` are StatsTraceSink::table() snapshots; non-phase
+/// event names (message instants "msg", fault markers, "oogHost") are
+/// folded out of the share computation but kept in the table when both
+/// sides carry them.
+ReconcileReport reconcile(
+    const std::map<std::string, sched::StatsTraceSink::OpStats>& measured,
+    const std::map<std::string, sched::StatsTraceSink::OpStats>& modelled,
+    std::int64_t measured_wire_bytes, std::int64_t modelled_wire_bytes,
+    double share_band = 0.25);
+
+}  // namespace parfw::telemetry

@@ -23,13 +23,16 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
+    std::size_t depth;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
     }
+    if (PoolObserver* obs = observer()) obs->on_queue_depth(depth);
     task();
   }
 }

@@ -7,6 +7,8 @@
 // >= 64x64), enqueue overhead is negligible relative to task cost.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -17,6 +19,24 @@
 #include <vector>
 
 namespace parfw {
+
+/// Observability seam for ThreadPool. util sits at the bottom of the
+/// library graph (telemetry links util), so the pool cannot call the
+/// metrics registry directly — instead the telemetry layer implements
+/// this interface (telemetry/pool_metrics.hpp) and installs it with
+/// ThreadPool::set_observer. Methods are called outside the pool's lock
+/// and from many threads concurrently; implementations must be
+/// thread-safe and cheap. The observer must outlive the pool (or be
+/// detached with set_observer(nullptr) first).
+class PoolObserver {
+ public:
+  virtual ~PoolObserver() = default;
+  /// Queue depth immediately after a push (submit) or pop (worker).
+  virtual void on_queue_depth(std::size_t depth) = 0;
+  /// Per-task latency: seconds spent queued, then seconds spent running.
+  /// Inline-executed tasks (a 0-worker pool) report wait_seconds == 0.
+  virtual void on_task(double wait_seconds, double run_seconds) = 0;
+};
 
 /// Fixed-size thread pool. Threads are created in the constructor and
 /// joined in the destructor (RAII); submit() is thread-safe.
@@ -34,19 +54,54 @@ class ThreadPool {
   /// Number of worker threads (0 means inline execution).
   std::size_t size() const noexcept { return threads_.size(); }
 
+  /// Install (or clear, with nullptr) the metrics observer. Takes effect
+  /// for tasks submitted after the call; tasks already queued report with
+  /// whatever observer is installed when they run.
+  void set_observer(PoolObserver* obs) {
+    observer_.store(obs, std::memory_order_release);
+  }
+  PoolObserver* observer() const {
+    return observer_.load(std::memory_order_acquire);
+  }
+
   /// Enqueue a task; returns a future for its completion.
   template <typename F>
   std::future<void> submit(F&& fn) {
     auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(fn));
     std::future<void> fut = task->get_future();
+    PoolObserver* obs = observer();
     if (threads_.empty()) {
-      (*task)();
+      if (obs == nullptr) {
+        (*task)();
+      } else {
+        const auto t0 = std::chrono::steady_clock::now();
+        (*task)();
+        obs->on_task(0.0, seconds_since(t0));
+      }
       return fut;
     }
+    std::function<void()> wrapped;
+    if (obs == nullptr) {
+      wrapped = [task] { (*task)(); };
+    } else {
+      // Timestamp at enqueue so the worker can split wait from run time.
+      const auto t_enq = std::chrono::steady_clock::now();
+      wrapped = [this, task, t_enq] {
+        const auto t_run = std::chrono::steady_clock::now();
+        (*task)();
+        if (PoolObserver* o = observer()) {
+          o->on_task(std::chrono::duration<double>(t_run - t_enq).count(),
+                     seconds_since(t_run));
+        }
+      };
+    }
+    std::size_t depth;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
+      queue_.push_back(std::move(wrapped));
+      depth = queue_.size();
     }
+    if (obs != nullptr) obs->on_queue_depth(depth);
     cv_.notify_one();
     return fut;
   }
@@ -62,11 +117,17 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  static double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::atomic<PoolObserver*> observer_{nullptr};
 };
 
 }  // namespace parfw

@@ -19,6 +19,7 @@
 #include "dist/solve.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "telemetry/export.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
 
@@ -182,10 +183,18 @@ int main(int argc, char** argv) {
     }
 
     const std::string semiring = args.get("semiring", "minplus");
-    if (semiring == "minplus") return run<MinPlus<double>>(g, args);
-    if (semiring == "maxmin") return run<MaxMin<double>>(g, args);
-    std::fprintf(stderr, "unknown --semiring '%s'\n", semiring.c_str());
-    return 2;
+    int rc = 2;
+    if (semiring == "minplus") {
+      rc = run<MinPlus<double>>(g, args);
+    } else if (semiring == "maxmin") {
+      rc = run<MaxMin<double>>(g, args);
+    } else {
+      std::fprintf(stderr, "unknown --semiring '%s'\n", semiring.c_str());
+    }
+    // PARFW_METRICS=json|prom|table dumps the ambient telemetry series
+    // (SRGEMM kernel dispatch) gathered during the solve.
+    telemetry::dump_env(std::cerr);
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

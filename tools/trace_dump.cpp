@@ -2,23 +2,39 @@
 // write the run's Chrome-trace JSON (load it in chrome://tracing or
 // https://ui.perfetto.dev; see README "Tracing").
 //
-// Both modes interpret the SAME schedule IR (src/sched/ir.hpp):
-//   --mode real   runs dist::parallel_fw over the in-process mpisim
-//                 runtime (threads as ranks) and records wall-clock op
-//                 events plus per-message delivery instants;
-//   --mode des    lowers the schedule for a Summit-scale cluster and
-//                 records the discrete-event simulator's virtual
-//                 timeline.
+// All modes interpret the SAME schedule IR (src/sched/ir.hpp):
+//   --mode real     runs dist::parallel_fw over the in-process mpisim
+//                   runtime (threads as ranks) and records wall-clock op
+//                   events plus per-message delivery instants;
+//   --mode des      lowers the schedule for a Summit-scale cluster and
+//                   records the discrete-event simulator's virtual
+//                   timeline;
+//   --mode metrics  runs BOTH interpreters over one schedule and prints
+//                   the measured-vs-modelled reconciliation table
+//                   (telemetry/reconcile.hpp): wire bytes must match the
+//                   DES prediction exactly, compute phases must match in
+//                   count and flops, and per-phase time shares are
+//                   compared within --band. Exits non-zero when the
+//                   exact checks fail. --metrics-json / --metrics-prom
+//                   additionally export the run's metric registry.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "dist/block_cyclic.hpp"
 #include "dist/driver.hpp"
 #include "dist/grid.hpp"
 #include "dist/parallel_fw.hpp"
+#include "perf/des.hpp"
 #include "perf/experiments.hpp"
+#include "perf/schedule.hpp"
 #include "sched/trace.hpp"
+#include "telemetry/adapters.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/reconcile.hpp"
 #include "util/cli.hpp"
 
 using namespace parfw;
@@ -28,7 +44,7 @@ namespace {
 void print_usage() {
   std::puts(
       "trace_dump - write a Chrome-trace JSON of one ParallelFw run\n"
-      "  --mode real|des     real mpisim execution or DES replay (default real)\n"
+      "  --mode real|des|metrics  execution mode (default real)\n"
       "  --variant V         baseline|pipelined|async|offload (default async)\n"
       "  --out FILE          output path (default trace.json)\n"
       "real mode:\n"
@@ -37,7 +53,12 @@ void print_usage() {
       "des mode:\n"
       "  --nodes N           cluster nodes (default 4)\n"
       "  --n N --block B     vertices / block size (default 65536 / 768)\n"
-      "  --reordered         tiled (Figure 1) placement\n");
+      "  --reordered         tiled (Figure 1) placement\n"
+      "metrics mode (real + DES of one schedule, reconciled):\n"
+      "  --pr R --pc C --n N --block B --reordered   as real mode\n"
+      "  --band F            phase-share tolerance (default 0.25)\n"
+      "  --metrics-json FILE write the metric registry as JSON\n"
+      "  --metrics-prom FILE write the metric registry as Prometheus text\n");
 }
 
 int parse_variant(const std::string& name, dist::Variant* out) {
@@ -104,12 +125,138 @@ int run_des(const CliArgs& args, dist::Variant variant,
   return 0;
 }
 
+// Run the data-carrying interpreter and the DES over the SAME schedule,
+// reconcile the two traces, and print the side-by-side phase table. Exit
+// status reflects the exact checks (wire bytes, compute counts/flops);
+// share-band deviations are flagged in the table but do not fail the
+// tool — absolute DES times model Summit GPUs, not this host.
+int run_metrics(const CliArgs& args, dist::Variant variant) {
+  using S = MinPlus<float>;
+  const int pr = static_cast<int>(args.get_int("pr", 2));
+  const int pc = static_cast<int>(args.get_int("pc", 2));
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 96));
+  const std::size_t b = static_cast<std::size_t>(args.get_int("block", 8));
+  const bool reordered = args.get_bool("reordered");
+  const auto grid = reordered ? dist::GridSpec::tiled(pr, 1, 1, pc)
+                              : dist::GridSpec::row_major(pr, pc);
+  const int ranks_per_node = std::max(1, grid.size() / 2);
+
+  telemetry::Registry reg;
+  sched::StatsTraceSink measured;
+
+  dist::DistFwOptions opt;
+  opt.variant = variant;
+  opt.block_size = b;
+  // The DES costs diagonal closures as log-squaring (the GPU-friendly
+  // strategy the modelled machine runs); use it here too so the exact
+  // flops check compares like with like.
+  opt.diag = DiagStrategy::kLogSquaring;
+  opt.trace = &measured;
+  opt.metrics = &reg;
+  if (variant == dist::Variant::kOffload) {
+    opt.oog.mx = opt.oog.nx = 2 * b;
+    opt.oog.num_streams = 2;
+  }
+
+  mpi::RuntimeOptions ropt;
+  ropt.node_model = grid.node_model(ranks_per_node);
+  ropt.trace = &measured;
+  ropt.metrics = &reg;
+
+  DenseEntryGen<float> gen(7, 0.85, 1.0f, 90.0f, /*integral=*/true);
+  const mpi::TrafficStats full = mpi::Runtime::run(
+      grid.size(),
+      [&](mpi::Comm& world) {
+        dist::BlockCyclicMatrix<float> local(n, b, grid,
+                                             grid.coord_of(world.rank()));
+        local.fill(gen);
+        world.barrier();
+        dist::parallel_fw<S>(world, local, opt);
+      },
+      ropt);
+
+  // The communicator split inside parallel_fw exchanges its own messages;
+  // run it alone and subtract, so the measured wire bytes cover exactly
+  // the schedule's traffic (the DES-vs-real tests use the same split).
+  mpi::RuntimeOptions sropt;
+  sropt.node_model = ropt.node_model;
+  const mpi::TrafficStats split_only = mpi::Runtime::run(
+      grid.size(),
+      [&](mpi::Comm& world) { (void)dist::make_row_col_comms(world, grid); },
+      sropt);
+
+  // DES of the same schedule on the modelled machine.
+  perf::FwProblem prob;
+  prob.variant = variant;
+  prob.n = static_cast<double>(n);
+  prob.b = static_cast<double>(b);
+  prob.offload_mx = static_cast<double>(2 * b);
+  std::vector<int> node_of(static_cast<std::size_t>(grid.size()));
+  for (int w = 0; w < grid.size(); ++w)
+    node_of[static_cast<std::size_t>(w)] = ropt.node_model.node(w);
+  const perf::MachineConfig m = perf::MachineConfig::summit();
+  const perf::BuiltProgram built =
+      perf::build_fw_program(m, prob, grid, node_of);
+  sched::StatsTraceSink modelled;
+  (void)perf::simulate(built.programs, built.node_of, m, &modelled);
+  const perf::WireTotals wire =
+      perf::program_traffic(built.programs, built.node_of);
+
+  const auto measured_wire =
+      static_cast<std::int64_t>(full.bytes_total - split_only.bytes_total);
+  const telemetry::ReconcileReport rep = telemetry::reconcile(
+      measured.table(), modelled.table(), measured_wire, wire.bytes_total,
+      args.get_double("band", 0.25));
+
+  std::printf("variant %s, %dx%d grid (%s), n=%zu b=%zu\n",
+              dist::variant_name(variant), pr, pc,
+              reordered ? "tiled" : "row-major", n, b);
+  std::fputs(rep.table().c_str(), stdout);
+
+  // Registry exports (CI artifacts): live series plus the aggregate
+  // TrafficStats snapshot through the adapter.
+  telemetry::publish_traffic_stats(reg, full);
+  if (args.has("metrics-json")) {
+    std::ofstream os(args.get("metrics-json", ""));
+    if (!os) {
+      std::fprintf(stderr, "cannot open '%s'\n",
+                   args.get("metrics-json", "").c_str());
+      return 1;
+    }
+    telemetry::to_json(reg, os);
+  }
+  if (args.has("metrics-prom")) {
+    std::ofstream os(args.get("metrics-prom", ""));
+    if (!os) {
+      std::fprintf(stderr, "cannot open '%s'\n",
+                   args.get("metrics-prom", "").c_str());
+      return 1;
+    }
+    telemetry::to_prometheus(reg, os);
+  }
+
+  const auto mismatches = rep.exact_mismatches();
+  if (!rep.bytes_match()) {
+    std::fprintf(stderr, "FAIL: wire bytes diverge from the DES prediction\n");
+    return 1;
+  }
+  if (!mismatches.empty()) {
+    std::fprintf(stderr, "FAIL: compute phases diverge:");
+    for (const std::string& p : mismatches)
+      std::fprintf(stderr, " %s", p.c_str());
+    std::fputc('\n', stderr);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"mode", "variant", "out", "pr", "pc", "n", "block",
-                      "nodes", "reordered", "help"});
+                      "nodes", "reordered", "band", "metrics-json",
+                      "metrics-prom", "help"});
   if (args.get_bool("help")) {
     print_usage();
     return 0;
@@ -117,6 +264,7 @@ int main(int argc, char** argv) {
   dist::Variant variant = dist::Variant::kAsync;
   if (int rc = parse_variant(args.get("variant", "async"), &variant)) return rc;
   const std::string mode = args.get("mode", "real");
+  if (mode == "metrics") return run_metrics(args, variant);
 
   sched::ChromeTraceSink sink;
   int rc;
