@@ -17,8 +17,12 @@ Per benchmark the compared metric is, in order of preference: the
 (GFLOP/s, PFLOP/s, bytes_per_second, items_per_second; higher is
 better); else real_time (lower is better). A regression is a change
 past --tolerance in the bad direction; improvements and in-band noise
-pass. Exit status: 0 ok, 1 regression (or empty intersection),
-2 usage/IO error.
+pass. With --two-sided ANY drift past --tolerance fails, whichever
+direction — the mode for attribution baselines (e.g. the cp/* blame
+shares from trace_analyze --bench-json) where "more compute share"
+is as much a behaviour change as less; a zero baseline then tolerates
+an absolute drift of --tolerance instead of a ratio. Exit status:
+0 ok, 1 regression (or empty intersection), 2 usage/IO error.
 """
 
 import argparse
@@ -69,6 +73,9 @@ def main():
                     help="allowed fractional regression (default 0.15)")
     ap.add_argument("--metric", default=None,
                     help="force this counter key instead of auto-detect")
+    ap.add_argument("--two-sided", action="store_true",
+                    help="fail on drift in EITHER direction (attribution "
+                         "baselines, not throughput)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -91,11 +98,22 @@ def main():
         key, higher_better = picked
         b, f = float(base[name][key]), float(fresh[name][key])
         if b == 0:
-            print(f"{name:<{width}}  (baseline {key} is zero; skipped)")
+            if args.two_sided:
+                bad = abs(f) > args.tolerance
+                verdict = "REGRESSION" if bad else "ok"
+                if bad:
+                    regressions.append(name)
+                print(f"{name:<{width}}  {key:<16} {b:12.4g} {f:12.4g} "
+                      f"{'n/a':>7}  {verdict}")
+            else:
+                print(f"{name:<{width}}  (baseline {key} is zero; skipped)")
             continue
         ratio = f / b
-        bad = ratio < 1 - args.tolerance if higher_better \
-            else ratio > 1 + args.tolerance
+        if args.two_sided:
+            bad = abs(ratio - 1) > args.tolerance
+        else:
+            bad = ratio < 1 - args.tolerance if higher_better \
+                else ratio > 1 + args.tolerance
         verdict = "REGRESSION" if bad else "ok"
         if bad:
             regressions.append(name)

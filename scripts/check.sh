@@ -29,6 +29,14 @@
 # also runs trace_dump --mode metrics on every variant, which both
 # asserts measured wire bytes == the DES prediction and leaves metric
 # snapshots (JSON + Prometheus) under <build>/metrics/ for CI artifacts.
+#
+# --bench also runs the causal trace-analysis smoke: it captures a real
+# mpisim trace, validates it (trace_dump --mode check), extracts the
+# critical path + blame report with trace_analyze, checks the blame
+# shares against the committed bands (BENCH_cp_band.json — tight on the
+# deterministic DES reference, loose sanity on the noisy real run), and
+# diffs the DES cp/* shares two-sidedly against BENCH_cp.json so
+# attribution drift fails the gate in either direction.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -52,7 +60,7 @@ if [[ "$bench" == 1 ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$build_dir" -j"$(nproc)" \
     --target bench_srgemm_micro bench_fig7_64node_perf \
-             bench_fig10_phase_breakdown trace_dump_cli
+             bench_fig10_phase_breakdown trace_dump_cli trace_analyze_cli
   out_dir="$build_dir/metrics"
   mkdir -p "$out_dir"
 
@@ -79,6 +87,30 @@ if [[ "$bench" == 1 ]]; then
       --metrics-json "$out_dir/metrics_$v.json" \
       --metrics-prom "$out_dir/metrics_$v.prom"
   done
+
+  echo "== causal trace-analysis smoke =="
+  # Real run: capture -> validate -> blame, against the loose sanity band.
+  "$build_dir/tools/trace_dump" --mode real --variant async \
+    --pr 2 --pc 2 --n 256 --block 32 --out "$out_dir/real_trace.json"
+  "$build_dir/tools/trace_dump" --mode check --in "$out_dir/real_trace.json"
+  "$build_dir/tools/trace_analyze" --trace "$out_dir/real_trace.json" \
+    --critical-path --blame \
+    --band-file "$repo_root/BENCH_cp_band.json" --band-set real \
+    --metrics-json "$out_dir/cp_real_metrics.json" \
+    | tee "$out_dir/blame_real.txt"
+  # Deterministic DES reference: exact critical-path == makespan check is
+  # built into trace_analyze --des --critical-path; the shares must stay
+  # inside the tight band AND within 5% (two-sided) of BENCH_cp.json.
+  "$build_dir/tools/trace_analyze" --des --variant async --nodes 4 \
+    --n 49152 --block 768 --critical-path --blame --what-if comm=2 \
+    --band-file "$repo_root/BENCH_cp_band.json" --band-set des \
+    --bench-json "$out_dir/cp_fresh.json" \
+    --metrics-json "$out_dir/cp_des_metrics.json" \
+    | tee "$out_dir/blame_des.txt"
+  python3 "$repo_root/scripts/bench_compare.py" \
+    "$repo_root/BENCH_cp.json" "$out_dir/cp_fresh.json" \
+    --metric share --two-sided --tolerance 0.05
+
   echo "check.sh --bench: OK (snapshots in $out_dir)"
   exit 0
 fi

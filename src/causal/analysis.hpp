@@ -1,0 +1,132 @@
+// analysis — critical path, per-op slack, blame attribution and what-if
+// re-costing over the happens-before DAG (DESIGN.md §4.9).
+//
+// The critical path is extracted by a backward binding-predecessor walk
+// from the latest node: at every node the predecessor with the largest
+// timestamp is the one that actually gated it, the interval between them
+// becomes a path segment, and the cursor is clamped monotonically so the
+// segments PARTITION [t_min, t_max] — their sum equals the trace span
+// exactly (no epsilon), which is what makes the DES cross-check in the
+// acceptance criteria an equality, not an approximation.
+//
+// Blame categories:
+//   compute     a compute op's own span (Diag/Panel/Lookahead/Outer
+//               updates, oogHost chunk merges)
+//   comm        a comm op's own span, message transit (send -> recv
+//               edges), and first-attempt delivery waits
+//   retransmit  transit into a recv whose matched message needed a
+//               retransmission (attempt > 0) — time bought back only by
+//               fixing loss, not by faster links
+//   checkpoint  Checkpoint spans and barrier-join waits
+//   stall       gaps where the path waits for an op to start (scheduling
+//               /dependency idleness not explained by any edge work)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "causal/graph.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace parfw::causal {
+
+enum class Category : std::uint8_t {
+  kCompute = 0,
+  kComm = 1,
+  kStall = 2,
+  kRetransmit = 3,
+  kCheckpoint = 4,
+};
+inline constexpr int kNumCategories = 5;
+const char* category_name(Category c);
+
+/// Category of an event's own execution time, by op name.
+Category category_of(const sched::TraceEvent& e);
+
+/// FW phase of an event: "diag", "panel", "update", "checkpoint",
+/// "other" (runtime-internal events: msg, recv, retry, ...).
+const char* phase_of(const sched::TraceEvent& e);
+
+/// One interval of the critical path: [t_lo, t_hi] attributed to
+/// `event` (index into Graph::events, or -1 for a leading stall before
+/// the first caused op) with the given category.
+struct PathSegment {
+  double t_lo = 0.0;
+  double t_hi = 0.0;
+  int event = -1;
+  int rank = -1;
+  Category cat = Category::kStall;
+};
+
+/// One row of the top-k blocking-ops table: an op holding the most
+/// critical-path time. Slack is 0 by definition for on-path ops; the
+/// table also surfaces each op's total duration so "long but off the
+/// path" work is distinguishable from true stragglers.
+struct Straggler {
+  int event = -1;
+  double on_path_seconds = 0.0;
+  double duration = 0.0;
+};
+
+struct CategoryTotals : std::array<double, kNumCategories> {
+  CategoryTotals() { fill(0.0); }
+};
+
+struct BlameReport {
+  double span = 0.0;  ///< t_max - t_min; == critical-path length == Σ path
+  CategoryTotals by_category;
+  std::map<int, CategoryTotals> by_rank;          ///< on-path time per rank
+  std::map<std::string, CategoryTotals> by_phase;  ///< per FW phase
+  std::vector<PathSegment> path;                  ///< earliest first
+  std::vector<Straggler> top;                     ///< top-k blocking ops
+  /// Per-event slack: how much the op could stretch without lengthening
+  /// the span (0 for critical ops). Indexed like Graph::events.
+  std::vector<double> slack;
+
+  double category(Category c) const {
+    return by_category[static_cast<std::size_t>(c)];
+  }
+  double share(Category c) const {
+    return span > 0.0 ? category(c) / span : 0.0;
+  }
+};
+
+struct AnalysisOptions {
+  int top_k = 10;
+};
+
+/// Run the full analysis. Returns false (with `error` set) when the
+/// graph is cyclic — a malformed trace.
+bool analyze(const Graph& g, const AnalysisOptions& opt, BlameReport* out,
+             std::string* error);
+
+/// Human-readable blame report (category split, per-rank and per-phase
+/// tables, straggler list).
+std::string format_report(const Graph& g, const BlameReport& r);
+
+/// What-if re-coster: replay the critical path with comm (link) and
+/// compute (kernel) segments scaled by 1/speedup. Stall, checkpoint and
+/// retransmit time is structural and kept as-is — this predicts the
+/// makespan of the SAME path under a faster machine; the DES confirms it
+/// end-to-end by re-running with the scaled MachineConfig (the path may
+/// additionally reshape, so the prediction is an upper bound).
+struct WhatIf {
+  double comm_speedup = 1.0;
+  double compute_speedup = 1.0;
+};
+double recost(const BlameReport& r, const WhatIf& w);
+
+/// Publish cp.* series into a metrics registry: cp.length, and
+/// cp.share{category=...} per blame category — the attribution-drift
+/// gate bench_compare.py consumes.
+void publish_blame(const BlameReport& r, telemetry::Registry& reg);
+
+/// Graphviz dump of the critical path (and its immediate off-path
+/// predecessors) for visual inspection.
+void write_dot(const Graph& g, const BlameReport& r, std::ostream& os);
+
+}  // namespace parfw::causal

@@ -1,0 +1,209 @@
+#include "causal/graph.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <map>
+#include <tuple>
+
+namespace parfw::causal {
+
+namespace {
+
+/// Channel coordinate of a kSend/kRecv event (send's rank/peer is the
+/// recv's peer/rank).
+struct ChannelKey {
+  std::uint64_t ctx;
+  int src;
+  int dst;
+  std::int32_t tag;
+  std::uint64_t seq;
+  bool operator<(const ChannelKey& o) const {
+    return std::tie(ctx, src, dst, tag, seq) <
+           std::tie(o.ctx, o.src, o.dst, o.tag, o.seq);
+  }
+};
+
+ChannelKey channel_of(const sched::TraceEvent& e) {
+  if (e.ek == sched::EventKind::kSend)
+    return ChannelKey{e.ctx, e.rank, static_cast<int>(e.peer), e.tag, e.seq};
+  return ChannelKey{e.ctx, static_cast<int>(e.peer), e.rank, e.tag, e.seq};
+}
+
+}  // namespace
+
+Graph build_graph(std::vector<sched::TraceEvent> events, BuildStats* stats) {
+  Graph g;
+  g.events = std::move(events);
+  const int n = static_cast<int>(g.events.size());
+  g.node_time.resize(static_cast<std::size_t>(2 * n));
+  g.t_min = n > 0 ? std::numeric_limits<double>::max() : 0.0;
+  g.t_max = 0.0;
+  for (int e = 0; e < n; ++e) {
+    const sched::TraceEvent& ev = g.events[static_cast<std::size_t>(e)];
+    g.node_time[static_cast<std::size_t>(Graph::begin_node(e))] = ev.t_begin;
+    g.node_time[static_cast<std::size_t>(Graph::end_node(e))] = ev.t_end;
+    g.t_min = std::min(g.t_min, ev.t_begin);
+    g.t_max = std::max(g.t_max, ev.t_end);
+  }
+
+  auto add_edge = [&](int from, int to, EdgeType type) {
+    g.edges.push_back(Edge{from, to, type});
+  };
+
+  // Span interiors.
+  for (int e = 0; e < n; ++e)
+    add_edge(Graph::begin_node(e), Graph::end_node(e), EdgeType::kSpan);
+
+  // Per-rank program order as a nesting forest. Sort each rank's events
+  // by (begin, record index) — the record index breaks ties so that an
+  // instant recorded inside a span that starts at the same timestamp
+  // nests under it rather than preceding it.
+  std::map<int, std::vector<int>> by_rank;
+  for (int e = 0; e < n; ++e)
+    by_rank[g.events[static_cast<std::size_t>(e)].rank].push_back(e);
+  for (auto& [rank, idx] : by_rank) {
+    (void)rank;
+    std::stable_sort(idx.begin(), idx.end(), [&](int a, int b) {
+      return g.events[static_cast<std::size_t>(a)].t_begin <
+             g.events[static_cast<std::size_t>(b)].t_begin;
+    });
+    struct Frame {
+      int event;
+      int last_child = -1;  ///< most recently closed child (or -1)
+    };
+    std::vector<Frame> stack;
+    int last_top = -1;  ///< most recently closed top-level event
+    auto pop_one = [&] {
+      const Frame closed = stack.back();
+      stack.pop_back();
+      // The last thing to finish inside the closed span gates its end.
+      if (closed.last_child != -1)
+        add_edge(Graph::end_node(closed.last_child),
+                 Graph::end_node(closed.event), EdgeType::kProgram);
+      if (stack.empty())
+        last_top = closed.event;
+      else
+        stack.back().last_child = closed.event;
+    };
+    for (int e : idx) {
+      const double t = g.events[static_cast<std::size_t>(e)].t_begin;
+      while (!stack.empty() &&
+             g.events[static_cast<std::size_t>(stack.back().event)].t_end <=
+                 t)
+        pop_one();
+      if (stack.empty()) {
+        if (last_top != -1)
+          add_edge(Graph::end_node(last_top), Graph::begin_node(e),
+                   EdgeType::kProgram);
+      } else if (stack.back().last_child != -1) {
+        add_edge(Graph::end_node(stack.back().last_child),
+                 Graph::begin_node(e), EdgeType::kProgram);
+      } else {
+        add_edge(Graph::begin_node(stack.back().event), Graph::begin_node(e),
+                 EdgeType::kProgram);
+      }
+      stack.push_back(Frame{e, -1});
+    }
+    while (!stack.empty()) pop_one();
+  }
+
+  // Message edges: end(send) -> end(recv), joined by channel coordinate.
+  // A duplicate-discarded delivery never produces a second recv event, so
+  // the map stays 1:1. Retransmitted messages keep their original seq, so
+  // several send events can share one channel key; the EARLIEST attempt is
+  // the causal anchor — a later retransmit may race past the ack and fire
+  // after the recv already completed, and anchoring there would put a
+  // backwards edge (and potentially a cycle) into the graph.
+  std::map<ChannelKey, int> send_of;
+  std::size_t unmatched_sends = 0;
+  for (int e = 0; e < n; ++e)
+    if (g.events[static_cast<std::size_t>(e)].ek == sched::EventKind::kSend) {
+      auto [it, inserted] = send_of.emplace(
+          channel_of(g.events[static_cast<std::size_t>(e)]), e);
+      if (!inserted &&
+          g.events[static_cast<std::size_t>(e)].t_end <
+              g.events[static_cast<std::size_t>(it->second)].t_end)
+        it->second = e;
+      ++unmatched_sends;
+    }
+  std::size_t matched = 0, unmatched_recvs = 0;
+  for (int e = 0; e < n; ++e) {
+    if (g.events[static_cast<std::size_t>(e)].ek != sched::EventKind::kRecv)
+      continue;
+    auto it = send_of.find(channel_of(g.events[static_cast<std::size_t>(e)]));
+    if (it == send_of.end()) {
+      ++unmatched_recvs;
+      continue;
+    }
+    add_edge(Graph::end_node(it->second), Graph::end_node(e),
+             EdgeType::kMessage);
+    ++matched;
+    --unmatched_sends;
+  }
+
+  // Checkpoint barrier joins, one synthetic node per iteration cut.
+  std::map<std::uint32_t, std::vector<int>> cuts;
+  for (int e = 0; e < n; ++e) {
+    const sched::TraceEvent& ev = g.events[static_cast<std::size_t>(e)];
+    if (std::strcmp(ev.name, "Checkpoint") == 0) cuts[ev.k].push_back(e);
+  }
+  std::size_t joins = 0;
+  for (const auto& [k, members] : cuts) {
+    (void)k;
+    if (members.size() < 2) continue;
+    double t_join = 0.0;
+    for (int e : members)
+      t_join = std::max(t_join,
+                        g.events[static_cast<std::size_t>(e)].t_begin);
+    const int join = g.num_nodes();
+    g.node_time.push_back(t_join);
+    for (int e : members) {
+      add_edge(Graph::begin_node(e), join, EdgeType::kJoin);
+      add_edge(join, Graph::end_node(e), EdgeType::kJoin);
+    }
+    ++joins;
+  }
+
+  g.preds.assign(static_cast<std::size_t>(g.num_nodes()), {});
+  g.succs.assign(static_cast<std::size_t>(g.num_nodes()), {});
+  for (int i = 0; i < static_cast<int>(g.edges.size()); ++i) {
+    g.preds[static_cast<std::size_t>(g.edges[static_cast<std::size_t>(i)].to)]
+        .push_back(i);
+    g.succs[static_cast<std::size_t>(
+                g.edges[static_cast<std::size_t>(i)].from)]
+        .push_back(i);
+  }
+
+  if (stats != nullptr) {
+    stats->matched_messages = matched;
+    stats->unmatched_sends = unmatched_sends;
+    stats->unmatched_recvs = unmatched_recvs;
+    stats->joins = joins;
+  }
+  return g;
+}
+
+bool topo_order(const Graph& g, std::vector<int>* order) {
+  const int n = g.num_nodes();
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (const Edge& e : g.edges) ++indeg[static_cast<std::size_t>(e.to)];
+  std::deque<int> ready;
+  for (int v = 0; v < n; ++v)
+    if (indeg[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+  order->clear();
+  order->reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const int v = ready.front();
+    ready.pop_front();
+    order->push_back(v);
+    for (int ei : g.succs[static_cast<std::size_t>(v)]) {
+      const int to = g.edges[static_cast<std::size_t>(ei)].to;
+      if (--indeg[static_cast<std::size_t>(to)] == 0) ready.push_back(to);
+    }
+  }
+  return static_cast<int>(order->size()) == n;
+}
+
+}  // namespace parfw::causal

@@ -1,0 +1,91 @@
+// graph — the happens-before DAG over a captured trace (DESIGN.md §4.9).
+//
+// Every trace event contributes two nodes, begin(e) and end(e), placed at
+// its recorded timestamps. Four edge families connect them:
+//
+//   kSpan     begin(e) -> end(e): the op's own execution (weight = its
+//             duration in longest-path computations).
+//   kProgram  per-rank program order, reconstructed as a nesting forest:
+//             events on one rank are sorted by begin time; an event whose
+//             span contains another is its parent (an op span contains
+//             the message instants / oogHost spans it caused), siblings
+//             chain end -> begin, and the last child's end feeds the
+//             parent's end.
+//   kMessage  end(send) -> end(recv) for every matched handoff — mpisim
+//             "msg"/"recv" pairs (including retransmitted deliveries,
+//             which keep their original seq), DES send/recv spans, and
+//             offload "oogDev"/"oogWait" device-channel pairs — joined by
+//             the channel coordinate (ctx, src, dst, tag, seq).
+//   kJoin     checkpoint barrier joins: all "Checkpoint" spans of one
+//             iteration meet at a synthetic join node placed at the
+//             latest entry time; begin(i) -> join -> end(i) makes every
+//             participant's exit depend on the slowest entrant, which is
+//             exactly the barrier semantics of the checkpoint cut.
+//
+// On a time-consistent trace (both interpreters produce one: real events
+// share the sched::now_seconds() epoch, DES events share the virtual
+// clock) every edge is non-decreasing in time and the graph is acyclic;
+// build_graph does not assume it, and analysis verifies it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/trace.hpp"
+
+namespace parfw::causal {
+
+enum class EdgeType : std::uint8_t {
+  kSpan = 0,     ///< begin(e) -> end(e)
+  kProgram = 1,  ///< per-rank order (sibling chain / parent-child)
+  kMessage = 2,  ///< matched kSend -> kRecv handoff
+  kJoin = 3,     ///< checkpoint barrier join
+};
+
+struct Edge {
+  int from = 0;
+  int to = 0;
+  EdgeType type = EdgeType::kSpan;
+};
+
+/// Node ids: begin(e) = 2*e, end(e) = 2*e + 1 for event index e; barrier
+/// join nodes are appended after 2 * events.size().
+struct Graph {
+  std::vector<sched::TraceEvent> events;
+  std::vector<double> node_time;       ///< per node id
+  std::vector<Edge> edges;
+  std::vector<std::vector<int>> preds;  ///< edge indices, per node
+  std::vector<std::vector<int>> succs;  ///< edge indices, per node
+  double t_min = 0.0;  ///< earliest begin over all events
+  double t_max = 0.0;  ///< latest end over all events (the makespan cut)
+
+  int num_nodes() const { return static_cast<int>(node_time.size()); }
+  static int begin_node(int event) { return 2 * event; }
+  static int end_node(int event) { return 2 * event + 1; }
+  /// Event index of a node, or -1 for synthetic join nodes.
+  int event_of(int node) const {
+    return node < 2 * static_cast<int>(events.size()) ? node / 2 : -1;
+  }
+  static bool is_end(int node) { return (node & 1) != 0; }
+};
+
+/// Join statistics — how much of the trace carried causal annotations.
+struct BuildStats {
+  std::size_t matched_messages = 0;
+  std::size_t unmatched_sends = 0;  ///< dropped messages, truncated traces
+  std::size_t unmatched_recvs = 0;
+  std::size_t joins = 0;            ///< checkpoint barrier join nodes
+};
+
+/// Build the happens-before DAG. The event vector is copied into the
+/// graph (name pointers must outlive it — keep the LoadResult or sink
+/// alive).
+Graph build_graph(std::vector<sched::TraceEvent> events,
+                  BuildStats* stats = nullptr);
+
+/// Kahn topological sort. Returns false (and leaves `order` partial)
+/// when the graph has a cycle — a malformed or clock-skewed trace.
+bool topo_order(const Graph& g, std::vector<int>* order);
+
+}  // namespace parfw::causal

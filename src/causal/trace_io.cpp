@@ -1,0 +1,320 @@
+#include "causal/trace_io.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace parfw::causal {
+
+namespace {
+
+// Recursive-descent JSON parser over the whole document. Tracks the byte
+// position so truncated or malformed input yields an actionable offset.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue* out, std::string* error) {
+    skip_ws();
+    if (!parse_value(out)) {
+      *error = err_ + " at byte " + std::to_string(pos_);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      *error = "trailing garbage at byte " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (err_.empty()) err_ = msg;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (depth_ > 64) return fail("nesting too deep");
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return parse_string(&out->str);
+      case 't':
+      case 'f': return parse_bool(out);
+      case 'n': return parse_null(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    ++depth_;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"')
+        return fail("expected object key");
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(&v)) return false;
+      out->obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    ++depth_;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(&v)) return false;
+      out->arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return fail("unterminated escape");
+        const char e = s_[pos_ + 1];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            // Pass \uXXXX through verbatim — trace names are ASCII.
+            if (pos_ + 5 >= s_.size()) return fail("truncated \\u escape");
+            out->append(s_, pos_, 6);
+            pos_ += 4;
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        pos_ += 2;
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(JsonValue* out) {
+    out->type = JsonValue::Type::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_null(JsonValue* out) {
+    out->type = JsonValue::Type::kNull;
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_number(JsonValue* out) {
+    out->type = JsonValue::Type::kNumber;
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    out->number = std::strtod(begin, &end);
+    if (end == begin) return fail("expected a value");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string err_;
+};
+
+double num_or(const JsonValue& obj, const std::string& key, double dflt) {
+  const JsonValue* v = obj.find(key);
+  return (v != nullptr && v->type == JsonValue::Type::kNumber) ? v->number
+                                                               : dflt;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+bool parse_json(const std::string& text, JsonValue* out, std::string* error) {
+  return Parser(text).parse(out, error);
+}
+
+LoadResult load_chrome_trace(const std::string& text) {
+  LoadResult out;
+  JsonValue doc;
+  if (!parse_json(text, &doc, &out.error)) return out;
+  if (doc.type != JsonValue::Type::kObject) {
+    out.error = "top-level value is not an object";
+    return out;
+  }
+  const JsonValue* evs = doc.find("traceEvents");
+  if (evs == nullptr || evs->type != JsonValue::Type::kArray) {
+    out.error = "missing \"traceEvents\" array";
+    return out;
+  }
+
+  std::map<std::string, const char*> interned;
+  auto intern = [&](const std::string& name) -> const char* {
+    auto it = interned.find(name);
+    if (it != interned.end()) return it->second;
+    out.names.push_back(name);
+    return interned.emplace(name, out.names.back().c_str()).first->second;
+  };
+
+  for (std::size_t i = 0; i < evs->arr.size(); ++i) {
+    const JsonValue& row = evs->arr[i];
+    auto bad = [&](const std::string& what) {
+      out.error = "traceEvents[" + std::to_string(i) + "]: " + what;
+      out.events.clear();
+      return out;
+    };
+    if (row.type != JsonValue::Type::kObject) return bad("not an object");
+    const JsonValue* ph = row.find("ph");
+    if (ph == nullptr || ph->type != JsonValue::Type::kString)
+      return bad("missing \"ph\"");
+    // Presentation rows: flow arrows, metadata, counters.
+    if (ph->str == "s" || ph->str == "f" || ph->str == "t" ||
+        ph->str == "M" || ph->str == "C")
+      continue;
+    if (ph->str != "X" && ph->str != "i" && ph->str != "I")
+      return bad("unsupported ph \"" + ph->str + "\"");
+    const JsonValue* name = row.find("name");
+    if (name == nullptr || name->type != JsonValue::Type::kString)
+      return bad("missing \"name\"");
+    const JsonValue* ts = row.find("ts");
+    if (ts == nullptr || ts->type != JsonValue::Type::kNumber)
+      return bad("missing \"ts\"");
+
+    sched::TraceEvent e;
+    e.name = intern(name->str);
+    e.rank = static_cast<int>(num_or(row, "tid", 0.0));
+    e.t_begin = ts->number * 1e-6;
+    e.t_end = e.t_begin;
+    if (ph->str == "X") {
+      const JsonValue* dur = row.find("dur");
+      if (dur == nullptr || dur->type != JsonValue::Type::kNumber)
+        return bad("ph \"X\" without \"dur\"");
+      if (dur->number < 0.0) return bad("negative \"dur\"");
+      e.t_end = e.t_begin + dur->number * 1e-6;
+    }
+    if (const JsonValue* args = row.find("args");
+        args != nullptr && args->type == JsonValue::Type::kObject) {
+      e.k = static_cast<std::uint32_t>(num_or(*args, "k", 0.0));
+      e.bytes = static_cast<std::int64_t>(num_or(*args, "bytes", 0.0));
+      e.flops = num_or(*args, "flops", 0.0);
+      const double ek = num_or(*args, "ek", 0.0);
+      if (ek < 0.0 || ek > 2.0) return bad("args.ek out of range");
+      e.ek = static_cast<sched::EventKind>(static_cast<int>(ek));
+      e.peer = static_cast<std::int32_t>(num_or(*args, "peer", -1.0));
+      e.tag = static_cast<std::int32_t>(num_or(*args, "tag", 0.0));
+      e.seq = static_cast<std::uint64_t>(num_or(*args, "seq", 0.0));
+      e.ctx = static_cast<std::uint64_t>(num_or(*args, "ctx", 0.0));
+      e.attempt = static_cast<std::uint32_t>(num_or(*args, "att", 0.0));
+    }
+    out.events.push_back(e);
+  }
+  out.ok = true;
+  return out;
+}
+
+LoadResult load_chrome_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    LoadResult out;
+    out.error = "cannot open '" + path + "'";
+    return out;
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  LoadResult out = load_chrome_trace(ss.str());
+  if (!out.ok) out.error = path + ": " + out.error;
+  return out;
+}
+
+}  // namespace parfw::causal

@@ -322,6 +322,9 @@ void parallel_fw_resume(mpi::Comm& world,
         e.t_end = t1;
         e.bytes = op.bytes;
         e.flops = op.flops;
+        // The IR op's match tag ties this span to the "msg"/"recv" events
+        // its collective produced (causal analysis groups them by tag).
+        e.tag = static_cast<std::int32_t>(op.tag);
         opt.trace->record(e);
       }
       if (opt.metrics) {

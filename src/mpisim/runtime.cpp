@@ -107,21 +107,34 @@ void World::deliver(const MatchKey& key, rank_t dst, Message msg) {
       traffic_.nic_bytes[static_cast<std::size_t>(dn)] += msg.payload.size();
     }
   }
-  if (trace_) {
-    sched::TraceEvent e;
-    e.rank = key.src;
-    e.name = "msg";
-    e.t_begin = e.t_end = sched::now_seconds();
-    e.bytes = bytes;
-    trace_->record(e);
-  }
+  // The "msg" instant is the causal send anchor: capture its timestamp
+  // BEFORE the enqueue so it never lands after the matching receive's
+  // return, and record it after the flow sequence number is known (the
+  // seq is what joins it to the "recv" event in src/causal/).
+  const double t_send = trace_ ? sched::now_seconds() : 0.0;
+  std::uint64_t seq = 0;
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   if (!faults_.message_faults()) {
     {
       std::lock_guard<std::mutex> lock(box.mu);
+      seq = box.next_seq[key]++;
+      msg.seq = seq;
       box.queues[key].push_back(std::move(msg));
     }
     box.cv.notify_all();
+    if (trace_) {
+      sched::TraceEvent e;
+      e.rank = key.src;
+      e.name = "msg";
+      e.t_begin = e.t_end = t_send;
+      e.bytes = bytes;
+      e.ek = sched::EventKind::kSend;
+      e.peer = dst;
+      e.tag = static_cast<std::int32_t>(key.tag);
+      e.ctx = key.context;
+      e.seq = seq;
+      trace_->record(e);
+    }
     return;
   }
 
@@ -133,6 +146,7 @@ void World::deliver(const MatchKey& key, rank_t dst, Message msg) {
   {
     std::lock_guard<std::mutex> lock(box.mu);
     msg.seq = box.next_seq[key]++;
+    seq = msg.seq;
     dropped = fault_roll(faults_.seed, flow, msg.seq, kFaultSaltDrop,
                          /*attempt=*/0) < faults_.drop_prob;
     if (dropped) {
@@ -157,12 +171,47 @@ void World::deliver(const MatchKey& key, rank_t dst, Message msg) {
   if (delayed) count_fault(&TrafficStats::delays_injected, "delay", key.src, bytes);
   if (dup) count_fault(&TrafficStats::dups_injected, "dup", key.src, bytes);
   if (!dropped) box.cv.notify_all();
+  // One logical send per deliver call, dropped or not: a parked message
+  // that is later re-driven by the receiver's retransmission timer still
+  // joins this anchor through its (unchanged) seq.
+  if (trace_) {
+    sched::TraceEvent e;
+    e.rank = key.src;
+    e.name = "msg";
+    e.t_begin = e.t_end = t_send;
+    e.bytes = bytes;
+    e.ek = sched::EventKind::kSend;
+    e.peer = dst;
+    e.tag = static_cast<std::int32_t>(key.tag);
+    e.ctx = key.context;
+    e.seq = seq;
+    trace_->record(e);
+  }
+}
+
+void World::record_recv(const MatchKey& key, rank_t dst, const Message& msg,
+                        double t_wait0) {
+  if (!trace_) return;
+  sched::TraceEvent e;
+  e.rank = dst;
+  e.name = "recv";
+  e.t_begin = t_wait0;
+  e.t_end = sched::now_seconds();
+  e.bytes = static_cast<std::int64_t>(msg.payload.size());
+  e.ek = sched::EventKind::kRecv;
+  e.peer = key.src;
+  e.tag = static_cast<std::int32_t>(key.tag);
+  e.ctx = key.context;
+  e.seq = msg.seq;
+  e.attempt = msg.attempt;
+  trace_->record(e);
 }
 
 Message World::await(const MatchKey& key, rank_t dst) {
   PARFW_DCHECK(dst >= 0 && dst < size_);
   // Receive-wait latency: entry to matched-message return (or unwind).
   telemetry::ScopedTimer recv_timer(mh_.recv_wait_seconds);
+  const double t_wait0 = trace_ ? sched::now_seconds() : 0.0;
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock<std::mutex> lock(box.mu);
 
@@ -177,6 +226,7 @@ Message World::await(const MatchKey& key, rank_t dst) {
     Message msg = std::move(it->second.front());
     it->second.pop_front();
     if (it->second.empty()) box.queues.erase(it);
+    record_recv(key, dst, msg, t_wait0);
     return msg;
   }
 
@@ -211,6 +261,7 @@ Message World::await(const MatchKey& key, rank_t dst) {
             q.erase(qi);
             if (q.empty()) box.queues.erase(it);
             ++box.expected[key];
+            record_recv(key, dst, msg, t_wait0);
             return msg;
           }
           due = qi->not_before;  // delayed: sleep until deliverable

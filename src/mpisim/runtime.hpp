@@ -87,10 +87,14 @@ struct TrafficStats {
 struct RuntimeOptions {
   NodeModel node_model{};
   /// When set, every message delivery is recorded as an instant event
-  /// ("msg", rank = source, bytes = payload size) on the shared
+  /// ("msg", rank = source, bytes = payload size, EventKind::kSend with
+  /// the flow coordinate ctx/peer/tag/seq) and every matched receive as a
+  /// "recv" span (EventKind::kRecv, wait-entry to match, carrying the
+  /// matched message's seq and retransmission attempt) on the shared
   /// sched::now_seconds() timeline; injected faults and retransmissions
-  /// are recorded as "drop"/"dup"/"delay"/"retry" instants. Sinks must be
-  /// thread-safe.
+  /// are recorded as "drop"/"dup"/"delay"/"retry" instants. The kSend /
+  /// kRecv pairs are what the causal analysis layer (src/causal/) joins
+  /// into happens-before message edges. Sinks must be thread-safe.
   sched::TraceSink* trace = nullptr;
   /// Seeded deterministic fault injection (off by default).
   FaultPlan faults{};
@@ -187,6 +191,10 @@ class World {
   [[noreturn]] void throw_aborted() const;
   void count_fault(std::uint64_t TrafficStats::* counter, const char* name,
                    rank_t rank, std::int64_t bytes);
+  /// Record the kRecv trace event for a matched message (no-op without a
+  /// sink). t_wait0 is the receiver's wait-entry timestamp.
+  void record_recv(const MatchKey& key, rank_t dst, const Message& msg,
+                   double t_wait0);
 
   int size_;
   NodeModel node_model_;

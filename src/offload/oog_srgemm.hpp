@@ -36,7 +36,11 @@ struct OogConfig {
   std::size_t num_streams = 3; ///< s; 1 = fully serial, 3 = full overlap
   srgemm::Config gemm{};       ///< device-kernel tiling
   /// When set, each retired chunk's hostUpdate is recorded ("oogHost",
-  /// bytes = chunk size) on the sched::now_seconds() timeline.
+  /// bytes = chunk size) on the sched::now_seconds() timeline, plus the
+  /// device-pipeline handoff pair: "oogDev" (kSend instant at chunk
+  /// launch) joined to "oogWait" (kRecv span over the completion wait)
+  /// through a per-rank device channel, so causal analysis sees the
+  /// stream ordering.
   sched::TraceSink* trace = nullptr;
   int trace_rank = 0;  ///< rank attributed to the events (devsim is local)
   /// When set, the pipeline lands series into this registry:
@@ -138,8 +142,15 @@ OogStats oog_srgemm(dev::Device& device,
   struct Pending {
     dev::Event done;
     std::size_t i, j, r;
+    std::uint64_t seq;
   };
   std::deque<Pending> inflight;
+  // Device-pipeline causality: chunk launch ("oogDev", kSend) joins the
+  // host's completion wait ("oogWait", kRecv) through a per-rank device
+  // channel — the offload analogue of a message edge.
+  std::uint64_t chunk_seq = 0;
+  const std::uint64_t dev_ctx =
+      sched::kDeviceChannelCtx + static_cast<std::uint64_t>(cfg.trace_rank);
 
   auto host_update = [&](const Pending& p) {
     const std::size_t r0 = p.i * cfg.mx, c0 = p.j * cfg.nx;
@@ -159,6 +170,20 @@ OogStats oog_srgemm(dev::Device& device,
         cfg.metrics->histogram("oog.host_update_seconds").observe(t1 - t0);
     }
   };
+  auto retire = [&](const Pending& p) {
+    const double t0 = cfg.trace ? sched::now_seconds() : 0.0;
+    p.done.wait();
+    if (cfg.trace) {
+      sched::TraceEvent e{cfg.trace_rank, "oogWait", 0, t0,
+                          sched::now_seconds(), 0, 0.0};
+      e.ek = sched::EventKind::kRecv;
+      e.peer = cfg.trace_rank;
+      e.ctx = dev_ctx;
+      e.seq = p.seq;
+      cfg.trace->record(e);
+    }
+    host_update(p);
+  };
 
   std::size_t next_stream = 0;
   for (std::size_t i = 0; i < mb; ++i) {
@@ -171,8 +196,7 @@ OogStats oog_srgemm(dev::Device& device,
       if (inflight.size() >= s) {
         const Pending p = inflight.front();
         inflight.pop_front();
-        p.done.wait();
-        host_update(p);
+        retire(p);
       }
 
       if (!a_up[i]) upload_a(i, st);
@@ -205,7 +229,19 @@ OogStats oog_srgemm(dev::Device& device,
                         ((nr - 1) * ldx + nc) * sizeof(T));
       stats.elems_d2h += nr * nc;
 
-      inflight.push_back(Pending{st.record(), i, j, r});
+      inflight.push_back(Pending{st.record(), i, j, r, chunk_seq});
+      if (cfg.trace) {
+        const double t = sched::now_seconds();
+        sched::TraceEvent e{cfg.trace_rank, "oogDev", 0, t, t,
+                            static_cast<std::int64_t>(nr * nc * sizeof(T)),
+                            0.0};
+        e.ek = sched::EventKind::kSend;
+        e.peer = cfg.trace_rank;
+        e.ctx = dev_ctx;
+        e.seq = chunk_seq;
+        cfg.trace->record(e);
+      }
+      ++chunk_seq;
       if (cfg.metrics) {
         cfg.metrics->counter("oog.bytes_d2h")
             .add(((nr - 1) * ldx + nc) * sizeof(T));
@@ -220,8 +256,7 @@ OogStats oog_srgemm(dev::Device& device,
   while (!inflight.empty()) {
     const Pending p = inflight.front();
     inflight.pop_front();
-    p.done.wait();
-    host_update(p);
+    retire(p);
   }
   stats.blocks = mb * nb;
   return stats;
@@ -259,8 +294,12 @@ OogStats oog_srgemm_device(dev::Device& device,
   struct Pending {
     dev::Event done;
     std::size_t i, j, r;
+    std::uint64_t seq;
   };
   std::deque<Pending> inflight;
+  std::uint64_t chunk_seq = 0;
+  const std::uint64_t dev_ctx =
+      sched::kDeviceChannelCtx + static_cast<std::uint64_t>(cfg.trace_rank);
   auto host_update = [&](const Pending& p) {
     const std::size_t r0 = p.i * cfg.mx, c0 = p.j * cfg.nx;
     const std::size_t nr = std::min(cfg.mx, m - r0);
@@ -279,6 +318,20 @@ OogStats oog_srgemm_device(dev::Device& device,
         cfg.metrics->histogram("oog.host_update_seconds").observe(t1 - t0);
     }
   };
+  auto retire = [&](const Pending& p) {
+    const double t0 = cfg.trace ? sched::now_seconds() : 0.0;
+    p.done.wait();
+    if (cfg.trace) {
+      sched::TraceEvent e{cfg.trace_rank, "oogWait", 0, t0,
+                          sched::now_seconds(), 0, 0.0};
+      e.ek = sched::EventKind::kRecv;
+      e.peer = cfg.trace_rank;
+      e.ctx = dev_ctx;
+      e.seq = p.seq;
+      cfg.trace->record(e);
+    }
+    host_update(p);
+  };
 
   std::size_t next_stream = 0;
   for (std::size_t i = 0; i < mb; ++i) {
@@ -289,8 +342,7 @@ OogStats oog_srgemm_device(dev::Device& device,
       if (inflight.size() >= s) {
         const Pending p = inflight.front();
         inflight.pop_front();
-        p.done.wait();
-        host_update(p);
+        retire(p);
       }
       const std::size_t r0 = i * cfg.mx, c0 = j * cfg.nx;
       const std::size_t nr = std::min(cfg.mx, m - r0);
@@ -310,7 +362,19 @@ OogStats oog_srgemm_device(dev::Device& device,
       device.memcpy_d2h(st, staging[r].data(), xr,
                         ((nr - 1) * ldx + nc) * sizeof(T));
       stats.elems_d2h += nr * nc;
-      inflight.push_back(Pending{st.record(), i, j, r});
+      inflight.push_back(Pending{st.record(), i, j, r, chunk_seq});
+      if (cfg.trace) {
+        const double t = sched::now_seconds();
+        sched::TraceEvent e{cfg.trace_rank, "oogDev", 0, t, t,
+                            static_cast<std::int64_t>(nr * nc * sizeof(T)),
+                            0.0};
+        e.ek = sched::EventKind::kSend;
+        e.peer = cfg.trace_rank;
+        e.ctx = dev_ctx;
+        e.seq = chunk_seq;
+        cfg.trace->record(e);
+      }
+      ++chunk_seq;
       if (cfg.metrics) {
         cfg.metrics->counter("oog.bytes_d2h")
             .add(((nr - 1) * ldx + nc) * sizeof(T));
@@ -323,8 +387,7 @@ OogStats oog_srgemm_device(dev::Device& device,
   while (!inflight.empty()) {
     const Pending p = inflight.front();
     inflight.pop_front();
-    p.done.wait();
-    host_update(p);
+    retire(p);
   }
   stats.blocks = mb * nb;
   return stats;

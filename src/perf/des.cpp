@@ -55,6 +55,12 @@ SimStats simulate(const std::vector<RankProgram>& programs,
   std::unordered_map<std::uint64_t, std::deque<double>> arrivals;
   std::unordered_map<std::uint64_t, std::vector<int>> waiters;
   std::uint64_t send_counter = 0;
+  // Per-(src, dst, tag) FIFO ordinals. Sends execute in program order and
+  // arrivals are consumed in FIFO order, so numbering sends and recvs of
+  // one flow independently pairs them exactly — the same (ctx=0, src,
+  // dst, tag, seq) coordinate the mpisim runtime stamps, letting the
+  // causal layer join DES traces with the identical machinery.
+  std::unordered_map<std::uint64_t, std::uint64_t> send_seq, recv_seq;
 
   using HeapItem = std::pair<double, int>;  // (clock, rank)
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> ready;
@@ -123,10 +129,16 @@ SimStats simulate(const std::vector<RankProgram>& programs,
           nic_bytes[static_cast<std::size_t>(src_node)] += static_cast<double>(op.bytes);
           nic_bytes[static_cast<std::size_t>(dst_node)] += static_cast<double>(op.bytes);
         }
-        if (trace)
-          trace->record(sched::TraceEvent{w, op_label(op), op.k, t_send,
-                                          clock[ws], op.bytes, 0.0});
         const std::uint64_t key = msg_key(w, op.peer, op.tag);
+        if (trace) {
+          sched::TraceEvent e{w, op_label(op), op.k, t_send,
+                              clock[ws],     op.bytes,     0.0};
+          e.ek = sched::EventKind::kSend;
+          e.peer = op.peer;
+          e.tag = op.tag;
+          e.seq = send_seq[key]++;
+          trace->record(e);
+        }
         arrivals[key].push_back(arrival);
         // Wake anyone blocked on this key.
         auto it = waiters.find(key);
@@ -145,9 +157,23 @@ SimStats simulate(const std::vector<RankProgram>& programs,
           waiters[key].push_back(w);
           continue;  // blocked: re-queued when the send executes
         }
+        // Wait span: the rank's clock froze when it first reached this
+        // recv; the message edge explains [t_wait, arrival]. Named "recv"
+        // (not the IR op label) so modelled per-phase time tables keep
+        // counting each comm op once — its send span carries the label.
+        const double t_wait = clock[ws];
         clock[ws] = std::max(clock[ws], it->second.front());
         it->second.pop_front();
         if (it->second.empty()) arrivals.erase(it);
+        if (trace) {
+          sched::TraceEvent e{w,         "recv",   op.k, t_wait,
+                              clock[ws], op.bytes, 0.0};
+          e.ek = sched::EventKind::kRecv;
+          e.peer = op.peer;
+          e.tag = op.tag;
+          e.seq = recv_seq[key]++;
+          trace->record(e);
+        }
         ++pc[ws];
         break;
       }

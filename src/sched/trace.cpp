@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <ostream>
+#include <tuple>
 
 #include <chrono>
 
@@ -67,6 +68,28 @@ std::size_t ChromeTraceSink::size() const {
   return events_.size();
 }
 
+namespace {
+// Join key of a kSend/kRecv pair: the channel coordinate. The send's
+// (rank, peer) is the recv's (peer, rank).
+struct FlowKey {
+  std::uint64_t ctx;
+  int src;
+  int dst;
+  std::int32_t tag;
+  std::uint64_t seq;
+  bool operator<(const FlowKey& o) const {
+    return std::tie(ctx, src, dst, tag, seq) <
+           std::tie(o.ctx, o.src, o.dst, o.tag, o.seq);
+  }
+};
+
+FlowKey flow_key_of(const TraceEvent& e) {
+  if (e.ek == EventKind::kSend)
+    return FlowKey{e.ctx, e.rank, static_cast<int>(e.peer), e.tag, e.seq};
+  return FlowKey{e.ctx, static_cast<int>(e.peer), e.rank, e.tag, e.seq};
+}
+}  // namespace
+
 void ChromeTraceSink::write(std::ostream& os) const {
   std::vector<TraceEvent> events;
   {
@@ -77,9 +100,32 @@ void ChromeTraceSink::write(std::ostream& os) const {
   for (const TraceEvent& e : events) epoch = std::min(epoch, e.t_begin);
   if (events.empty()) epoch = 0.0;
 
+  // Pair sends with recvs so each matched handoff gets one flow id. A
+  // send whose recv was never recorded (dropped message, trace cut short)
+  // simply gets no arrow.
+  std::map<FlowKey, std::size_t> send_of;
+  std::vector<long long> flow_id(events.size(), -1);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    if (events[i].ek == EventKind::kSend) send_of[flow_key_of(events[i])] = i;
+  long long next_id = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].ek != EventKind::kRecv) continue;
+    auto it = send_of.find(flow_key_of(events[i]));
+    if (it == send_of.end()) continue;
+    flow_id[it->second] = next_id;
+    flow_id[i] = next_id;
+    ++next_id;
+  }
+
+  // Default stream precision (6 significant digits) truncates microsecond
+  // timestamps once a trace is ~1 s long; the causal loader needs the
+  // round trip to stay faithful.
+  const auto old_precision = os.precision(15);
+
   os << "{\"traceEvents\":[";
   bool first = true;
-  for (const TraceEvent& e : events) {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
     if (!first) os << ",";
     first = false;
     const double us = (e.t_begin - epoch) * 1e6;
@@ -91,9 +137,48 @@ void ChromeTraceSink::write(std::ostream& os) const {
       os << "\"ph\":\"i\",\"s\":\"t\",";
     os << "\"ts\":" << us << ",\"pid\":0,\"tid\":" << e.rank
        << ",\"args\":{\"k\":" << e.k << ",\"bytes\":" << e.bytes
-       << ",\"flops\":" << e.flops << "}}";
+       << ",\"flops\":" << e.flops;
+    if (e.ek != EventKind::kSpan) {
+      os << ",\"ek\":" << static_cast<int>(e.ek) << ",\"peer\":" << e.peer
+         << ",\"tag\":" << e.tag << ",\"seq\":" << e.seq
+         << ",\"ctx\":" << e.ctx;
+      if (e.attempt != 0) os << ",\"att\":" << e.attempt;
+    } else if (e.tag != 0) {
+      os << ",\"tag\":" << e.tag;
+    }
+    os << "}}";
+    if (flow_id[i] >= 0) {
+      // Flow arrows: "s" anchors inside the send slice, "f" (binding
+      // point "e": enclosing slice end) inside the recv slice. Same
+      // cat/name/id on both halves joins them.
+      if (e.ek == EventKind::kSend)
+        os << ",{\"name\":\"msgflow\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":"
+           << flow_id[i] << ",\"ts\":" << us << ",\"pid\":0,\"tid\":" << e.rank
+           << "}";
+      else
+        os << ",{\"name\":\"msgflow\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":"
+           << "\"e\",\"id\":" << flow_id[i] << ",\"ts\":"
+           << (e.t_end - epoch) * 1e6 << ",\"pid\":0,\"tid\":" << e.rank
+           << "}";
+    }
   }
   os << "]}\n";
+  os.precision(old_precision);
+}
+
+void CollectTraceSink::record(const TraceEvent& e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(e);
+}
+
+std::vector<TraceEvent> CollectTraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t CollectTraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
 }
 
 }  // namespace parfw::sched

@@ -22,6 +22,25 @@
 
 namespace parfw::sched {
 
+/// Causal role of an event — what the trace-analysis layer (src/causal/)
+/// may join it against. kSend/kRecv pairs carry a channel coordinate
+/// (ctx, src, dst, tag, seq) that identifies the handoff uniquely: mpisim
+/// stamps per-flow sequence numbers on every delivery, the DES counts
+/// per-(src, dst, tag) sends in execution order, and the offload pipeline
+/// reuses the same mechanism for device-chunk completions (ctx encodes
+/// the stream). Everything else is kSpan: an executed op, a phase, or a
+/// zero-duration marker (fault instants).
+enum class EventKind : std::uint8_t {
+  kSpan = 0,  ///< executed op / phase / instant marker
+  kSend = 1,  ///< handoff produced: rank = producer, peer = consumer
+  kRecv = 2,  ///< handoff consumed: rank = consumer, peer = producer
+};
+
+/// ctx namespace for device-pipeline channels (ooGSrGemm stream
+/// completions), kept disjoint from communicator context ids (small
+/// integers) so a device chunk can never join a network message.
+constexpr std::uint64_t kDeviceChannelCtx = 1ull << 48;
+
 /// One executed op. `name` must point to a string with static storage
 /// duration (op names, phase names) — sinks keep the pointer, not a copy.
 struct TraceEvent {
@@ -32,6 +51,16 @@ struct TraceEvent {
   double t_end = 0.0;         ///< >= t_begin; == t_begin for instants
   std::int64_t bytes = 0;     ///< payload bytes (comm ops, transfers)
   double flops = 0.0;         ///< arithmetic work (compute ops)
+
+  // --- causal annotations (defaulted: plain spans need none) -------------
+  EventKind ek = EventKind::kSpan;
+  std::int32_t peer = -1;     ///< kSend: consumer rank; kRecv: producer rank
+  std::int32_t tag = 0;       ///< match tag (sched::tag_of space for FW ops)
+  std::uint64_t seq = 0;      ///< per-channel FIFO sequence number
+  std::uint64_t ctx = 0;      ///< channel namespace (communicator context /
+                              ///< device-stream id); disambiguates tags
+  std::uint32_t attempt = 0;  ///< kRecv: >0 if the consumed message was a
+                              ///< retransmission (PR 3 reliability layer)
 };
 
 class TraceSink {
@@ -90,7 +119,11 @@ class StatsTraceSink final : public TraceSink {
 
 /// Records every event and serialises them in the Chrome trace-event JSON
 /// format (load in chrome://tracing or https://ui.perfetto.dev). Events
-/// render one row per rank; zero-duration events become instants.
+/// render one row per rank; zero-duration events become instants. Matched
+/// kSend/kRecv pairs additionally emit flow events (ph "s"/"f") so
+/// Perfetto draws the send→recv arrows, and causal annotations are
+/// serialised into args so src/causal/trace_io.hpp can load the document
+/// back losslessly.
 class ChromeTraceSink final : public TraceSink {
  public:
   void record(const TraceEvent& e) override;
@@ -99,6 +132,22 @@ class ChromeTraceSink final : public TraceSink {
   /// recorded event sits at t = 0.
   void write(std::ostream& os) const;
 
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Keeps every raw event — the capture sink for the causal analysis layer
+/// (src/causal/) and for tests that inspect individual events rather than
+/// per-name aggregates.
+class CollectTraceSink final : public TraceSink {
+ public:
+  void record(const TraceEvent& e) override;
+
+  /// Snapshot of everything recorded so far.
+  std::vector<TraceEvent> events() const;
   std::size_t size() const;
 
  private:

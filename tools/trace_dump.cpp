@@ -17,6 +17,14 @@
 //                   compared within --band. Exits non-zero when the
 //                   exact checks fail. --metrics-json / --metrics-prom
 //                   additionally export the run's metric registry.
+//   --mode check    validates an existing trace file (--in): truncated
+//                   or malformed JSON yields a clear diagnostic with the
+//                   failure offset and a nonzero exit; with --out the
+//                   validated trace is rewritten normalised (flow events
+//                   regenerated from the matched send/recv pairs).
+//
+// All write paths verify the output stream after flushing — a full disk
+// or closed pipe is an error, never a silently truncated document.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -24,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "causal/trace_io.hpp"
 #include "dist/block_cyclic.hpp"
 #include "dist/driver.hpp"
 #include "dist/grid.hpp"
@@ -44,9 +53,13 @@ namespace {
 void print_usage() {
   std::puts(
       "trace_dump - write a Chrome-trace JSON of one ParallelFw run\n"
-      "  --mode real|des|metrics  execution mode (default real)\n"
+      "  --mode real|des|metrics|check  execution mode (default real)\n"
       "  --variant V         baseline|pipelined|async|offload (default async)\n"
       "  --out FILE          output path (default trace.json)\n"
+      "check mode (validate an existing trace file):\n"
+      "  --in FILE           trace to validate; nonzero exit + diagnostic\n"
+      "                      on truncated/malformed input; --out rewrites\n"
+      "                      the validated trace normalised\n"
       "real mode:\n"
       "  --pr R --pc C       process grid (default 2x2)\n"
       "  --n N --block B     matrix size / block size (default 96 / 8)\n"
@@ -250,20 +263,60 @@ int run_metrics(const CliArgs& args, dist::Variant variant) {
   return 0;
 }
 
+// Validate (and optionally rewrite, normalised) an existing trace file.
+// The loader is strict: truncated documents, syntax errors and events
+// missing required fields are reported with the byte offset / event
+// index of the failure and a nonzero exit — never a partial JSON.
+int run_check(const CliArgs& args) {
+  const std::string in = args.get("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "--mode check needs --in FILE\n");
+    return 2;
+  }
+  const causal::LoadResult loaded = causal::load_chrome_trace_file(in);
+  if (!loaded.ok) {
+    std::fprintf(stderr, "trace_dump: invalid trace: %s\n",
+                 loaded.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s: ok, %zu events\n", in.c_str(),
+               loaded.events.size());
+  if (args.has("out")) {
+    sched::ChromeTraceSink sink;
+    for (const sched::TraceEvent& e : loaded.events) sink.record(e);
+    const std::string out = args.get("out", "");
+    std::ofstream os(out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open '%s'\n", out.c_str());
+      return 1;
+    }
+    sink.write(os);
+    os.flush();
+    if (!os) {
+      std::fprintf(stderr, "write failed on '%s'\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "rewrote %zu events to %s\n", loaded.events.size(),
+                 out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
-                     {"mode", "variant", "out", "pr", "pc", "n", "block",
+                     {"mode", "variant", "out", "in", "pr", "pc", "n", "block",
                       "nodes", "reordered", "band", "metrics-json",
                       "metrics-prom", "help"});
   if (args.get_bool("help")) {
     print_usage();
     return 0;
   }
+  const std::string mode = args.get("mode", "real");
+  if (mode == "check") return run_check(args);
   dist::Variant variant = dist::Variant::kAsync;
   if (int rc = parse_variant(args.get("variant", "async"), &variant)) return rc;
-  const std::string mode = args.get("mode", "real");
   if (mode == "metrics") return run_metrics(args, variant);
 
   sched::ChromeTraceSink sink;
@@ -285,6 +338,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   sink.write(os);
+  os.flush();
+  if (!os) {
+    std::fprintf(stderr, "write failed on '%s'\n", out.c_str());
+    return 1;
+  }
   std::fprintf(stderr, "wrote %zu events to %s\n", sink.size(), out.c_str());
   return 0;
 }
