@@ -1,0 +1,80 @@
+// Schedule autotuner on the reference causal workload (DESIGN.md §4.10).
+//
+// BENCH_cp.json's finding: the default distributed schedule — async,
+// naive 6x8 grid, b=768 on 4 Summit nodes at n=49152 — spends ~80% of
+// its critical path STALLED. This bench closes the loop: it runs the
+// full causal-feedback tuner over variant × placement × block × offload
+// depth and reports the winning schedule next to the default, with the
+// blame split that drove the search.
+//
+// The claim gated by BENCH_tune.json (scripts/check.sh --bench):
+//   * the tuned schedule's DES makespan is <= the default's, and
+//   * its critical-path stall SHARE is cut by >= 20% relative —
+// i.e. the tuner finds schedules that are faster because they overlap,
+// not because they gamble more of the path on stall.
+//
+// PARFW_BENCH_JSON=FILE writes the tune/* rows this baseline pins.
+#include <cstdio>
+
+#include "fig_common.hpp"
+#include "tune/tune.hpp"
+#include "util/table.hpp"
+
+using namespace parfw;
+
+int main() {
+  std::printf(
+      "== schedule autotuner: causal-feedback search (reference workload) "
+      "==\n"
+      "Workload of BENCH_cp.json: n=49152 on 4 Summit nodes (48 ranks, "
+      "12/node).\n"
+      "Objective: makespan + 1.0 x critical-path stall seconds.\n\n");
+
+  tune::Workload w;
+  w.n = 49152;
+  w.ranks = 48;
+  w.ranks_per_node = 12;
+
+  tune::TuneOptions topt;
+  tune::Tuner tuner(w, topt);
+  const tune::TuneReport r = tuner.run();
+  std::fputs(r.summary().c_str(), stdout);
+
+  Table t({"schedule", "config", "makespan s", "stall %", "comm %",
+           "compute %", "floor s"});
+  const auto row = [&t](const char* label, const tune::Candidate& c,
+                        const tune::Eval& e) {
+    t.add_row({label, c.name(), Table::num(e.makespan, 6),
+               Table::num(100.0 * e.stall_share, 1),
+               Table::num(100.0 * e.comm_share, 1),
+               Table::num(100.0 * e.compute_share, 1),
+               Table::num(e.structural_floor, 6)});
+  };
+  row("default", r.seed, r.seed_eval);
+  row("tuned", r.winner, r.winner_eval);
+  std::printf("\n%s", t.str().c_str());
+
+  const double cut =
+      r.seed_eval.stall_share > 0.0
+          ? 1.0 - r.winner_eval.stall_share / r.seed_eval.stall_share
+          : 0.0;
+  std::printf(
+      "\nchecks:\n"
+      "  tuned makespan <= default        %s (%.6f vs %.6f)\n"
+      "  stall share cut >= 20%% relative  %s (%.1f%%)\n",
+      r.winner_eval.makespan <= r.seed_eval.makespan ? "yes" : "NO",
+      r.winner_eval.makespan, r.seed_eval.makespan, cut >= 0.20 ? "yes" : "NO",
+      100.0 * cut);
+
+  bench::BenchJson json;
+  json.add("tune/makespan_default", r.seed_eval.makespan, "share", 1.0);
+  json.add("tune/makespan_tuned", r.winner_eval.makespan, "share",
+           r.winner_eval.makespan / r.seed_eval.makespan);
+  json.add("tune/stall_default",
+           r.seed_eval.makespan * r.seed_eval.stall_share, "share",
+           r.seed_eval.stall_share);
+  json.add("tune/stall_tuned",
+           r.winner_eval.makespan * r.winner_eval.stall_share, "share",
+           r.winner_eval.stall_share);
+  return 0;
+}

@@ -5,6 +5,7 @@
 #   scripts/check.sh --san address|thread|undefined [build-dir]
 #   scripts/check.sh --faults [build-dir]
 #   scripts/check.sh --bench [build-dir]
+#   scripts/check.sh --tune [build-dir]
 #
 # 1. Configure + build (Release, all warnings).
 # 2. Run the full ctest suite.
@@ -37,6 +38,17 @@
 # deterministic DES reference, loose sanity on the noisy real run), and
 # diffs the DES cp/* shares two-sidedly against BENCH_cp.json so
 # attribution drift fails the gate in either direction.
+#
+# --bench additionally runs the full schedule autotuner on the reference
+# workload (bench_tune) and diffs the tune/* rows against BENCH_tune.json
+# twice: two-sided on the stall SHARES (the winner's attribution must not
+# drift) and one-sided on real_time (the tuned makespan must not regress).
+#
+# --tune is the autotuner smoke: a tiny-n search through the sched_tune
+# CLI with a manifest round-trip (fresh search persists the winner, the
+# re-run must answer from the manifest) plus the real-runtime wire-byte
+# cross-check (--validate), and an apsp --variant auto end-to-end run that
+# must be bit-identical to explicitly running the winning schedule.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -44,11 +56,15 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 san=""
 faults=0
 bench=0
+tune=0
 if [[ "${1:-}" == "--faults" ]]; then
   faults=1
   shift
 elif [[ "${1:-}" == "--bench" ]]; then
   bench=1
+  shift
+elif [[ "${1:-}" == "--tune" ]]; then
+  tune=1
   shift
 elif [[ "${1:-}" == "--san" ]]; then
   san="${2:?usage: check.sh --san address|thread|undefined [build-dir]}"
@@ -111,7 +127,62 @@ if [[ "$bench" == 1 ]]; then
     "$repo_root/BENCH_cp.json" "$out_dir/cp_fresh.json" \
     --metric share --two-sided --tolerance 0.05
 
+  echo "== schedule autotuner vs BENCH_tune.json =="
+  cmake --build "$build_dir" -j"$(nproc)" --target bench_tune
+  PARFW_BENCH_JSON="$out_dir/tune_fresh.json" \
+    "$build_dir/bench/bench_tune" | tee "$out_dir/tune_report.txt"
+  # Two-sided on the stall shares: the winner's attribution must not
+  # drift. One-sided on real_time: the tuned makespan must not regress.
+  python3 "$repo_root/scripts/bench_compare.py" \
+    "$repo_root/BENCH_tune.json" "$out_dir/tune_fresh.json" \
+    --metric share --two-sided --tolerance 0.05
+  python3 "$repo_root/scripts/bench_compare.py" \
+    "$repo_root/BENCH_tune.json" "$out_dir/tune_fresh.json" \
+    --tolerance 0.05
+
   echo "check.sh --bench: OK (snapshots in $out_dir)"
+  exit 0
+fi
+
+if [[ "$tune" == 1 ]]; then
+  build_dir="${1:-$repo_root/build}"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j"$(nproc)" --target sched_tune_cli apsp_cli
+  out_dir="$build_dir/tune-smoke"
+  mkdir -p "$out_dir"
+  rm -f "$out_dir/manifest.json"
+
+  echo "== tiny-n tuner + manifest round-trip + real-run validation =="
+  "$build_dir/tools/sched_tune" --n 256 --ranks 4 --rpn 2 \
+    --manifest "$out_dir/manifest.json" --validate
+  # Re-run: must answer from the manifest, not search again.
+  "$build_dir/tools/sched_tune" --n 256 --ranks 4 --rpn 2 \
+    --manifest "$out_dir/manifest.json" | grep -q "manifest hit" \
+    || { echo "manifest round-trip failed: no hit on re-run"; exit 1; }
+
+  echo "== apsp --variant auto: bit-identical to the explicit winner =="
+  rm -f "$out_dir/cache.json"
+  PARFW_TUNE_CACHE="$out_dir/cache.json" \
+    "$build_dir/tools/apsp" --gen er --n 240 --p 0.2 --seed 7 \
+    --algorithm dist --dist 2x2 --rpn 2 --variant auto \
+    --output "$out_dir/auto.txt"
+  win_args=$(python3 - "$out_dir/cache.json" <<'EOF'
+import json, sys
+e = json.load(open(sys.argv[1]))["entries"][0]
+# --dist PRxPC only expresses naive placements; on this workload the
+# winner is naive (deterministic search). Fail loudly if that shifts.
+assert not e["tiled"], "winner went tiled; express it via the tune API test"
+grid = f"{e['pr']}x{e['pc']}"
+print(f"--variant {e['variant']} --dist {grid} --block {e['block']}")
+EOF
+)
+  # shellcheck disable=SC2086
+  "$build_dir/tools/apsp" --gen er --n 240 --p 0.2 --seed 7 \
+    --algorithm dist --rpn 2 $win_args --output "$out_dir/explicit.txt"
+  cmp "$out_dir/auto.txt" "$out_dir/explicit.txt" \
+    || { echo "auto result differs from the explicit winner"; exit 1; }
+
+  echo "check.sh --tune: OK"
   exit 0
 fi
 

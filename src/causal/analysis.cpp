@@ -269,6 +269,11 @@ std::string format_report(const Graph& g, const BlameReport& r) {
   return os.str();
 }
 
+double structural_floor(const BlameReport& r) {
+  return r.category(Category::kStall) + r.category(Category::kRetransmit) +
+         r.category(Category::kCheckpoint);
+}
+
 double recost(const BlameReport& r, const WhatIf& w) {
   double total = 0.0;
   for (const PathSegment& s : r.path) {

@@ -120,6 +120,14 @@ struct WhatIf {
 };
 double recost(const BlameReport& r, const WhatIf& w);
 
+/// The recost() limit under infinite comm AND compute speedups: the part
+/// of the critical path no faster machine can buy back (stall +
+/// retransmit + checkpoint time). This is the number that says "the
+/// SCHEDULE, not the hardware, is the bottleneck" — the tuner reads it to
+/// decide which configuration dimensions have slack worth searching
+/// (a high floor means reshaping the schedule, not scaling rates).
+double structural_floor(const BlameReport& r);
+
 /// Publish cp.* series into a metrics registry: cp.length, and
 /// cp.share{category=...} per blame category — the attribution-drift
 /// gate bench_compare.py consumes.

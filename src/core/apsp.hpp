@@ -23,6 +23,10 @@
 
 namespace parfw {
 
+namespace telemetry {
+class Registry;  // fwd: core carries the pointer, never the dependency
+}
+
 enum class ApspAlgorithm {
   kSequential,       ///< Algorithm 1
   kBlocked,          ///< Algorithm 2, single thread
@@ -34,6 +38,12 @@ enum class ApspAlgorithm {
 /// is described by shape here and materialised as a dist::GridSpec by
 /// solve(), so this header needs no dist dependency.
 struct DistStrategy {
+  /// kAuto asks solve() to pick the whole schedule configuration —
+  /// variant, placement, block size, offload depth — through the causal
+  /// autotuner (src/tune/): grid_rows·grid_cols then only fixes the RANK
+  /// COUNT and ranks_per_node the node size; the winner (searched, or
+  /// loaded from the PARFW_TUNE_CACHE manifest) overrides the shape knobs
+  /// below and SolveCommon::block_size before the run.
   sched::Variant variant = sched::Variant::kAsync;
   int grid_rows = 2, grid_cols = 2;  ///< process grid P_r x P_c
   /// NIC accounting (paper §3.4.1): ranks sharing a node.
@@ -45,6 +55,17 @@ struct DistStrategy {
   int node_rows = 1, node_cols = 1;
   /// Checkpoint/restart + runtime reliability envelope.
   ResilienceOptions resilience{};
+  /// kOffload ooGSrGemm X-buffer depth s ∈ 1..3 (offload::OogConfig::
+  /// num_streams); ignored by the other variants. kAuto sets it from the
+  /// winning candidate.
+  std::size_t oog_streams = 3;
+  /// kAuto objective: makespan + tune_stall_weight · critical-path stall
+  /// seconds (tune::TuneOptions::stall_weight; 0 = pure makespan).
+  double tune_stall_weight = 1.0;
+  /// When set, solve() threads this registry into the distributed
+  /// interpreter (fw.phase.* series) and kAuto publishes the tune.*
+  /// series — predicted vs achieved seconds included — into it.
+  telemetry::Registry* metrics = nullptr;
 };
 
 struct ApspOptions : SolveCommon {

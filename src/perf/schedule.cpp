@@ -275,11 +275,12 @@ BuiltProgram build_fw_program(const MachineConfig& m, const FwProblem& prob,
     const double nx = std::min(prob.offload_mx, std::max(nloc, 1.0));
     // Whole-strip phase totals (panels uploaded once, §4.4); fill/drain
     // adds roughly one chunk's worth of the non-overlapped phases.
+    const int s = std::clamp(prob.offload_streams, 1, 3);
     const OogCost whole = model_oog_cost(shared, mloc, nloc, b);
     const double chunk_frac = (mx * nx) / (mloc * nloc);
     const double fill =
-        (whole.t0 + whole.t1 + whole.t2 - whole.total(3)) * chunk_frac;
-    return whole.total(3) + fill;
+        (whole.t0 + whole.t1 + whole.t2 - whole.total(s)) * chunk_frac;
+    return whole.total(s) + fill;
   };
 
   for (const sched::Step& step : schedule.steps) {

@@ -47,6 +47,12 @@ struct FwProblem {
   dist::Variant variant = dist::Variant::kAsync;
   /// ooGSrGemm chunk size for the offload variant (m_x = n_x).
   double offload_mx = 4096;
+  /// ooGSrGemm X-buffer depth s (§4.5): 1 = fully serial chunk pipeline,
+  /// 2 = compute/transfer overlap, 3 = full compute/transfer/hostUpdate
+  /// overlap. Mirrors offload::OogConfig::num_streams so the tuner's
+  /// buffer-depth dimension is costed by the same model the real offload
+  /// pipeline implements. Only affects the kOffload variant.
+  int offload_streams = 3;
   /// Model MPI's asynchronous progression of the ring broadcast: panel
   /// segments are relayed by per-rank NIC "agent" processes instead of the
   /// rank's own program, so a rank busy computing does not stall the chain

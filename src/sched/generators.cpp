@@ -158,6 +158,9 @@ struct Gen {
 
 Schedule build_schedule(const dist::GridSpec& grid, const ScheduleParams& p) {
   const int pr = grid.rows(), pc = grid.cols();
+  PARFW_CHECK_MSG(p.variant != Variant::kAuto,
+                  "Variant::kAuto is a front-door request, not a schedule; "
+                  "parfw::solve resolves it through the tuner first");
   PARFW_CHECK(p.nb > 0 && p.b > 0 && p.word_bytes > 0);
   PARFW_CHECK_MSG(p.nb >= static_cast<std::size_t>(pr) &&
                       p.nb >= static_cast<std::size_t>(pc),

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "dist/grid.hpp"
@@ -165,7 +166,45 @@ struct ScheduleParams {
   /// Cuts sit at points where all collectives of iterations < k are
   /// complete on every rank, so the tiles alone define the remaining work.
   std::size_t checkpoint_every = 0;
+
+  /// Two parameter sets are equal iff build_schedule is guaranteed to
+  /// emit the same Schedule for them on any given grid — the contract
+  /// memoization keys (the tuner's DES evaluation cache) rely on.
+  friend bool operator==(const ScheduleParams& a, const ScheduleParams& b) {
+    return a.variant == b.variant && a.nb == b.nb && a.b == b.b &&
+           a.word_bytes == b.word_bytes && a.diag_flops == b.diag_flops &&
+           a.start_k == b.start_k && a.checkpoint_every == b.checkpoint_every;
+  }
+  friend bool operator!=(const ScheduleParams& a, const ScheduleParams& b) {
+    return !(a == b);
+  }
 };
+
+/// Order-dependent 64-bit hash combiner (splitmix-style mixing), shared
+/// by every cache that keys on schedule configurations.
+inline std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdull;
+  return h ^ (h >> 33);
+}
+
+/// Hash consistent with ScheduleParams::operator== (equal params hash
+/// equal). diag_flops participates through its bit pattern — the value is
+/// computed, not measured, so bit-equality is the right granularity.
+inline std::uint64_t hash_of(const ScheduleParams& p) {
+  std::uint64_t df;
+  static_assert(sizeof df == sizeof p.diag_flops);
+  std::memcpy(&df, &p.diag_flops, sizeof df);
+  std::uint64_t h = 0x853c49e6748fea9bull;
+  h = hash_combine(h, static_cast<std::uint64_t>(p.variant));
+  h = hash_combine(h, p.nb);
+  h = hash_combine(h, p.b);
+  h = hash_combine(h, p.word_bytes);
+  h = hash_combine(h, df);
+  h = hash_combine(h, p.start_k);
+  h = hash_combine(h, p.checkpoint_every);
+  return h;
+}
 
 /// Generate the schedule for one variant on one placement. The grid IS
 /// the placement parameter: pass a GridSpec::tiled grid and +Reordering

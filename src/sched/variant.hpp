@@ -7,6 +7,8 @@
 // GridSpec::tiled placement instead of row_major.
 #pragma once
 
+#include <string>
+
 namespace parfw::sched {
 
 enum class Variant {
@@ -14,7 +16,18 @@ enum class Variant {
   kPipelined,  ///< Algorithm 4: (k+1) look-ahead
   kAsync,      ///< kPipelined + ring PanelBcast (§3.3)
   kOffload,    ///< Me-ParallelFw: baseline schedule, OuterUpdate via ooGSrGemm
+  /// Not a schedule: a front-door request to pick the variant (and the
+  /// rest of the schedule configuration) by model — parfw::solve resolves
+  /// it through the tuner (src/tune/) before any schedule is built.
+  /// build_schedule rejects it; only option structs may carry it.
+  kAuto,
 };
+
+/// The four concrete (schedulable) variants, in enum order — what
+/// candidate enumerations and per-variant sweeps iterate over.
+inline constexpr Variant kConcreteVariants[] = {
+    Variant::kBaseline, Variant::kPipelined, Variant::kAsync,
+    Variant::kOffload};
 
 inline const char* variant_name(Variant v) {
   switch (v) {
@@ -22,8 +35,39 @@ inline const char* variant_name(Variant v) {
     case Variant::kPipelined: return "pipelined";
     case Variant::kAsync: return "async";
     case Variant::kOffload: return "offload";
+    case Variant::kAuto: return "auto";
   }
   return "?";
+}
+
+/// Parse a variant by its variant_name. Returns false on an unknown name.
+/// `allow_auto` admits the front-door pseudo-variant; parsers for layers
+/// that need a concrete schedule (e.g. trace_analyze --des) leave it off.
+inline bool variant_from_name(const std::string& name, Variant* out,
+                              bool allow_auto = false) {
+  for (Variant v : kConcreteVariants) {
+    if (name == variant_name(v)) {
+      *out = v;
+      return true;
+    }
+  }
+  if (allow_auto && name == variant_name(Variant::kAuto)) {
+    *out = Variant::kAuto;
+    return true;
+  }
+  return false;
+}
+
+/// The valid names for CLI diagnostics: "baseline|pipelined|async|offload"
+/// (plus "|auto" when the caller accepts the front-door pseudo-variant).
+inline std::string variant_names(bool with_auto = false) {
+  std::string s;
+  for (Variant v : kConcreteVariants) {
+    if (!s.empty()) s += '|';
+    s += variant_name(v);
+  }
+  if (with_auto) s += "|auto";
+  return s;
 }
 
 }  // namespace parfw::sched

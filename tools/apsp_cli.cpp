@@ -39,7 +39,13 @@ void print_usage() {
       "  --block N           block size (default 64)\n"
       "  --dist PRxPC        process grid for --algorithm dist (default 2x2;\n"
       "                      requires n divisible by --block)\n"
-      "  --variant baseline|pipelined|async|offload   dist schedule (async)\n"
+      "  --variant baseline|pipelined|async|offload|auto   dist schedule\n"
+      "                      (default async; auto tunes variant, placement,\n"
+      "                      block and offload depth through the DES — the\n"
+      "                      grid then only fixes the rank count; set\n"
+      "                      PARFW_TUNE_CACHE=FILE to persist/reuse winners)\n"
+      "  --rpn N             ranks per node for dist (NIC accounting and the\n"
+      "                      auto tuner's placement space; default 1)\n"
       "  --paths             track predecessors (enables path queries)\n"
       "  --components        solve per connected component\n"
       "  --query S,T         print dist (and path) for the pair; repeatable\n"
@@ -76,19 +82,26 @@ int run(const Graph& g, const CliArgs& args) {
     }
     opt.dist.grid_rows = pr;
     opt.dist.grid_cols = pc;
-    const std::string variant = args.get("variant", "async");
-    if (variant == "baseline")
-      opt.dist.variant = sched::Variant::kBaseline;
-    else if (variant == "pipelined")
-      opt.dist.variant = sched::Variant::kPipelined;
-    else if (variant == "async")
-      opt.dist.variant = sched::Variant::kAsync;
-    else if (variant == "offload")
-      opt.dist.variant = sched::Variant::kOffload;
-    else {
-      std::fprintf(stderr, "unknown --variant '%s'\n", variant.c_str());
+    const int rpn = args.get_int("rpn", 1);
+    if (rpn < 1 || (pr * pc) % rpn != 0) {
+      std::fprintf(stderr, "bad --rpn '%d' (must divide the %d ranks)\n", rpn,
+                   pr * pc);
       return 2;
     }
+    opt.dist.ranks_per_node = rpn;
+    const std::string variant = args.get("variant", "async");
+    if (!sched::variant_from_name(variant, &opt.dist.variant,
+                                  /*allow_auto=*/true)) {
+      std::fprintf(stderr,
+                   "unknown --variant '%s' (valid: %s); see apsp --help\n",
+                   variant.c_str(),
+                   sched::variant_names(/*with_auto=*/true).c_str());
+      return 2;
+    }
+    // tune.* (auto resolution) and fw.phase.* series land in the global
+    // registry, so PARFW_METRICS=json|prom|table surfaces them below.
+    if (telemetry::enabled())
+      opt.dist.metrics = &telemetry::Registry::global();
   }
 
   Timer t;
@@ -146,7 +159,7 @@ int main(int argc, char** argv) {
                        {"input", "format", "gen", "n", "p", "seed",
                         "algorithm", "semiring", "block", "paths",
                         "components", "query", "output", "dist", "variant",
-                        "help"});
+                        "rpn", "help"});
     if (args.get_bool("help") || argc == 1) {
       print_usage();
       return argc == 1 ? 2 : 0;

@@ -1,0 +1,264 @@
+// sched_tune — search the schedule-configuration space in the DES.
+//
+// Runs the causal-feedback autotuner (src/tune/, DESIGN.md §4.10) for one
+// workload: every candidate — variant × rank placement × block size ×
+// offload buffer depth — is costed by perf::build_fw_program +
+// perf::simulate, blame-attributed through src/causal/, and the search is
+// seeded/pruned by that attribution. Prints the tuning report; optionally
+// persists the winner into a manifest (the PARFW_TUNE_CACHE format),
+// emits google-benchmark JSON rows for scripts/bench_compare.py, and
+// cross-checks the winner against a REAL mpisim run: the live
+// mpi.send_bytes counter must equal perf::program_traffic's prediction
+// for the winning schedule EXACTLY (the DesVsReal invariant).
+//
+// Usage:
+//   sched_tune --n N --ranks P [--rpn R] [--word-bytes W]
+//              [--stall-weight S] [--refine K]
+//              [--blocks B1,B2,...]        restrict the block dimension
+//              [--manifest FILE]           consult first, persist winner
+//              [--force]                   re-tune even on a manifest hit
+//              [--bench-json FILE]         tune/* rows (BENCH_tune.json)
+//              [--validate]                real-run wire-byte cross-check
+//
+// Exit status: 0 ok; 1 tuning/validation failure; 2 usage error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/block_cyclic.hpp"
+#include "dist/grid.hpp"
+#include "dist/parallel_fw.hpp"
+#include "graph/graph.hpp"
+#include "mpisim/runtime.hpp"
+#include "perf/schedule.hpp"
+#include "semiring/semiring.hpp"
+#include "telemetry/metrics.hpp"
+#include "tune/manifest.hpp"
+#include "tune/tune.hpp"
+#include "util/cli.hpp"
+#include "util/timer.hpp"
+
+using namespace parfw;
+
+namespace {
+
+void print_usage() {
+  std::puts(
+      "sched_tune - causal-feedback schedule autotuner (DES search)\n"
+      "  --n N               matrix dimension (vertices)\n"
+      "  --ranks P           total ranks (the tuner picks the grid shape)\n"
+      "  --rpn R             ranks per node (default 1)\n"
+      "  --word-bytes W      matrix element size (default 4)\n"
+      "  --stall-weight S    objective = makespan + S * critical-path stall\n"
+      "                      seconds (default 1.0; 0 = pure makespan)\n"
+      "  --refine K          greedy refinement rounds (default 2)\n"
+      "  --blocks B1,B2,...  restrict block sizes (default: derived)\n"
+      "  --manifest FILE     look the workload up first; persist the winner\n"
+      "  --force             ignore a manifest hit, re-tune\n"
+      "  --bench-json FILE   tune/* rows in google-benchmark JSON layout\n"
+      "  --validate          run the winner on the REAL mpisim runtime and\n"
+      "                      require its wire bytes to equal the DES\n"
+      "                      prediction exactly\n");
+}
+
+bool parse_blocks(const std::string& spec, std::vector<std::size_t>* out) {
+  std::istringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(part.c_str(), &end, 10);
+    if (end == part.c_str() || *end != '\0' || v == 0) return false;
+    out->push_back(static_cast<std::size_t>(v));
+  }
+  return !out->empty();
+}
+
+/// The DesVsReal cross-check: execute the winning schedule with real data
+/// on the mpisim runtime and compare the live mpi.send_bytes counter
+/// (minus the comm-setup cost, measured separately) against
+/// perf::program_traffic for the same schedule. An exact-equality check —
+/// the invariant the telemetry reconciliation suite established.
+bool validate_winner(const tune::Workload& w, const tune::Candidate& win,
+                     const tune::Eval& eval) {
+  const dist::GridSpec grid = win.placement.grid();
+
+  dist::DistFwOptions opt;
+  opt.variant = win.variant;
+  opt.block_size = win.block;
+  opt.oog.num_streams = static_cast<std::size_t>(win.streams);
+
+  telemetry::Registry full_reg;
+  mpi::RuntimeOptions ropt;
+  ropt.node_model = grid.node_model(w.ranks_per_node);
+  ropt.metrics = &full_reg;
+
+  DenseEntryGen<float> gen(5, 0.9, 1.0f, 80.0f, /*integral=*/true);
+  Timer wall;
+  (void)mpi::Runtime::run(
+      grid.size(),
+      [&](mpi::Comm& world) {
+        dist::BlockCyclicMatrix<float> local(w.n, win.block, grid,
+                                             grid.coord_of(world.rank()));
+        local.fill(gen);
+        dist::parallel_fw<MinPlus<float>>(world, local, opt);
+      },
+      ropt);
+  const double real_seconds = wall.seconds();
+
+  // Subtract the row/column communicator-setup traffic: it precedes the
+  // schedule and program_traffic does not model it.
+  telemetry::Registry split_reg;
+  mpi::RuntimeOptions sropt;
+  sropt.node_model = ropt.node_model;
+  sropt.metrics = &split_reg;
+  (void)mpi::Runtime::run(
+      grid.size(),
+      [&](mpi::Comm& world) { (void)dist::make_row_col_comms(world, grid); },
+      sropt);
+
+  const std::uint64_t measured =
+      full_reg.counter("mpi.send_bytes").value() -
+      split_reg.counter("mpi.send_bytes").value();
+  const bool ok =
+      measured == static_cast<std::uint64_t>(eval.wire_bytes);
+  std::printf(
+      "validate: real mpisim run of %s in %.3f s wall\n"
+      "  wire bytes: real %llu vs DES %lld — %s\n"
+      "  (DES-predicted makespan %.6f s is Summit-virtual time; the wall\n"
+      "   time above is this host executing the same schedule)\n",
+      win.name().c_str(), real_seconds,
+      static_cast<unsigned long long>(measured),
+      static_cast<long long>(eval.wire_bytes), ok ? "exact match" : "MISMATCH",
+      eval.makespan);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv,
+                       {"n", "ranks", "rpn", "word-bytes", "stall-weight",
+                        "refine", "blocks", "manifest", "force", "bench-json",
+                        "validate", "help"});
+    if (args.get_bool("help") || argc == 1) {
+      print_usage();
+      return argc == 1 ? 2 : 0;
+    }
+    if (!args.has("n") || !args.has("ranks")) {
+      std::fprintf(stderr, "sched_tune: --n and --ranks are required\n");
+      return 2;
+    }
+
+    tune::Workload w;
+    w.n = static_cast<std::size_t>(args.get_int("n", 0));
+    w.ranks = static_cast<int>(args.get_int("ranks", 0));
+    w.ranks_per_node = static_cast<int>(args.get_int("rpn", 1));
+    w.word_bytes = static_cast<std::size_t>(args.get_int("word-bytes", 4));
+    if (w.ranks <= 0 || w.ranks_per_node <= 0 ||
+        w.ranks % w.ranks_per_node != 0) {
+      std::fprintf(stderr, "sched_tune: --rpn must divide --ranks\n");
+      return 2;
+    }
+
+    tune::TuneOptions topt;
+    topt.stall_weight = args.get_double("stall-weight", 1.0);
+    topt.refine_rounds = static_cast<int>(args.get_int("refine", 2));
+    if (args.has("blocks") &&
+        !parse_blocks(args.get("blocks", ""), &topt.blocks)) {
+      std::fprintf(stderr, "sched_tune: bad --blocks (want B1,B2,...)\n");
+      return 2;
+    }
+
+    // Manifest consult: an exact-key hit answers without a search.
+    tune::Manifest manifest;
+    const std::string manifest_path = args.get("manifest", "");
+    bool have_file = false;
+    if (!manifest_path.empty()) {
+      if (std::ifstream probe(manifest_path); probe.good()) {
+        std::string err;
+        if (!tune::read_manifest_file(manifest_path, &manifest, &err)) {
+          std::fprintf(stderr, "sched_tune: %s\n", err.c_str());
+          return 1;
+        }
+        have_file = true;
+      }
+    }
+    (void)have_file;
+
+    tune::ManifestEntry entry;
+    const tune::ManifestEntry* hit =
+        manifest.find(w, topt.stall_weight);
+    if (hit != nullptr && !args.get_bool("force")) {
+      entry = *hit;
+      std::printf("manifest hit: %s (predicted makespan %.6f s, stall "
+                  "%.1f%%; default %.6f s, stall %.1f%%)\n",
+                  entry.winner.name().c_str(), entry.predicted_makespan,
+                  100.0 * entry.predicted_stall_share, entry.default_makespan,
+                  100.0 * entry.default_stall_share);
+    } else {
+      tune::Tuner tuner(w, topt);
+      const tune::TuneReport report = tuner.run();
+      std::fputs(report.summary().c_str(), stdout);
+      entry = tune::to_entry(report, topt.stall_weight);
+      if (!manifest_path.empty()) {
+        manifest.put(entry);
+        std::string err;
+        if (!tune::write_manifest_file(manifest_path, manifest, &err)) {
+          std::fprintf(stderr, "sched_tune: %s\n", err.c_str());
+          return 1;
+        }
+        std::printf("manifest: wrote winner to %s\n", manifest_path.c_str());
+      }
+    }
+
+    if (args.has("bench-json")) {
+      std::ofstream os(args.get("bench-json", ""));
+      if (!os) {
+        std::fprintf(stderr, "sched_tune: cannot open --bench-json file\n");
+        return 1;
+      }
+      char buf[1024];
+      std::snprintf(
+          buf, sizeof buf,
+          "{\n  \"context\": {\"source\": \"parfw sched_tune\"},\n"
+          "  \"benchmarks\": [\n"
+          "    {\"name\": \"tune/makespan_default\", \"run_type\": "
+          "\"iteration\", \"real_time\": %.17g, \"time_unit\": \"s\", "
+          "\"share\": %.17g},\n"
+          "    {\"name\": \"tune/makespan_tuned\", \"run_type\": "
+          "\"iteration\", \"real_time\": %.17g, \"time_unit\": \"s\", "
+          "\"share\": %.17g},\n"
+          "    {\"name\": \"tune/stall_default\", \"run_type\": "
+          "\"iteration\", \"real_time\": %.17g, \"time_unit\": \"s\", "
+          "\"share\": %.17g},\n"
+          "    {\"name\": \"tune/stall_tuned\", \"run_type\": "
+          "\"iteration\", \"real_time\": %.17g, \"time_unit\": \"s\", "
+          "\"share\": %.17g}\n  ]\n}\n",
+          entry.default_makespan, 1.0, entry.predicted_makespan,
+          entry.predicted_makespan / entry.default_makespan,
+          entry.default_makespan * entry.default_stall_share,
+          entry.default_stall_share,
+          entry.predicted_makespan * entry.predicted_stall_share,
+          entry.predicted_stall_share);
+      os << buf;
+      std::printf("bench-json: wrote tune/* rows to %s\n",
+                  args.get("bench-json", "").c_str());
+    }
+
+    if (args.get_bool("validate")) {
+      // Re-derive the winner's Eval (cache-fresh tuner instance is fine:
+      // the DES is deterministic) so wire_bytes is available even on the
+      // manifest-hit path, then cross-check against the real runtime.
+      tune::Tuner verifier(w, topt);
+      const tune::Eval& eval = verifier.evaluate(entry.winner);
+      if (!validate_winner(w, entry.winner, eval)) return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -75,15 +75,11 @@ void print_usage() {
 }
 
 int parse_variant(const std::string& name, dist::Variant* out) {
-  for (dist::Variant v :
-       {dist::Variant::kBaseline, dist::Variant::kPipelined,
-        dist::Variant::kAsync, dist::Variant::kOffload}) {
-    if (name == dist::variant_name(v)) {
-      *out = v;
-      return 0;
-    }
-  }
-  std::fprintf(stderr, "unknown --variant '%s'\n", name.c_str());
+  // auto is a front-door request (parfw::solve resolves it through the
+  // tuner); this tool replays one CONCRETE schedule.
+  if (sched::variant_from_name(name, out, /*allow_auto=*/false)) return 0;
+  std::fprintf(stderr, "unknown --variant '%s' (valid: %s)\n", name.c_str(),
+               sched::variant_names().c_str());
   return 2;
 }
 
