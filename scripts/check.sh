@@ -6,6 +6,7 @@
 #   scripts/check.sh --faults [build-dir]
 #   scripts/check.sh --bench [build-dir]
 #   scripts/check.sh --tune [build-dir]
+#   scripts/check.sh --paths [build-dir]
 #
 # 1. Configure + build (Release, all warnings).
 # 2. Run the full ctest suite.
@@ -49,6 +50,12 @@
 # re-run must answer from the manifest) plus the real-runtime wire-byte
 # cross-check (--validate), and an apsp --variant auto end-to-end run that
 # must be bit-identical to explicitly running the winning schedule.
+#
+# --paths is the path-tracking gate: bench_paths (argmin-SIMD kernel vs
+# the scalar oracle, plus the end-to-end paths overhead of a distributed
+# solve) diffed against BENCH_paths.json, the >= 5x fused-kernel speedup
+# acceptance enforced from the fresh JSON, and an apsp --paths
+# end-to-end run (distributed) that must answer a path query.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -57,6 +64,7 @@ san=""
 faults=0
 bench=0
 tune=0
+paths=0
 if [[ "${1:-}" == "--faults" ]]; then
   faults=1
   shift
@@ -65,6 +73,9 @@ elif [[ "${1:-}" == "--bench" ]]; then
   shift
 elif [[ "${1:-}" == "--tune" ]]; then
   tune=1
+  shift
+elif [[ "${1:-}" == "--paths" ]]; then
+  paths=1
   shift
 elif [[ "${1:-}" == "--san" ]]; then
   san="${2:?usage: check.sh --san address|thread|undefined [build-dir]}"
@@ -183,6 +194,63 @@ EOF
     || { echo "auto result differs from the explicit winner"; exit 1; }
 
   echo "check.sh --tune: OK"
+  exit 0
+fi
+
+if [[ "$paths" == 1 ]]; then
+  build_dir="${1:-$repo_root/build}"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j"$(nproc)" \
+    --target bench_paths apsp_cli test_dist test_resilience
+  out_dir="$build_dir/paths-smoke"
+  mkdir -p "$out_dir"
+
+  echo "== paths bit-identity + crash-restart suites =="
+  "$build_dir/tests/test_dist" --gtest_filter='*DistPaths*'
+  "$build_dir/tests/test_resilience" \
+    --gtest_filter='*CrashRestartPaths*:CheckpointFormat.PredPayload*'
+
+  echo "== paths bench vs BENCH_paths.json =="
+  "$build_dir/bench/bench_paths" \
+    --benchmark_min_time=0.1 \
+    --benchmark_out="$out_dir/paths_fresh.json" \
+    --benchmark_out_format=json
+  python3 "$repo_root/scripts/bench_compare.py" \
+    "$repo_root/BENCH_paths.json" "$out_dir/paths_fresh.json"
+
+  echo "== argmin-SIMD kernel speedup acceptance (>= 5x scalar, n=512) =="
+  python3 - "$out_dir/paths_fresh.json" <<'EOF'
+import json, sys
+rows = {b["name"]: b for b in json.load(open(sys.argv[1]))["benchmarks"]
+        if b.get("run_type", "iteration") == "iteration"}
+ratio = rows["BM_PredFused/512"]["GFLOP/s"] / rows["BM_PredScalar/512"]["GFLOP/s"]
+print(f"fused/scalar argmin speedup at n=512: {ratio:.1f}x")
+assert ratio >= 5.0, f"argmin SIMD kernel below 5x scalar ({ratio:.2f}x)"
+EOF
+
+  echo "== apsp --paths end-to-end (distributed, path query) =="
+  "$build_dir/tools/apsp" --gen er --n 240 --p 0.2 --seed 7 \
+    --algorithm dist --dist 2x2 --rpn 2 --block 48 --paths --query 0,199 \
+    | tee "$out_dir/paths_query.txt"
+  grep -q "^path:" "$out_dir/paths_query.txt" \
+    || { echo "apsp --paths did not print a path"; exit 1; }
+
+  echo "== apsp --paths --variant auto (tuner prices the paths schedule) =="
+  rm -f "$out_dir/cache.json"
+  PARFW_TUNE_CACHE="$out_dir/cache.json" \
+    "$build_dir/tools/apsp" --gen er --n 240 --p 0.2 --seed 7 \
+    --algorithm dist --dist 2x2 --rpn 2 --variant auto --paths \
+    --query 0,199 | tee "$out_dir/paths_auto.txt"
+  grep -q "^path:" "$out_dir/paths_auto.txt" \
+    || { echo "apsp --paths --variant auto did not print a path"; exit 1; }
+  python3 - "$out_dir/cache.json" <<'EOF'
+import json, sys
+entries = json.load(open(sys.argv[1]))["entries"]
+assert any(e["track_paths"] for e in entries), \
+    "tuner cache has no paths workload entry"
+EOF
+
+  echo "check.sh --paths: OK"
   exit 0
 fi
 

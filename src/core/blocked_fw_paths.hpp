@@ -16,8 +16,12 @@ namespace parfw {
 
 namespace detail {
 
-/// C ← C ⊕ A ⊗ B with predecessor propagation. `k_base` is the global row
-/// index of B's first row; predC/predB address the same global matrix.
+/// Scalar reference for C ← C ⊕ A ⊗ B with predecessor propagation.
+/// The production path is srgemm::multiply_with_pred (the SIMD-dispatched
+/// fused kernel); this triple loop stays as the oracle the kernel tests
+/// diff against and the baseline the bench_paths speedup gate measures.
+/// On non-aliased operands the two are bit-identical (each (i,j) is the
+/// same ascending-t first-strict-improvement scan).
 template <typename S>
 void srgemm_with_pred(MatrixView<const typename S::value_type> A,
                       MatrixView<const typename S::value_type> B,
@@ -45,12 +49,40 @@ void srgemm_with_pred(MatrixView<const typename S::value_type> A,
 
 }  // namespace detail
 
+/// DiagUpdate with path tracking: classic in-place FW over the pivot block
+/// (log-squaring loses the argmin chain structure, so the paths pipeline
+/// always uses classic for the diagonal). Shared verbatim by the
+/// single-node blocked solver and the distributed interpreter — part of
+/// what keeps their predecessor matrices bit-identical.
+template <typename S>
+void diag_update_with_pred(MatrixView<typename S::value_type> dk,
+                           MatrixView<std::int64_t> pk) {
+  using T = typename S::value_type;
+  const std::size_t bk = dk.rows();
+  for (std::size_t t = 0; t < bk; ++t)
+    for (std::size_t i = 0; i < bk; ++i) {
+      const T dit = dk(i, t);
+      if (dit == S::zero()) continue;
+      for (std::size_t j = 0; j < bk; ++j) {
+        const T cand = S::mul(dit, dk(t, j));
+        if (S::less_add(cand, dk(i, j))) {
+          dk(i, j) = cand;
+          pk(i, j) = pk(t, j);
+        }
+      }
+    }
+}
+
 /// Blocked FW computing both distances and predecessors in place.
-/// pred must be initialised with init_predecessors.
+/// pred must be initialised with init_predecessors. Every panel/outer
+/// update goes through srgemm::multiply_with_pred — the SAME kernel the
+/// distributed interpreter binds, which is what makes the distributed
+/// pred matrix bit-identical to this single-node result.
 template <typename S>
 void blocked_floyd_warshall_paths(MatrixView<typename S::value_type> a,
                                   MatrixView<std::int64_t> pred,
-                                  std::size_t block_size = 64) {
+                                  std::size_t block_size = 64,
+                                  const srgemm::Config& gemm = {}) {
   static_assert(is_idempotent<S>(), "blocked FW requires idempotent semiring");
   PARFW_CHECK(a.rows() == a.cols());
   PARFW_CHECK(pred.rows() == a.rows() && pred.cols() == a.cols());
@@ -63,33 +95,16 @@ void blocked_floyd_warshall_paths(MatrixView<typename S::value_type> a,
     const std::size_t k0 = k * b;
     const std::size_t bk = std::min(n, k0 + b) - k0;
 
-    // DiagUpdate with path tracking (classic FW — log-squaring loses the
-    // argmin chain structure, so the paths variant always uses classic).
-    {
-      auto dk = a.sub(k0, k0, bk, bk);
-      auto pk = pred.sub(k0, k0, bk, bk);
-      using T = typename S::value_type;
-      for (std::size_t t = 0; t < bk; ++t)
-        for (std::size_t i = 0; i < bk; ++i) {
-          const T dit = dk(i, t);
-          if (dit == S::zero()) continue;
-          for (std::size_t j = 0; j < bk; ++j) {
-            const T cand = S::mul(dit, dk(t, j));
-            if (S::less_add(cand, dk(i, j))) {
-              dk(i, j) = cand;
-              pk(i, j) = pk(t, j);
-            }
-          }
-        }
-    }
+    diag_update_with_pred<S>(a.sub(k0, k0, bk, bk), pred.sub(k0, k0, bk, bk));
 
     auto update = [&](std::size_t r0, std::size_t nr, std::size_t c0,
                       std::size_t nc) {
       if (nr == 0 || nc == 0) return;
-      detail::srgemm_with_pred<S>(a.sub(r0, k0, nr, bk), a.sub(k0, c0, bk, nc),
-                                  a.sub(r0, c0, nr, nc),
-                                  pred.sub(k0, c0, bk, nc),
-                                  pred.sub(r0, c0, nr, nc));
+      srgemm::multiply_with_pred<S>(a.sub(r0, k0, nr, bk),
+                                    a.sub(k0, c0, bk, nc),
+                                    a.sub(r0, c0, nr, nc),
+                                    pred.sub(k0, c0, bk, nc),
+                                    pred.sub(r0, c0, nr, nc), gemm);
     };
 
     // PanelUpdate (row then column), then MinPlusOuter quadrants.

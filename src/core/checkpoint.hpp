@@ -52,7 +52,11 @@ struct CheckpointExtV2 {
   std::uint32_t grid_cols = 1;
   std::int32_t coord_row = 0;    ///< producing rank's grid coordinate
   std::int32_t coord_col = 0;
-  std::uint32_t reserved = 0;
+  /// sizeof one predecessor id when the blob carries a pred payload after
+  /// the value payload (paths runs); 0 = values only. Occupies the v2
+  /// format's former reserved word, which every existing producer wrote
+  /// as 0 — old blobs load as "no predecessors" with no format bump.
+  std::uint32_t pred_elem_size = 0;
   std::uint64_t sched_op_index = 0;  ///< schedule position within the run
   std::uint64_t tile_count = 0;  ///< manifest entries (0 = full matrix)
 };

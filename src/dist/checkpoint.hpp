@@ -70,11 +70,16 @@ inline std::optional<CommitRecord> read_commit(const CheckpointStore& store) {
 }
 
 /// Snapshot this rank's local tiles + schedule position. Returns the blob
-/// size in bytes (for TrafficStats::checkpoint_bytes).
+/// size in bytes (for TrafficStats::checkpoint_bytes). When `pred` is set
+/// (a paths run) its local tiles follow the value payload row-for-row and
+/// ext.pred_elem_size records their element width — the checkpoint-v2
+/// pred extension. Value-only blobs are byte-identical to what older
+/// producers wrote.
 template <typename T>
-std::size_t save_rank_checkpoint(CheckpointStore& store,
-                                 const BlockCyclicMatrix<T>& a,
-                                 const SchedulePosition& pos) {
+std::size_t save_rank_checkpoint(
+    CheckpointStore& store, const BlockCyclicMatrix<T>& a,
+    const SchedulePosition& pos,
+    const BlockCyclicMatrix<std::int64_t>* pred = nullptr) {
   const std::size_t b = a.block_size();
   const std::size_t nlr = a.local_block_rows(), nlc = a.local_block_cols();
 
@@ -90,6 +95,8 @@ std::size_t save_rank_checkpoint(CheckpointStore& store,
   ext.grid_cols = static_cast<std::uint32_t>(a.grid().cols());
   ext.coord_row = a.coord().row;
   ext.coord_col = a.coord().col;
+  ext.pred_elem_size =
+      pred != nullptr ? static_cast<std::uint32_t>(sizeof(std::int64_t)) : 0;
   ext.sched_op_index = pos.sched_op_index;
   ext.tile_count = nlr * nlc;
 
@@ -106,6 +113,15 @@ std::size_t save_rank_checkpoint(CheckpointStore& store,
   for (std::size_t i = 0; i < lv.rows(); ++i)
     out.write(reinterpret_cast<const char*>(lv.data() + i * lv.ld()),
               static_cast<std::streamsize>(lv.cols() * sizeof(T)));
+  if (pred != nullptr) {
+    PARFW_CHECK_MSG(pred->block_size() == b && pred->n() == a.n(),
+                    "pred layout does not match the value matrix");
+    auto pv = pred->local().view();
+    for (std::size_t i = 0; i < pv.rows(); ++i)
+      out.write(reinterpret_cast<const char*>(pv.data() + i * pv.ld()),
+                static_cast<std::streamsize>(pv.cols() *
+                                             sizeof(std::int64_t)));
+  }
   PARFW_CHECK_MSG(out.good(), "rank checkpoint serialisation failed");
 
   const int w = a.grid().world_rank(a.coord());
@@ -114,11 +130,16 @@ std::size_t save_rank_checkpoint(CheckpointStore& store,
 
 /// Restore this rank's tiles from the blob committed for iteration k0.
 /// `a` must already have the run's layout (n, b, grid, coord); the blob's
-/// geometry and tile manifest are validated against it.
+/// geometry and tile manifest are validated against it. Pass `pred` to
+/// restore a paths run: the blob must then carry the pred payload
+/// (ext.pred_elem_size = 8) — a resumed paths run cannot reconstruct
+/// predecessors from distances, so a value-only blob is an error. The
+/// reverse (blob has preds, caller wants values only) is allowed; the
+/// pred payload trails the value rows and is simply not read.
 template <typename T>
-SchedulePosition load_rank_checkpoint(const CheckpointStore& store,
-                                      std::uint64_t k0,
-                                      BlockCyclicMatrix<T>& a) {
+SchedulePosition load_rank_checkpoint(
+    const CheckpointStore& store, std::uint64_t k0, BlockCyclicMatrix<T>& a,
+    BlockCyclicMatrix<std::int64_t>* pred = nullptr) {
   const int w = a.grid().world_rank(a.coord());
   const std::string key = rank_checkpoint_key(k0, w);
   auto blob = store.get(key);
@@ -157,6 +178,20 @@ SchedulePosition load_rank_checkpoint(const CheckpointStore& store,
     in.read(reinterpret_cast<char*>(lv.data() + i * lv.ld()),
             static_cast<std::streamsize>(lv.cols() * sizeof(T)));
   PARFW_CHECK_MSG(in.good(), "rank checkpoint payload truncated");
+  if (pred != nullptr) {
+    PARFW_CHECK_MSG(ext.pred_elem_size == sizeof(std::int64_t),
+                    "checkpoint '" << key << "' carries no pred payload "
+                                   << "(pred_elem_size="
+                                   << ext.pred_elem_size << ")");
+    PARFW_CHECK_MSG(pred->block_size() == a.block_size() &&
+                        pred->n() == a.n(),
+                    "pred layout does not match the value matrix");
+    auto pv = pred->local().view();
+    for (std::size_t i = 0; i < pv.rows(); ++i)
+      in.read(reinterpret_cast<char*>(pv.data() + i * pv.ld()),
+              static_cast<std::streamsize>(pv.cols() * sizeof(std::int64_t)));
+    PARFW_CHECK_MSG(in.good(), "rank checkpoint pred payload truncated");
+  }
 
   SchedulePosition pos;
   pos.variant = static_cast<sched::Variant>(ext.variant);

@@ -15,11 +15,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/apsp.hpp"
 #include "dist/checkpoint.hpp"
 #include "dist/parallel_fw.hpp"
-#include "dist/parallel_fw_paths.hpp"
 #include "graph/graph.hpp"
 #include "mpisim/runtime.hpp"
 #include "util/timer.hpp"
@@ -29,6 +29,7 @@ namespace parfw::dist {
 template <typename T>
 struct DistRunResult {
   Matrix<T> dist;             ///< gathered closed matrix (at the caller)
+  Matrix<std::int64_t> pred;  ///< gathered predecessors (paths runs only)
   /// Whole-run communication statistics: every supervised attempt merged,
   /// crashed ones included, so checkpoint/retry work is never hidden.
   mpi::TrafficStats traffic;
@@ -41,10 +42,15 @@ namespace detail {
 /// Supervised execution shared by every driver entry point. `fill` is
 /// called (with the rank's layout and world) to produce the INITIAL local
 /// tiles of a fresh run; restarts load the committed checkpoint instead.
+/// With track_paths the payload-generic interpreter carries a predecessor
+/// matrix through the SAME supervision loop: fresh attempts initialise it
+/// from the filled distances, restarts restore it from the committed
+/// blob's pred payload — so crash + resume reproduces the uninterrupted
+/// paths run bit-identically, pred matrix included.
 template <typename S, typename Fill>
 DistRunResult<typename S::value_type> supervised_run(
     std::size_t n, const Fill& fill, const GridSpec& grid, int ranks_per_node,
-    const DistFwOptions& opt) {
+    const DistFwOptions& opt, bool track_paths = false) {
   using T = typename S::value_type;
   DistRunResult<T> result;
 
@@ -87,16 +93,29 @@ DistRunResult<typename S::value_type> supervised_run(
           [&](mpi::Comm& world) {
             BlockCyclicMatrix<T> local(n, opt.block_size, grid,
                                        grid.coord_of(world.rank()));
-            if (resume)
-              load_rank_checkpoint<T>(*store, resume_k, local);
-            else
+            std::optional<BlockCyclicMatrix<std::int64_t>> plocal;
+            if (track_paths)
+              plocal.emplace(n, opt.block_size, grid,
+                             grid.coord_of(world.rank()));
+            BlockCyclicMatrix<std::int64_t>* pp =
+                track_paths ? &*plocal : nullptr;
+            if (resume) {
+              load_rank_checkpoint<T>(*store, resume_k, local, pp);
+            } else {
               fill(local, world);
+              if (track_paths) init_predecessors_dist<S>(local, *plocal);
+            }
             world.barrier();
-            parallel_fw_resume<S>(world, local,
+            parallel_fw_resume<S>(world, local, pp,
                                   static_cast<std::size_t>(resume_k), run_opt);
             world.barrier();
             Matrix<T> gathered = local.gather(world);
-            if (world.rank() == 0) result.dist = std::move(gathered);
+            Matrix<std::int64_t> pgathered;
+            if (track_paths) pgathered = plocal->gather(world);
+            if (world.rank() == 0) {
+              result.dist = std::move(gathered);
+              if (track_paths) result.pred = std::move(pgathered);
+            }
           },
           ropt);
       result.traffic.merge(attempt);
@@ -128,20 +147,22 @@ DistRunResult<typename S::value_type> supervised_run(
 template <typename S>
 DistRunResult<typename S::value_type> run_parallel_fw(
     std::size_t n, const DenseEntryGen<typename S::value_type>& gen,
-    const GridSpec& grid, int ranks_per_node, const DistFwOptions& opt = {}) {
+    const GridSpec& grid, int ranks_per_node, const DistFwOptions& opt = {},
+    bool track_paths = false) {
   using T = typename S::value_type;
   return detail::supervised_run<S>(
       n,
       [&gen](BlockCyclicMatrix<T>& local, mpi::Comm&) { local.fill(gen); },
-      grid, ranks_per_node, opt);
+      grid, ranks_per_node, opt, track_paths);
 }
 
 /// Graph front door: solve APSP for `g` distributed, returning the same
 /// ApspResult the core apsp() returns — this is what parfw::solve
 /// (dist/solve.hpp) dispatches to for ApspAlgorithm::kDistributed.
 /// Requires g.num_vertices() % opt.block_size == 0 (block-cyclic layout).
-/// With track_paths the predecessor-carrying solver runs (bulk-synchronous;
-/// checkpoint cuts and crash injection apply to the value solver only).
+/// track_paths runs the SAME payload-generic interpreter under the SAME
+/// supervision loop — every variant, placement, checkpoint cut and crash
+/// injection applies to paths runs exactly as to value runs.
 template <typename S>
 ApspResult<typename S::value_type> run_parallel_fw(
     const Graph& g, const GridSpec& grid, int ranks_per_node,
@@ -151,42 +172,14 @@ ApspResult<typename S::value_type> run_parallel_fw(
   Matrix<T> full = g.distance_matrix<S>();
   ApspResult<T> out;
 
-  if (track_paths) {
-    Matrix<std::int64_t> pred_full;
-    mpi::RuntimeOptions ropt;
-    ropt.node_model = grid.node_model(ranks_per_node);
-    ropt.trace = opt.trace;
-    mpi::Runtime::run(
-        grid.size(),
-        [&](mpi::Comm& world) {
-          BlockCyclicMatrix<T> local(n, opt.block_size, grid,
-                                     grid.coord_of(world.rank()));
-          BlockCyclicMatrix<std::int64_t> plocal(n, opt.block_size, grid,
-                                                 grid.coord_of(world.rank()));
-          local.load(full.view());
-          init_predecessors_dist<S>(local, plocal);
-          world.barrier();
-          parallel_fw_paths<S>(world, local, plocal, opt);
-          world.barrier();
-          Matrix<T> gathered = local.gather(world);
-          Matrix<std::int64_t> pgathered = plocal.gather(world);
-          if (world.rank() == 0) {
-            out.dist = std::move(gathered);
-            pred_full = std::move(pgathered);
-          }
-        },
-        ropt);
-    out.pred = std::move(pred_full);
-    return out;
-  }
-
   auto res = detail::supervised_run<S>(
       n,
       [&full](BlockCyclicMatrix<T>& local, mpi::Comm&) {
         local.load(full.view());
       },
-      grid, ranks_per_node, opt);
+      grid, ranks_per_node, opt, track_paths);
   out.dist = std::move(res.dist);
+  if (track_paths) out.pred = std::move(res.pred);
   return out;
 }
 

@@ -23,6 +23,17 @@
 // src/perf/ interprets the SAME Schedule as cost metadata, so the two
 // sides cannot drift apart.
 //
+// The interpreter is PAYLOAD-GENERIC: attach a predecessor matrix and
+// every schedule op moves/updates a tile PAYLOAD — distances, or
+// distances + predecessor tiles — instead of a bare value tile. The
+// schedule itself grows kPred companion broadcasts (sched::Payload), the
+// compute ops bind the argmin-tracking SRGEMM kernels, checkpoints
+// persist both tiles, and everything layered on the interpreter — trace
+// sinks, telemetry, fault injection, retransmits, checkpoint/restart,
+// every variant × placement — works for paths runs with no code of its
+// own. The former dedicated paths solver (one variant, no resilience, no
+// telemetry) is gone; this is the one true interpreter.
+//
 // +Reordering (the paper's third legend) is not a code variant: it is the
 // same kPipelined/kAsync schedule generated for GridSpec::tiled placement
 // instead of GridSpec::row_major — the placement changes which messages
@@ -36,6 +47,7 @@
 #include <memory>
 #include <span>
 
+#include "core/blocked_fw_paths.hpp"
 #include "core/checkpoint_store.hpp"
 #include "core/diag_update.hpp"
 #include "core/solve_options.hpp"
@@ -115,9 +127,21 @@ inline RowColComms make_row_col_comms(mpi::Comm& world, const GridSpec& grid) {
 /// (a restored checkpoint; start_k = 0 = fresh input). Collective over
 /// `world`, which must have exactly grid.size() ranks. On return the
 /// local matrix holds this rank's blocks of the closed distance matrix.
+///
+/// `pred`, when non-null, turns the run into a PATHS run: same layout as
+/// `a`, initialised with init_predecessors_dist (or restored from a
+/// checkpoint whose blob carries preds). The schedule grows kPred
+/// companion broadcasts, every compute op binds the argmin-tracking
+/// kernel, the diagonal is pinned to classic FW (log-squaring loses the
+/// argmin chain), and checkpoints persist both tiles. The bulk
+/// OuterUpdate still covers the whole local matrix: re-applying a closed
+/// panel's update can never STRICTLY improve a distance, and the pred
+/// rewrite fires only on strict improvement, so panel preds are never
+/// clobbered — no skip-strips special case.
 template <typename S>
 void parallel_fw_resume(mpi::Comm& world,
                         BlockCyclicMatrix<typename S::value_type>& a,
+                        BlockCyclicMatrix<std::int64_t>* pred,
                         std::size_t start_k, const DistFwOptions& opt = {}) {
   static_assert(is_idempotent<S>(), "distributed FW requires idempotent ⊕");
   using T = typename S::value_type;
@@ -129,6 +153,14 @@ void parallel_fw_resume(mpi::Comm& world,
   const std::size_t nb = a.num_blocks();
   const std::size_t nlr = a.local_block_rows(), nlc = a.local_block_cols();
   auto local = a.local().view();
+
+  const bool paths = pred != nullptr;
+  MatrixView<std::int64_t> plocal;
+  if (paths) {
+    PARFW_CHECK(pred->block_size() == b && pred->num_blocks() == nb &&
+                pred->coord() == a.coord());
+    plocal = pred->local().view();
+  }
 
   RowColComms comms = make_row_col_comms(world, grid);
   mpi::Comm& row_comm = comms.row;
@@ -142,7 +174,9 @@ void parallel_fw_resume(mpi::Comm& world,
   sp.nb = nb;
   sp.b = b;
   sp.word_bytes = sizeof(T);
-  sp.diag_flops = diag_update_flops(b, opt.diag);
+  sp.pred_word_bytes = paths ? sizeof(std::int64_t) : 0;
+  sp.diag_flops =
+      diag_update_flops(b, paths ? DiagStrategy::kClassic : opt.diag);
   sp.start_k = start_k;
   if (opt.resilience.store != nullptr)
     sp.checkpoint_every = opt.resilience.checkpoint_every;
@@ -152,9 +186,15 @@ void parallel_fw_resume(mpi::Comm& world,
   Matrix<T> diag_scratch(b, b);
   // Panel buffers, double-buffered by iteration parity: the pipelined
   // schedule stages iteration k+1's panels (slot (k+1) & 1) while the
-  // bulk OuterUpdate(k) still reads slot k & 1.
+  // bulk OuterUpdate(k) still reads slot k & 1. The pred companions of
+  // the diag block and row panel mirror the value buffers; the col panel
+  // has no pred sibling (the pred rule only reads the pivot block row).
   Matrix<T> rowp_buf[2] = {Matrix<T>(b, nlc * b), Matrix<T>(b, nlc * b)};
   Matrix<T> colp_buf[2] = {Matrix<T>(nlr * b, b), Matrix<T>(nlr * b, b)};
+  Matrix<std::int64_t> akk_pred(paths ? b : 0, paths ? b : 0);
+  Matrix<std::int64_t> rowp_pred_buf[2] = {
+      Matrix<std::int64_t>(paths ? b : 0, paths ? nlc * b : 0),
+      Matrix<std::int64_t>(paths ? b : 0, paths ? nlc * b : 0)};
 
   // Optional per-rank device for the offload variant.
   std::unique_ptr<dev::Device> device;
@@ -169,9 +209,10 @@ void parallel_fw_resume(mpi::Comm& world,
   oog.trace = opt.trace;
   oog.trace_rank = my;
   oog.metrics = opt.metrics;
-  auto bytes_of = [](Matrix<T>& m) {
-    return std::span<std::uint8_t>{reinterpret_cast<std::uint8_t*>(m.data()),
-                                   m.size() * sizeof(T)};
+  auto bytes_of = [](auto& m_) {
+    using MT = std::remove_reference_t<decltype(*m_.data())>;
+    return std::span<std::uint8_t>{reinterpret_cast<std::uint8_t*>(m_.data()),
+                                   m_.size() * sizeof(MT)};
   };
 
   // Injected crash coordinate: the global step index of the generated
@@ -195,34 +236,69 @@ void parallel_fw_resume(mpi::Comm& world,
     const double t0 = timed ? sched::now_seconds() : 0.0;
     Matrix<T>& rowp = rowp_buf[k & 1];
     Matrix<T>& colp = colp_buf[k & 1];
+    Matrix<std::int64_t>& rowp_pred = rowp_pred_buf[k & 1];
 
     switch (op.kind) {
       case sched::OpKind::kDiagUpdate: {
-        // Owner closes A(k,k) in place and snapshots it into akk.
+        // Owner closes A(k,k) in place and snapshots it into akk (and,
+        // for paths, the block's predecessors into akk_pred).
         auto dk = a.block(a.local_row(k), a.local_col(k));
-        diag_update<S>(dk, opt.diag, diag_scratch.view(), opt.gemm);
+        if (paths) {
+          auto pk = plocal.sub(pred->local_row(k) * b,
+                               pred->local_col(k) * b, b, b);
+          diag_update_with_pred<S>(dk, pk);
+          akk_pred.view().copy_from(MatrixView<const std::int64_t>(pk));
+        } else {
+          diag_update<S>(dk, opt.diag, diag_scratch.view(), opt.gemm);
+        }
         akk.view().copy_from(dk);
         break;
       }
       case sched::OpKind::kDiagBcastRow:
-        row_comm.bcast_bytes(bytes_of(akk), op.root, op.tag);
+        if (op.payload == sched::Payload::kPred)
+          row_comm.bcast_bytes(bytes_of(akk_pred), op.root, op.tag);
+        else
+          row_comm.bcast_bytes(bytes_of(akk), op.root, op.tag);
         break;
       case sched::OpKind::kDiagBcastCol:
-        col_comm.bcast_bytes(bytes_of(akk), op.root, op.tag);
+        if (op.payload == sched::Payload::kPred)
+          col_comm.bcast_bytes(bytes_of(akk_pred), op.root, op.tag);
+        else
+          col_comm.bcast_bytes(bytes_of(akk), op.root, op.tag);
         break;
       case sched::OpKind::kPanelUpdateRow: {
         // Left-multiply my row strip by akk (the strip includes the
         // diagonal block, for which the update is an idempotent no-op).
+        // Paths: the pred source is the strip itself (intermediate t
+        // lives in the pivot block row, i.e. in this strip).
         if (nlc == 0) break;
         auto strip = local.sub(a.local_row(k) * b, 0, b, nlc * b);
-        srgemm::multiply<S>(akk.view(), strip, strip, opt.gemm);
+        if (paths) {
+          auto pstrip = plocal.sub(pred->local_row(k) * b, 0, b, nlc * b);
+          srgemm::multiply_with_pred<S>(
+              akk.view(), MatrixView<const T>(strip), strip,
+              MatrixView<const std::int64_t>(pstrip), pstrip, opt.gemm);
+          rowp_pred.view().copy_from(MatrixView<const std::int64_t>(pstrip));
+        } else {
+          srgemm::multiply<S>(akk.view(), strip, strip, opt.gemm);
+        }
         rowp.view().copy_from(strip);
         break;
       }
       case sched::OpKind::kPanelUpdateCol: {
+        // Paths: the pred source is akk_pred (intermediate t lives in the
+        // pivot block row), which is why the col panel has no pred bcast.
         if (nlr == 0) break;
         auto strip = local.sub(0, a.local_col(k) * b, nlr * b, b);
-        srgemm::multiply<S>(strip, akk.view(), strip, opt.gemm);
+        if (paths) {
+          auto pstrip = plocal.sub(0, pred->local_col(k) * b, nlr * b, b);
+          srgemm::multiply_with_pred<S>(
+              MatrixView<const T>(strip), akk.view(), strip,
+              MatrixView<const std::int64_t>(akk_pred.view()), pstrip,
+              opt.gemm);
+        } else {
+          srgemm::multiply<S>(strip, akk.view(), strip, opt.gemm);
+        }
         colp.view().copy_from(strip);
         break;
       }
@@ -230,11 +306,18 @@ void parallel_fw_resume(mpi::Comm& world,
         // Down the process columns; tree or ring per the schedule. The
         // root side and receive side of the pipelined schedule are
         // distinct steps of the SAME collective (same tag/root) — each
-        // rank executes exactly one of them.
-        if (op.coll == sched::CollKind::kRing)
+        // rank executes exactly one of them. The pred companion is its
+        // own collective on its own tag.
+        if (op.payload == sched::Payload::kPred) {
+          if (op.coll == sched::CollKind::kRing)
+            col_comm.ring_bcast_bytes(bytes_of(rowp_pred), op.root, op.tag);
+          else
+            col_comm.bcast_bytes(bytes_of(rowp_pred), op.root, op.tag);
+        } else if (op.coll == sched::CollKind::kRing) {
           col_comm.ring_bcast_bytes(bytes_of(rowp), op.root, op.tag);
-        else
+        } else {
           col_comm.bcast_bytes(bytes_of(rowp), op.root, op.tag);
+        }
         break;
       case sched::OpKind::kColPanelBcast:
         if (op.coll == sched::CollKind::kRing)
@@ -249,7 +332,15 @@ void parallel_fw_resume(mpi::Comm& world,
         const std::size_t k1 = k + 1;
         auto strip = local.sub(a.local_row(k1) * b, 0, b, nlc * b);
         auto cp_blk = colp.sub(a.local_row(k1) * b, 0, b, b);
-        srgemm::multiply_prepacked<S>(cp_blk, rowp.view(), strip, opt.gemm);
+        if (paths) {
+          auto pstrip = plocal.sub(pred->local_row(k1) * b, 0, b, nlc * b);
+          srgemm::multiply_with_pred<S>(
+              MatrixView<const T>(cp_blk), rowp.view(), strip,
+              MatrixView<const std::int64_t>(rowp_pred.view()), pstrip,
+              opt.gemm);
+        } else {
+          srgemm::multiply_prepacked<S>(cp_blk, rowp.view(), strip, opt.gemm);
+        }
         break;
       }
       case sched::OpKind::kLookaheadCol: {
@@ -257,17 +348,35 @@ void parallel_fw_resume(mpi::Comm& world,
         const std::size_t k1 = k + 1;
         auto strip = local.sub(0, a.local_col(k1) * b, nlr * b, b);
         auto rp_blk = rowp.sub(0, a.local_col(k1) * b, b, b);
-        srgemm::multiply_prepacked<S>(colp.view(), rp_blk, strip, opt.gemm);
+        if (paths) {
+          auto pstrip = plocal.sub(0, pred->local_col(k1) * b, nlr * b, b);
+          auto prp_blk = rowp_pred.sub(0, a.local_col(k1) * b, b, b);
+          srgemm::multiply_with_pred<S>(
+              colp.view(), MatrixView<const T>(rp_blk), strip,
+              MatrixView<const std::int64_t>(prp_blk), pstrip, opt.gemm);
+        } else {
+          srgemm::multiply_prepacked<S>(colp.view(), rp_blk, strip, opt.gemm);
+        }
         break;
       }
       case sched::OpKind::kOuterUpdate: {
         // Bulk OuterUpdate(k) on the whole local matrix. Re-applying it
         // to panel strips (including look-ahead-updated ones) is an
-        // idempotent no-op — every candidate is a valid path length. The
-        // received panel buffers are dense and reused for every quadrant,
-        // so the CPU path runs prepacked.
+        // idempotent no-op — every candidate is a valid path length, and
+        // (paths) a closed strip never STRICTLY improves, so the pred
+        // rewrite never fires on it. The received panel buffers are dense
+        // and reused for every quadrant, so the CPU path runs prepacked.
         if (local.empty()) break;
-        if (op.offload) {
+        if (paths) {
+          if (op.offload) {
+            (void)offload::oog_srgemm_pred<S>(*device, colp.view(),
+                                              rowp.view(), local,
+                                              rowp_pred.view(), plocal, oog);
+          } else {
+            srgemm::multiply_with_pred<S>(colp.view(), rowp.view(), local,
+                                          rowp_pred.view(), plocal, opt.gemm);
+          }
+        } else if (op.offload) {
           (void)offload::oog_srgemm<S>(*device, colp.view(), rowp.view(),
                                        local, oog);
         } else {
@@ -293,7 +402,7 @@ void parallel_fw_resume(mpi::Comm& world,
         if (opt.resilience.store != nullptr) {
           Timer ckpt_timer;
           const std::size_t blob_bytes =
-              save_rank_checkpoint<T>(*opt.resilience.store, a, pos);
+              save_rank_checkpoint<T>(*opt.resilience.store, a, pos, pred);
           world.world().add_checkpoint(blob_bytes, ckpt_timer.seconds());
         }
         world.barrier();
@@ -344,11 +453,55 @@ void parallel_fw_resume(mpi::Comm& world,
   }
 }
 
+/// Distances-only resume — the signature every pre-paths caller uses.
+template <typename S>
+void parallel_fw_resume(mpi::Comm& world,
+                        BlockCyclicMatrix<typename S::value_type>& a,
+                        std::size_t start_k, const DistFwOptions& opt = {}) {
+  parallel_fw_resume<S>(world, a, /*pred=*/nullptr, start_k, opt);
+}
+
 /// Full run from fresh input — the signature every existing caller uses.
 template <typename S>
 void parallel_fw(mpi::Comm& world, BlockCyclicMatrix<typename S::value_type>& a,
                  const DistFwOptions& opt = {}) {
-  parallel_fw_resume<S>(world, a, /*start_k=*/0, opt);
+  parallel_fw_resume<S>(world, a, /*pred=*/nullptr, /*start_k=*/0, opt);
+}
+
+/// Full paths run from fresh input: `pred` must be initialised with
+/// init_predecessors_dist. Every variant, placement, checkpoint and
+/// fault-injection knob of `opt` applies.
+template <typename S>
+void parallel_fw(mpi::Comm& world, BlockCyclicMatrix<typename S::value_type>& a,
+                 BlockCyclicMatrix<std::int64_t>& pred,
+                 const DistFwOptions& opt = {}) {
+  parallel_fw_resume<S>(world, a, &pred, /*start_k=*/0, opt);
+}
+
+/// Initialise a distributed predecessor layout consistent with
+/// init_predecessors: pred(i,j) = i when dist(i,j) is finite or i == j,
+/// else -1. Operates on this rank's blocks only.
+template <typename S>
+void init_predecessors_dist(const BlockCyclicMatrix<typename S::value_type>& a,
+                            BlockCyclicMatrix<std::int64_t>& pred) {
+  const std::size_t b = a.block_size();
+  const auto& local = a.local();
+  auto& plocal = pred.local();
+  for (std::size_t il = 0; il < a.local_block_rows(); ++il)
+    for (std::size_t jl = 0; jl < a.local_block_cols(); ++jl) {
+      const std::size_t gi0 = a.global_row(il) * b;
+      const std::size_t gj0 = a.global_col(jl) * b;
+      for (std::size_t i = 0; i < b; ++i)
+        for (std::size_t j = 0; j < b; ++j) {
+          const std::size_t gi = gi0 + i, gj = gj0 + j;
+          const auto v = local(il * b + i, jl * b + j);
+          if (gi == gj)
+            plocal(il * b + i, jl * b + j) = static_cast<std::int64_t>(gi);
+          else
+            plocal(il * b + i, jl * b + j) =
+                v != S::zero() ? static_cast<std::int64_t>(gi) : -1;
+        }
+    }
 }
 
 }  // namespace parfw::dist

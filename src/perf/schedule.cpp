@@ -224,8 +224,12 @@ BuiltProgram build_fw_program(const MachineConfig& m, const FwProblem& prob,
   sp.nb = nb;
   sp.b = static_cast<std::size_t>(b);
   sp.word_bytes = static_cast<std::size_t>(m.word_bytes);
-  sp.diag_flops = diag_update_flops(static_cast<std::size_t>(b),
-                                    DiagStrategy::kLogSquaring);
+  sp.pred_word_bytes = prob.track_paths ? sizeof(std::int64_t) : 0;
+  // Paths mode pins the diagonal to classic FW (log-squaring loses the
+  // argmin chain structure), exactly as the data interpreter does.
+  sp.diag_flops = diag_update_flops(
+      static_cast<std::size_t>(b),
+      prob.track_paths ? DiagStrategy::kClassic : DiagStrategy::kLogSquaring);
   const sched::Schedule schedule = sched::build_schedule(grid, sp);
 
   ProgramBuilder builder(full_node_of, total_procs);
@@ -276,7 +280,16 @@ BuiltProgram build_fw_program(const MachineConfig& m, const FwProblem& prob,
     // Whole-strip phase totals (panels uploaded once, §4.4); fill/drain
     // adds roughly one chunk's worth of the non-overlapped phases.
     const int s = std::clamp(prob.offload_streams, 1, 3);
-    const OogCost whole = model_oog_cost(shared, mloc, nloc, b);
+    OogCost whole = model_oog_cost(shared, mloc, nloc, b);
+    if (prob.track_paths) {
+      // Paths: Xpred chunks come back alongside every X chunk, the
+      // row-panel pred tiles ride the B upload (the col panel has no pred
+      // sibling), and hostUpdate makes the same three passes over the
+      // int64 pred arrays as over the values.
+      const double pw = static_cast<double>(sizeof(std::int64_t));
+      whole.t1 += (mloc * nloc + nloc * b) * pw / m.hd_bw;
+      whole.t2 += 3.0 * mloc * nloc * pw / shared.dram_bw;
+    }
     const double chunk_frac = (mx * nx) / (mloc * nloc);
     const double fill =
         (whole.t0 + whole.t1 + whole.t2 - whole.total(s)) * chunk_frac;

@@ -69,6 +69,14 @@ struct FwProblem {
   /// its single-node point exceeds the NIC's 25 GB/s, which is only
   /// possible when t_FW is communication time).
   bool comm_only = false;
+  /// Model the predecessor-carrying schedule: kPred companion broadcasts
+  /// for the diag block and row panel (int64 per element — the row-panel
+  /// volume roughly triples for float words), classic DiagUpdate flops
+  /// (log-squaring loses the argmin chain), and the offload pipeline's
+  /// extra Xpred transfers/hostUpdate passes. Mirrors what
+  /// dist::parallel_fw executes when a pred matrix is attached, so
+  /// `--variant auto` tunes paths runs against their true cost.
+  bool track_paths = false;
 };
 
 /// A built skeleton: per-process op lists plus the node map covering any

@@ -153,6 +153,11 @@ struct simd_ops<MinPlus<T>> {
   static simd::Vec<T, W> vmul(simd::Vec<T, W> x, simd::Vec<T, W> y) {
     return simd::vadd(x, y);
   }
+  template <std::size_t W>
+  static simd::Vec<simd::mask_t<T>, W> vimproves(simd::Vec<T, W> cand,
+                                                 simd::Vec<T, W> best) {
+    return simd::vcmp_lt(cand, best);  // less_add: x < y
+  }
 };
 
 /// MinPlus over integral types: ⊕ = min, ⊗ = saturating add against the
@@ -171,6 +176,11 @@ struct simd_ops<MinPlus<T>> {
     return simd::vsat_add(
         x, y, simd::broadcast<T, W>(value_traits<T>::infinity()));
   }
+  template <std::size_t W>
+  static simd::Vec<simd::mask_t<T>, W> vimproves(simd::Vec<T, W> cand,
+                                                 simd::Vec<T, W> best) {
+    return simd::vcmp_lt(cand, best);
+  }
 };
 
 /// MaxMin: ⊕ = max, ⊗ = min — both are single instructions everywhere.
@@ -184,6 +194,11 @@ struct simd_ops<MaxMin<T>> {
   template <std::size_t W>
   static simd::Vec<T, W> vmul(simd::Vec<T, W> x, simd::Vec<T, W> y) {
     return simd::vmin(x, y);
+  }
+  template <std::size_t W>
+  static simd::Vec<simd::mask_t<T>, W> vimproves(simd::Vec<T, W> cand,
+                                                 simd::Vec<T, W> best) {
+    return simd::vcmp_gt(cand, best);  // less_add: x > y
   }
 };
 
@@ -202,6 +217,11 @@ struct simd_ops<BoolOrAnd> {
   static simd::Vec<T, W> vmul(simd::Vec<T, W> x, simd::Vec<T, W> y) {
     return simd::vand(x, y);
   }
+  template <std::size_t W>
+  static simd::Vec<simd::mask_t<T>, W> vimproves(simd::Vec<T, W> cand,
+                                                 simd::Vec<T, W> best) {
+    return simd::vcmp_gt(cand, best);  // 1 "improves" 0
+  }
 };
 
 /// PlusTimes: ordinary GEMM lanes. ⊕ reassociates under vectorization, so
@@ -217,6 +237,11 @@ struct simd_ops<PlusTimes<T>> {
   template <std::size_t W>
   static simd::Vec<T, W> vmul(simd::Vec<T, W> x, simd::Vec<T, W> y) {
     return simd::vmul(x, y);
+  }
+  template <std::size_t W>
+  static simd::Vec<simd::mask_t<T>, W> vimproves(simd::Vec<T, W>,
+                                                 simd::Vec<T, W>) {
+    return simd::broadcast<simd::mask_t<T>, W>(0);  // less_add: never
   }
 };
 

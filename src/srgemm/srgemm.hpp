@@ -416,6 +416,108 @@ void multiply_argmin(MatrixView<const typename S::value_type> A,
   detail::argmin_kernel<S>(A, B, C, Arg, arg_offset);
 }
 
+/// Fused predecessor-tracking SRGEMM:
+///     where C[i,j] improves through row t of B, predC[i,j] ← predB[t,j]
+/// (the blocked-FW pred rule: pred(i,j) ← pred(t,j), with predB carrying
+/// global vertex ids). One deterministic kernel — detail::pred_sweep_rows,
+/// SIMD when the semiring has lane-wise forms — services every call site,
+/// which is what makes the distributed pred matrices bit-identical to the
+/// single-node blocked_floyd_warshall_paths result.
+///
+/// Aliasing: the blocked-FW panel updates deliberately alias (row panel
+/// B ≡ C, column panel A ≡ C); both are well-defined under the kernel's
+/// row-buffered order. Row-panel aliasing carries cross-row dependencies,
+/// so the pool split is only applied when B does not alias C (rows of C
+/// are then independent sub-problems and the split cannot change results).
+template <typename S>
+void multiply_with_pred(MatrixView<const typename S::value_type> A,
+                        MatrixView<const typename S::value_type> B,
+                        MatrixView<typename S::value_type> C,
+                        MatrixView<const std::int64_t> predB,
+                        MatrixView<std::int64_t> predC,
+                        const Config& caller_cfg = {}) {
+  PARFW_CHECK_MSG(A.rows() == C.rows() && B.cols() == C.cols() &&
+                      A.cols() == B.rows(),
+                  "srgemm shape mismatch: C(" << C.rows() << "x" << C.cols()
+                      << ") += A(" << A.rows() << "x" << A.cols() << ") * B("
+                      << B.rows() << "x" << B.cols() << ")");
+  PARFW_CHECK(predB.rows() == B.rows() && predB.cols() == B.cols());
+  PARFW_CHECK(predC.rows() == C.rows() && predC.cols() == C.cols());
+  if (C.empty() || A.cols() == 0) return;
+  const Config cfg = detail::apply_env_pins(caller_cfg);
+  const std::size_t m = C.rows();
+  const bool rows_independent = B.data() != C.data();
+  if (rows_independent && cfg.pool != nullptr && cfg.pool->size() > 1 &&
+      m >= 2 * cfg.tile_m) {
+    const std::size_t panels = (m + cfg.tile_m - 1) / cfg.tile_m;
+    cfg.pool->parallel_for(panels, [&](std::size_t p) {
+      const std::size_t lo = p * cfg.tile_m;
+      detail::pred_sweep_rows<S>(A, B, C, predB, predC, lo,
+                                 std::min(m, lo + cfg.tile_m));
+    });
+  } else {
+    detail::pred_sweep_rows<S>(A, B, C, predB, predC, 0, m);
+  }
+}
+
+/// Element-wise accumulate with predecessor attachment (the offload
+/// engine's hostUpdate in paths mode): where X strictly improves C, take
+/// X's value and its predecessor. When (X, Xpred) is a chunk product
+/// computed by multiply_with_pred on a zero()-filled X, this merge is
+/// bit-identical to running the fused kernel directly on C — the chunk's
+/// first-t-attaining argmin composes with the strict-improvement merge.
+template <typename S>
+void ewise_add_with_pred(MatrixView<const typename S::value_type> X,
+                         MatrixView<const std::int64_t> Xpred,
+                         MatrixView<typename S::value_type> C,
+                         MatrixView<std::int64_t> predC,
+                         ThreadPool* pool = nullptr) {
+  PARFW_CHECK(X.rows() == C.rows() && X.cols() == C.cols());
+  PARFW_CHECK(Xpred.rows() == C.rows() && Xpred.cols() == C.cols());
+  PARFW_CHECK(predC.rows() == C.rows() && predC.cols() == C.cols());
+  using T = typename S::value_type;
+  const std::size_t rows = C.rows(), cols = C.cols();
+  auto run_rows = [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const T* x = X.data() + i * X.ld();
+      const std::int64_t* xp = Xpred.data() + i * Xpred.ld();
+      T* c = C.data() + i * C.ld();
+      std::int64_t* pc = predC.data() + i * predC.ld();
+      std::size_t j = 0;
+      if constexpr (simd_ops<S>::available) {
+        if constexpr (simd::kNativeBytes > 0) {
+          constexpr std::size_t W = simd::native_lanes<T>();
+          for (; j + W <= cols; j += W) {
+            const auto xv = simd::load<T, W>(x + j);
+            const auto cv = simd::load<T, W>(c + j);
+            const auto imp = simd_ops<S>::vimproves(xv, cv);
+            if (simd::vany(imp)) {
+              simd::store<T, W>(c + j, simd::vselect(imp, xv, cv));
+              simd::vblend_ids(imp, xp + j, pc + j);
+            }
+          }
+        }
+      }
+      for (; j < cols; ++j) {
+        if (S::less_add(x[j], c[j])) {
+          c[j] = x[j];
+          pc[j] = xp[j];
+        }
+      }
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && rows >= 2 * pool->size()) {
+    const std::size_t nw = pool->size();
+    const std::size_t chunk = (rows + nw - 1) / nw;
+    pool->parallel_for(nw, [&](std::size_t w) {
+      const std::size_t r0 = w * chunk;
+      run_rows(r0, std::min(rows, r0 + chunk));
+    });
+  } else {
+    run_rows(0, rows);
+  }
+}
+
 /// Element-wise accumulate C ← C ⊕ X (the offload engine's hostUpdate).
 /// Rows stream through the SIMD ⊕ when the semiring has lane-wise forms;
 /// a pool spreads row ranges across workers (each worker owns disjoint

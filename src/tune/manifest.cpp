@@ -84,9 +84,11 @@ std::string write_manifest(const Manifest& m) {
     char head[512];
     std::snprintf(head, sizeof head,
                   "    { \"n\": %zu, \"ranks\": %d, \"ranks_per_node\": %d, "
-                  "\"word_bytes\": %zu,\n      \"stall_weight\": ",
+                  "\"word_bytes\": %zu, \"track_paths\": %s,\n"
+                  "      \"stall_weight\": ",
                   e.workload.n, e.workload.ranks, e.workload.ranks_per_node,
-                  e.workload.word_bytes);
+                  e.workload.word_bytes,
+                  e.workload.track_paths ? "true" : "false");
     out += head;
     append_number(&out, e.stall_weight);
     char body[512];
@@ -164,6 +166,17 @@ bool read_manifest(const std::string& text, Manifest* out,
       return false;
     if (!get_bool(row, "tiled", &e.winner.placement.tiled, error))
       return false;
+    // "track_paths" joined the key after version-1 manifests shipped; a
+    // missing field reads as false (a value-schedule row), so pre-paths
+    // caches stay valid without a version bump.
+    if (const causal::JsonValue* tp = row.find("track_paths");
+        tp != nullptr) {
+      if (tp->type != causal::JsonValue::Type::kBool) {
+        *error = "manifest entry \"track_paths\" must be a boolean";
+        return false;
+      }
+      e.workload.track_paths = tp->boolean;
+    }
     const causal::JsonValue* var = row.find("variant");
     if (var == nullptr || var->type != causal::JsonValue::Type::kString ||
         !sched::variant_from_name(var->str, &e.winner.variant,

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 
 namespace parfw::simd {
@@ -44,6 +45,32 @@ template <typename T>
 constexpr std::size_t native_lanes() {
   return kNativeBytes == 0 ? 4 : kNativeBytes / sizeof(T);
 }
+
+/// Signed integer type as wide as Bytes — the lane type of comparison
+/// masks (vector comparisons yield same-width integer lanes, all-ones on
+/// true).
+template <std::size_t Bytes>
+struct int_of_size;
+template <>
+struct int_of_size<1> {
+  using type = std::int8_t;
+};
+template <>
+struct int_of_size<2> {
+  using type = std::int16_t;
+};
+template <>
+struct int_of_size<4> {
+  using type = std::int32_t;
+};
+template <>
+struct int_of_size<8> {
+  using type = std::int64_t;
+};
+
+/// Mask lane type matching T's width.
+template <typename T>
+using mask_t = typename int_of_size<sizeof(T)>::type;
 
 /// Fixed-width vector of W lanes of T. Trivially copyable; all ops are
 /// free functions so the type stays a plain register-sized value.
@@ -122,6 +149,38 @@ inline Vec<T, W> vsat_add(Vec<T, W> a, Vec<T, W> b, Vec<T, W> limit) {
   return {((a.v >= limit.v) | (b.v >= limit.v)) ? limit.v : s};
 }
 
+/// Lane-wise a < b as an all-ones/all-zeros mask of T-width integer lanes.
+template <typename T, std::size_t W>
+inline Vec<mask_t<T>, W> vcmp_lt(Vec<T, W> a, Vec<T, W> b) {
+  Vec<mask_t<T>, W> r;
+  // The builtin comparison already yields same-width signed lanes; the
+  // convertvector pins down the exact lane type (int vs long spelling).
+  r.v = __builtin_convertvector(a.v < b.v,
+                                typename Vec<mask_t<T>, W>::native);
+  return r;
+}
+template <typename T, std::size_t W>
+inline Vec<mask_t<T>, W> vcmp_gt(Vec<T, W> a, Vec<T, W> b) {
+  Vec<mask_t<T>, W> r;
+  r.v = __builtin_convertvector(a.v > b.v,
+                                typename Vec<mask_t<T>, W>::native);
+  return r;
+}
+/// Lanes where the mask is nonzero take x, the rest keep y.
+template <typename M, typename T, std::size_t W>
+inline Vec<T, W> vselect(Vec<M, W> m, Vec<T, W> x, Vec<T, W> y) {
+  static_assert(sizeof(M) == sizeof(T), "mask lanes must match value lanes");
+  return {m.v ? x.v : y.v};
+}
+/// Sign-extend (or narrow) a mask to To-width lanes, e.g. an int32 float
+/// mask to the int64 lanes of a predecessor vector.
+template <typename To, typename M, std::size_t W>
+inline Vec<To, W> vmask_cast(Vec<M, W> m) {
+  Vec<To, W> r;
+  r.v = __builtin_convertvector(m.v, typename Vec<To, W>::native);
+  return r;
+}
+
 #else  // scalar fallback: same API, lane loops
 
 #define PARFW_SIMD_LANEWISE(name, expr)                     \
@@ -153,6 +212,83 @@ inline Vec<T, W> vsat_add(Vec<T, W> a, Vec<T, W> b, Vec<T, W> limit) {
   return r;
 }
 
+template <typename T, std::size_t W>
+inline Vec<mask_t<T>, W> vcmp_lt(Vec<T, W> a, Vec<T, W> b) {
+  Vec<mask_t<T>, W> r;
+  for (std::size_t i = 0; i < W; ++i)
+    r.v[i] = a.v[i] < b.v[i] ? mask_t<T>(-1) : mask_t<T>(0);
+  return r;
+}
+template <typename T, std::size_t W>
+inline Vec<mask_t<T>, W> vcmp_gt(Vec<T, W> a, Vec<T, W> b) {
+  Vec<mask_t<T>, W> r;
+  for (std::size_t i = 0; i < W; ++i)
+    r.v[i] = a.v[i] > b.v[i] ? mask_t<T>(-1) : mask_t<T>(0);
+  return r;
+}
+template <typename M, typename T, std::size_t W>
+inline Vec<T, W> vselect(Vec<M, W> m, Vec<T, W> x, Vec<T, W> y) {
+  static_assert(sizeof(M) == sizeof(T), "mask lanes must match value lanes");
+  Vec<T, W> r;
+  for (std::size_t i = 0; i < W; ++i) r.v[i] = m.v[i] ? x.v[i] : y.v[i];
+  return r;
+}
+template <typename To, typename M, std::size_t W>
+inline Vec<To, W> vmask_cast(Vec<M, W> m) {
+  Vec<To, W> r;
+  for (std::size_t i = 0; i < W; ++i) r.v[i] = static_cast<To>(m.v[i]);
+  return r;
+}
+
 #endif  // PARFW_SIMD_VECTOR_EXT
+
+/// Half of a vector (Half = 0 low, 1 high) as a half-width value. The
+/// memcpy lowers to a register extract; it exists so wide logical vectors
+/// can be processed at native register width (see vblend_ids).
+template <std::size_t Half, typename T, std::size_t W>
+inline Vec<T, W / 2> vhalf(Vec<T, W> a) {
+  static_assert(Half < 2 && W % 2 == 0);
+  Vec<T, W / 2> r;
+  std::memcpy(&r.v,
+              reinterpret_cast<const unsigned char*>(&a.v) +
+                  Half * (W / 2) * sizeof(T),
+              (W / 2) * sizeof(T));
+  return r;
+}
+
+/// True iff any lane of a comparison mask is set (log2(W) OR folds).
+template <typename M, std::size_t W>
+inline bool vany(Vec<M, W> m) {
+  if constexpr (W == 1) {
+    return m.v[0] != 0;
+  } else {
+    return vany(vor(vhalf<0>(m), vhalf<1>(m)));
+  }
+}
+
+/// Masked predecessor blend: lanes where the value-width mask is set take
+/// src, the rest keep dst — W int64 id lanes driven by a W-lane mask of
+/// sizeof(M)-byte lanes. When sizeof(M) < 8 the widened mask would be a
+/// 2x-native vector, and compilers scalarize selects on oversized generic
+/// vectors (GCC emits a per-lane extract/cmove storm that is slower than
+/// the scalar loop), so the widen + blend runs in two native-width halves.
+template <typename M, std::size_t W>
+inline void vblend_ids(Vec<M, W> m, const std::int64_t* src,
+                       std::int64_t* dst) {
+  if constexpr (sizeof(M) == sizeof(std::int64_t)) {
+    store<std::int64_t, W>(
+        dst, vselect(vmask_cast<std::int64_t>(m), load<std::int64_t, W>(src),
+                     load<std::int64_t, W>(dst)));
+  } else {
+    constexpr std::size_t H = W / 2;
+    store<std::int64_t, H>(
+        dst, vselect(vmask_cast<std::int64_t>(vhalf<0>(m)),
+                     load<std::int64_t, H>(src), load<std::int64_t, H>(dst)));
+    store<std::int64_t, H>(
+        dst + H,
+        vselect(vmask_cast<std::int64_t>(vhalf<1>(m)),
+                load<std::int64_t, H>(src + H), load<std::int64_t, H>(dst + H)));
+  }
+}
 
 }  // namespace parfw::simd

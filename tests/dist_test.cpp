@@ -11,7 +11,6 @@
 #include "dist/grid.hpp"
 #include "dist/parallel_fw.hpp"
 #include "dist/dc_apsp.hpp"
-#include "dist/parallel_fw_paths.hpp"
 
 namespace parfw::dist {
 namespace {
@@ -195,24 +194,36 @@ TEST(ParallelFw, SparseInputWithUnreachablePairs) {
   EXPECT_EQ(max_abs_diff<float>(expected.view(), result.dist.view()), 0.0);
 }
 
-// --- distributed path generation (paper §7 future work) -----------------------
+// --- distributed path generation (payload-generic interpreter) -----------------
 
-class DistPathsParam : public ::testing::TestWithParam<std::tuple<int, int>> {};
-// (pr, pc)
+struct DistPathsCase {
+  Variant variant;
+  bool tiled;
+};
 
-TEST_P(DistPathsParam, DistancesAndPathsMatchSequential) {
-  const auto [pr, pc] = GetParam();
+class DistPathsParam : public ::testing::TestWithParam<DistPathsCase> {};
+
+// The payload-generic interpreter must reproduce the single-node blocked
+// paths oracle BIT-IDENTICALLY: both sides run the same argmin-tracking
+// kernel at the same call granularity, so there is no tie-break slack to
+// hide behind. Every schedulable variant, on both placements.
+TEST_P(DistPathsParam, PredMatrixBitIdenticalToBlockedOracle) {
+  const DistPathsCase c = GetParam();
   const std::size_t n = 48, b = 8;
-  DenseEntryGen<float> gen(5100 + static_cast<std::uint64_t>(pr * 10 + pc),
-                           0.7, 1.0f, 60.0f, /*integral=*/true);
+  DenseEntryGen<float> gen(
+      5100 + static_cast<std::uint64_t>(c.variant) * 10 + (c.tiled ? 3 : 0),
+      0.7, 1.0f, 60.0f, /*integral=*/true);
 
-  // Sequential oracle with paths.
+  // Single-node blocked oracle with paths, same block size.
   auto exp_dist = gen.full(static_cast<vertex_t>(n));
   Matrix<std::int64_t> exp_pred(n, n);
   init_predecessors<S>(exp_dist.view(), exp_pred.view());
-  floyd_warshall_paths<S>(exp_dist.view(), exp_pred.view());
+  blocked_floyd_warshall_paths<S>(exp_dist.view(), exp_pred.view(), b);
 
-  const auto grid = GridSpec::row_major(pr, pc);
+  // tiled: 2x1 node grid of 1x2 tiles — 2x2 process grid over two nodes,
+  // so the node-aware ring/tree paths are exercised without a 16-rank run.
+  const auto grid =
+      c.tiled ? GridSpec::tiled(2, 1, 1, 2) : GridSpec::row_major(2, 2);
   Matrix<float> got_dist;
   Matrix<std::int64_t> got_pred;
   mpi::Runtime::run(grid.size(), [&](mpi::Comm& world) {
@@ -222,8 +233,13 @@ TEST_P(DistPathsParam, DistancesAndPathsMatchSequential) {
     local.fill(gen);
     init_predecessors_dist<S>(local, plocal);
     DistFwOptions opt;
+    opt.variant = c.variant;
     opt.block_size = b;
-    parallel_fw_paths<S>(world, local, plocal, opt);
+    if (c.variant == Variant::kOffload) {
+      opt.oog.mx = opt.oog.nx = 16;
+      opt.oog.num_streams = 2;
+    }
+    parallel_fw<S>(world, local, plocal, opt);
     auto d = local.gather(world);
     auto p = plocal.gather(world);
     if (world.rank() == 0) {
@@ -234,9 +250,15 @@ TEST_P(DistPathsParam, DistancesAndPathsMatchSequential) {
 
   ASSERT_EQ(got_dist.rows(), n);
   EXPECT_EQ(max_abs_diff<float>(exp_dist.view(), got_dist.view()), 0.0);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (got_pred(i, j) != exp_pred(i, j)) ++mismatches;
+  EXPECT_EQ(mismatches, 0u)
+      << "variant=" << variant_name(c.variant) << " tiled=" << c.tiled;
 
-  // The predecessor matrix need not be identical (ties), but every
-  // reconstructed path must be a valid optimal path.
+  // Independent sanity on top of bit-identity: the reconstructed paths are
+  // valid optimal walks through the ORIGINAL edge set.
   const auto w = gen.full(static_cast<vertex_t>(n));
   for (vertex_t s2 = 0; s2 < static_cast<vertex_t>(n); ++s2)
     for (vertex_t t = 0; t < static_cast<vertex_t>(n); ++t) {
@@ -257,10 +279,60 @@ TEST_P(DistPathsParam, DistancesAndPathsMatchSequential) {
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Grids, DistPathsParam,
-                         ::testing::Values(std::tuple{1, 1}, std::tuple{2, 2},
-                                           std::tuple{2, 3}, std::tuple{3, 2},
-                                           std::tuple{1, 4}));
+INSTANTIATE_TEST_SUITE_P(
+    VariantsByPlacement, DistPathsParam,
+    ::testing::Values(DistPathsCase{Variant::kBaseline, false},
+                      DistPathsCase{Variant::kPipelined, false},
+                      DistPathsCase{Variant::kAsync, false},
+                      DistPathsCase{Variant::kOffload, false},
+                      DistPathsCase{Variant::kBaseline, true},
+                      DistPathsCase{Variant::kPipelined, true},
+                      DistPathsCase{Variant::kAsync, true},
+                      DistPathsCase{Variant::kOffload, true}),
+    [](const ::testing::TestParamInfo<DistPathsCase>& info) {
+      return std::string(variant_name(info.param.variant)) +
+             (info.param.tiled ? "_tiled" : "_naive");
+    });
+
+TEST(DistPaths, RectangularGridsAlsoBitIdentical) {
+  const std::size_t n = 48, b = 8;
+  for (const auto [pr, pc] : {std::pair{1, 1}, std::pair{2, 3},
+                              std::pair{3, 2}, std::pair{1, 4}}) {
+    DenseEntryGen<float> gen(5200 + static_cast<std::uint64_t>(pr * 10 + pc),
+                             0.7, 1.0f, 60.0f, /*integral=*/true);
+    auto exp_dist = gen.full(static_cast<vertex_t>(n));
+    Matrix<std::int64_t> exp_pred(n, n);
+    init_predecessors<S>(exp_dist.view(), exp_pred.view());
+    blocked_floyd_warshall_paths<S>(exp_dist.view(), exp_pred.view(), b);
+
+    const auto grid = GridSpec::row_major(pr, pc);
+    Matrix<float> got_dist;
+    Matrix<std::int64_t> got_pred;
+    mpi::Runtime::run(grid.size(), [&](mpi::Comm& world) {
+      BlockCyclicMatrix<float> local(n, b, grid, grid.coord_of(world.rank()));
+      BlockCyclicMatrix<std::int64_t> plocal(n, b, grid,
+                                             grid.coord_of(world.rank()));
+      local.fill(gen);
+      init_predecessors_dist<S>(local, plocal);
+      DistFwOptions opt;
+      opt.block_size = b;
+      parallel_fw<S>(world, local, plocal, opt);
+      auto d = local.gather(world);
+      auto p = plocal.gather(world);
+      if (world.rank() == 0) {
+        got_dist = std::move(d);
+        got_pred = std::move(p);
+      }
+    });
+    EXPECT_EQ(max_abs_diff<float>(exp_dist.view(), got_dist.view()), 0.0)
+        << pr << "x" << pc;
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (got_pred(i, j) != exp_pred(i, j)) ++mismatches;
+    EXPECT_EQ(mismatches, 0u) << pr << "x" << pc;
+  }
+}
 
 // --- divide-and-conquer APSP (paper §6, Solomonik et al.) ----------------------
 

@@ -9,7 +9,7 @@
 #include "core/apsp.hpp"
 #include "core/floyd_warshall.hpp"
 #include "dist/driver.hpp"
-#include "dist/parallel_fw_paths.hpp"
+#include "dist/solve.hpp"
 #include "graph/generators.hpp"
 #include "perf/experiments.hpp"
 #include "sssp/sssp.hpp"
@@ -212,7 +212,7 @@ TEST(Pipeline, DistributedPathsAgreeWithDijkstra) {
     dist::init_predecessors_dist<S>(local, plocal);
     dist::DistFwOptions opt;
     opt.block_size = b;
-    dist::parallel_fw_paths<S>(world, local, plocal, opt);
+    dist::parallel_fw<S>(world, local, plocal, opt);
     auto d = local.gather(world);
     auto p = plocal.gather(world);
     if (world.rank() == 0) {
@@ -247,6 +247,47 @@ TEST(Pipeline, DistributedPathsAgreeWithDijkstra) {
       EXPECT_EQ(path.back(), static_cast<std::int64_t>(t));
     }
   }
+}
+
+TEST(Pipeline, AutoVariantPathsBitIdenticalToBlockedOracle) {
+  // `--variant auto` with paths: the tuner resolves the schedule against
+  // the paths cost model, then the resolved run's pred matrix must still
+  // be bit-identical to the single-node blocked oracle AT THE WINNING
+  // BLOCK SIZE (resolve_auto is deterministic, so querying it up front
+  // sees the same winner solve() will use).
+  using S = MinPlus<float>;
+  const vertex_t n = 36;
+  const auto g = gen::erdos_renyi(n, 0.3, 4242, 1.0, 50.0, /*integral=*/true);
+
+  ApspOptions opt;
+  opt.algorithm = ApspAlgorithm::kDistributed;
+  opt.track_paths = true;
+  opt.dist.variant = sched::Variant::kAuto;
+  opt.dist.grid_rows = 2;
+  opt.dist.grid_cols = 2;
+  opt.dist.ranks_per_node = 2;
+
+  const tune::ManifestEntry entry = resolve_auto(
+      opt.dist, static_cast<std::size_t>(n), sizeof(float),
+      /*track_paths=*/true);
+  EXPECT_TRUE(entry.workload.track_paths);
+
+  const auto result = solve<S>(g, opt);
+  ASSERT_TRUE(result.pred.has_value());
+
+  ApspOptions sopt;
+  sopt.algorithm = ApspAlgorithm::kBlocked;
+  sopt.track_paths = true;
+  sopt.block_size = entry.winner.block;
+  const auto oracle = apsp<S>(g, sopt);
+  ASSERT_TRUE(oracle.pred.has_value());
+
+  EXPECT_EQ(max_abs_diff<float>(oracle.dist.view(), result.dist.view()), 0.0);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i)
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j)
+      if ((*result.pred)(i, j) != (*oracle.pred)(i, j)) ++mismatches;
+  EXPECT_EQ(mismatches, 0u) << "winner block=" << entry.winner.block;
 }
 
 }  // namespace

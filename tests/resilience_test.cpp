@@ -130,6 +130,57 @@ TEST(CheckpointFormat, V2RoundTripThroughStore) {
   EXPECT_EQ(max_abs_diff<double>(m.view(), loaded.dist.view()), 0.0);
 }
 
+TEST(CheckpointFormat, PredPayloadRoundTripAndValueOnlyCompat) {
+  // Per-rank blobs carry the pred tiles after the value payload, keyed by
+  // the repurposed (formerly always-zero) reserved word — so old blobs
+  // read as "values only" and a values reader can skip a pred payload.
+  const std::size_t n = 24, b = 4;
+  const auto grid = dist::GridSpec::row_major(2, 2);
+  DenseEntryGen<float> gen(303, 0.8, 1.0f, 50.0f, /*integral=*/true);
+
+  for (int w = 0; w < grid.size(); ++w) {
+    const auto me = grid.coord_of(w);
+    dist::BlockCyclicMatrix<float> a(n, b, grid, me);
+    dist::BlockCyclicMatrix<std::int64_t> p(n, b, grid, me);
+    a.fill(gen);
+    dist::init_predecessors_dist<S>(a, p);
+
+    MemoryCheckpointStore store;
+    dist::SchedulePosition pos;
+    pos.k0 = 3;
+    pos.sched_op_index = 17;
+    dist::save_rank_checkpoint<float>(store, a, pos, &p);
+
+    // Paths round trip: both payloads restored bit-identically.
+    dist::BlockCyclicMatrix<float> a2(n, b, grid, me);
+    dist::BlockCyclicMatrix<std::int64_t> p2(n, b, grid, me);
+    const auto got = dist::load_rank_checkpoint<float>(store, 3, a2, &p2);
+    EXPECT_EQ(got.k0, 3u);
+    EXPECT_EQ(got.sched_op_index, 17u);
+    EXPECT_EQ(max_abs_diff<float>(a.local().view(), a2.local().view()), 0.0);
+    std::size_t mism = 0;
+    for (std::size_t i = 0; i < p.local().rows(); ++i)
+      for (std::size_t j = 0; j < p.local().cols(); ++j)
+        if (p.local()(i, j) != p2.local()(i, j)) ++mism;
+    EXPECT_EQ(mism, 0u) << "rank " << w;
+
+    // A values-only reader may consume a pred-carrying blob (trailing
+    // payload unread)...
+    dist::BlockCyclicMatrix<float> a3(n, b, grid, me);
+    dist::load_rank_checkpoint<float>(store, 3, a3);
+    EXPECT_EQ(max_abs_diff<float>(a.local().view(), a3.local().view()), 0.0);
+
+    // ...but a paths resume from a values-only blob must be a hard error:
+    // predecessors cannot be reconstructed from distances.
+    MemoryCheckpointStore vstore;
+    dist::save_rank_checkpoint<float>(vstore, a, pos);
+    dist::BlockCyclicMatrix<float> a4(n, b, grid, me);
+    dist::BlockCyclicMatrix<std::int64_t> p4(n, b, grid, me);
+    EXPECT_THROW(dist::load_rank_checkpoint<float>(vstore, 3, a4, &p4),
+                 std::exception);
+  }
+}
+
 TEST(CheckpointFormat, CommitRecordRoundTrip) {
   MemoryCheckpointStore store;
   EXPECT_FALSE(dist::read_commit(store).has_value());
@@ -224,6 +275,79 @@ TEST_P(CrashRestart, BitIdenticalAfterRestartFromCheckpoint) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllVariantsBothPlacements, CrashRestart,
+    ::testing::Values(CrashCase{sched::Variant::kBaseline, false},
+                      CrashCase{sched::Variant::kPipelined, false},
+                      CrashCase{sched::Variant::kAsync, false},
+                      CrashCase{sched::Variant::kOffload, false},
+                      CrashCase{sched::Variant::kBaseline, true},
+                      CrashCase{sched::Variant::kPipelined, true},
+                      CrashCase{sched::Variant::kAsync, true},
+                      CrashCase{sched::Variant::kOffload, true}));
+
+class CrashRestartPaths : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(CrashRestartPaths, PredMatrixBitIdenticalAfterRestart) {
+  // Paths runs go through the SAME supervision loop: a crash past a
+  // committed cut restores distances AND predecessors from the blob, and
+  // the finished pred matrix must match the single-node blocked oracle
+  // bit-for-bit — exactly as an uninterrupted paths run does.
+  const CrashCase c = GetParam();
+  const std::size_t n = 96, b = 16;
+  DenseEntryGen<float> gen(5242 + static_cast<std::uint64_t>(c.variant),
+                           0.85, 1.0f, 90.0f, /*integral=*/true);
+  auto exp_dist = gen.full(static_cast<vertex_t>(n));
+  Matrix<std::int64_t> exp_pred(n, n);
+  init_predecessors<S>(exp_dist.view(), exp_pred.view());
+  blocked_floyd_warshall_paths<S>(exp_dist.view(), exp_pred.view(), b);
+
+  const auto grid = c.tiled ? dist::GridSpec::tiled(1, 2, 2, 1)
+                            : dist::GridSpec::row_major(2, 2);
+  const int rpn = c.tiled ? grid.qr() * grid.qc() : 2;
+
+  dist::DistFwOptions opt;
+  opt.variant = c.variant;
+  opt.block_size = b;
+  if (c.variant == sched::Variant::kOffload) {
+    opt.oog.mx = opt.oog.nx = 16;
+    opt.oog.num_streams = 2;
+  }
+
+  // The crash coordinate indexes the PATHS schedule (pred companion ops
+  // included), so build it with pred_word_bytes set.
+  sched::ScheduleParams sp;
+  sp.variant = c.variant;
+  sp.nb = n / b;
+  sp.b = b;
+  sp.word_bytes = sizeof(float);
+  sp.pred_word_bytes = sizeof(std::int64_t);
+  sp.checkpoint_every = 2;
+  const auto schedule = sched::build_schedule(grid, sp);
+  const auto crash_at =
+      static_cast<std::int64_t>(schedule.steps.size() * 6 / 10);
+
+  MemoryCheckpointStore store;
+  opt.resilience.checkpoint_every = 2;
+  opt.resilience.store = &store;
+  opt.faults.seed = 99;
+  opt.faults.crash_rank = 1;
+  opt.faults.crash_at_op = crash_at;
+
+  const auto result = dist::run_parallel_fw<S>(n, gen, grid, rpn, opt,
+                                               /*track_paths=*/true);
+  EXPECT_GE(result.restarts, 1) << "the injected crash must have fired";
+  EXPECT_EQ(max_abs_diff<float>(exp_dist.view(), result.dist.view()), 0.0);
+  ASSERT_EQ(result.pred.rows(), n);
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (result.pred(i, j) != exp_pred(i, j)) ++mismatches;
+  EXPECT_EQ(mismatches, 0u)
+      << "variant=" << sched::variant_name(c.variant) << " tiled=" << c.tiled
+      << " crash_at=" << crash_at;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsBothPlacements, CrashRestartPaths,
     ::testing::Values(CrashCase{sched::Variant::kBaseline, false},
                       CrashCase{sched::Variant::kPipelined, false},
                       CrashCase{sched::Variant::kAsync, false},

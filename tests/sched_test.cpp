@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
 #include <vector>
 
 #include "core/diag_update.hpp"
@@ -80,6 +82,67 @@ TEST(TagSpace, PhaseConstantsStayInsideTheIterationBlock) {
     EXPECT_LT(phase, sched::kTagsPerIter);
   }
   EXPECT_EQ(sched::tag_of(0, sched::kTagDiagRow), sched::kTagBase);
+}
+
+TEST(TagSpace, PathsScheduleTagsIdentifyOneCollective) {
+  // Injectivity extended from the raw (k, phase) map to the GENERATED
+  // pred-carrying schedules: in every variant's paths schedule a tag
+  // names exactly one logical collective — all steps sharing a tag agree
+  // on (k, kind, payload, coll, bytes) — so a value broadcast can never
+  // cross-match its kPred companion even when both are in flight.
+  const auto grid = dist::GridSpec::row_major(2, 3);
+  const std::size_t nb = 6, b = 4;
+  for (Variant v : kAllVariants) {
+    sched::ScheduleParams sp;
+    sp.variant = v;
+    sp.nb = nb;
+    sp.b = b;
+    sp.word_bytes = sizeof(float);
+    sp.pred_word_bytes = sizeof(std::int64_t);
+    sp.diag_flops = diag_update_flops(b, DiagStrategy::kClassic);
+    const sched::Schedule s = sched::build_schedule(grid, sp);
+
+    using Key = std::tuple<std::uint32_t, int, int, int, std::int64_t>;
+    std::map<std::int32_t, Key> owner;
+    std::map<OpKind, std::size_t> value_comm, pred_comm;
+    for (const sched::Step& step : s.steps) {
+      const sched::Op& op = step.op;
+      if (!sched::is_comm(op.kind)) continue;
+      const bool pred = op.payload == sched::Payload::kPred;
+      (pred ? pred_comm : value_comm)[op.kind]++;
+      if (pred) {
+        // The pred phase space: companion tags, never the value phases.
+        const int phase = op.kind == OpKind::kDiagBcastRow
+                              ? sched::kTagDiagPredRow
+                          : op.kind == OpKind::kDiagBcastCol
+                              ? sched::kTagDiagPredCol
+                              : sched::kTagRowPanelPred;
+        EXPECT_NE(op.kind, OpKind::kColPanelBcast) << variant_name(v);
+        EXPECT_EQ(op.tag, sched::tag_of(op.k, phase)) << variant_name(v);
+        EXPECT_EQ(op.bytes % static_cast<std::int64_t>(sizeof(std::int64_t)),
+                  0);
+      }
+      const Key key{op.k, static_cast<int>(op.kind),
+                    static_cast<int>(op.payload), static_cast<int>(op.coll),
+                    op.bytes};
+      auto [it, fresh] = owner.emplace(op.tag, key);
+      if (!fresh) {
+        EXPECT_EQ(it->second, key)
+            << variant_name(v) << ": tag " << op.tag
+            << " shared by two distinct collectives";
+      }
+    }
+    // Every value broadcast with a pred sibling has exactly one companion
+    // per member; the column panel has none (the pred rule never reads it).
+    EXPECT_EQ(pred_comm[OpKind::kDiagBcastRow],
+              value_comm[OpKind::kDiagBcastRow]) << variant_name(v);
+    EXPECT_EQ(pred_comm[OpKind::kDiagBcastCol],
+              value_comm[OpKind::kDiagBcastCol]) << variant_name(v);
+    EXPECT_EQ(pred_comm[OpKind::kRowPanelBcast],
+              value_comm[OpKind::kRowPanelBcast]) << variant_name(v);
+    EXPECT_EQ(pred_comm[OpKind::kColPanelBcast], 0u) << variant_name(v);
+    EXPECT_GT(pred_comm[OpKind::kRowPanelBcast], 0u) << variant_name(v);
+  }
 }
 
 TEST(TagSpace, RelayHandshakeOffsetsFitTheMatchKey) {
@@ -480,6 +543,83 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(kAllVariants),
                        ::testing::Bool()),
     [](const ::testing::TestParamInfo<DesVsReal::ParamType>& info) {
+      return std::string(variant_name(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_tiled" : "_rowmajor");
+    });
+
+// Same exactness claim with paths on: the schedule grows kPred companion
+// broadcasts, and the DES lowering of those (stateless per op — members,
+// root, bytes, tag) must still predict mpisim's accounting to the byte.
+class DesVsRealPaths
+    : public ::testing::TestWithParam<std::tuple<Variant, bool>> {};
+
+TEST_P(DesVsRealPaths, WireBytesMatchExactly) {
+  const auto [variant, reordered] = GetParam();
+  const std::size_t n = 64, b = 8;
+  const dist::GridSpec grid = reordered ? dist::GridSpec::tiled(2, 1, 1, 2)
+                                        : dist::GridSpec::row_major(2, 2);
+  const int ranks_per_node = 2;
+
+  dist::DistFwOptions opt;
+  opt.variant = variant;
+  opt.block_size = b;
+  if (variant == Variant::kOffload) {
+    opt.oog.mx = opt.oog.nx = 2 * b;
+    opt.oog.num_streams = 2;
+  }
+  mpi::RuntimeOptions ropt;
+  ropt.node_model = grid.node_model(ranks_per_node);
+
+  DenseEntryGen<float> gen(6, 0.9, 1.0f, 80.0f, /*integral=*/true);
+  const mpi::TrafficStats full = mpi::Runtime::run(
+      grid.size(),
+      [&](mpi::Comm& world) {
+        dist::BlockCyclicMatrix<float> local(n, b, grid,
+                                             grid.coord_of(world.rank()));
+        dist::BlockCyclicMatrix<std::int64_t> plocal(
+            n, b, grid, grid.coord_of(world.rank()));
+        local.fill(gen);
+        dist::init_predecessors_dist<MinPlus<float>>(local, plocal);
+        dist::parallel_fw<MinPlus<float>>(world, local, plocal, opt);
+      },
+      ropt);
+  const mpi::TrafficStats split_only = mpi::Runtime::run(
+      grid.size(),
+      [&](mpi::Comm& world) { (void)dist::make_row_col_comms(world, grid); },
+      ropt);
+
+  perf::FwProblem prob;
+  prob.variant = variant;
+  prob.n = static_cast<double>(n);
+  prob.b = static_cast<double>(b);
+  prob.track_paths = true;
+  std::vector<int> node_of(static_cast<std::size_t>(grid.size()));
+  for (int w = 0; w < grid.size(); ++w)
+    node_of[static_cast<std::size_t>(w)] = ropt.node_model.node(w);
+  const perf::MachineConfig m = perf::MachineConfig::summit();
+  const perf::BuiltProgram built =
+      perf::build_fw_program(m, prob, grid, node_of);
+  const perf::WireTotals wire =
+      perf::program_traffic(built.programs, built.node_of);
+
+  EXPECT_EQ(full.bytes_total - split_only.bytes_total,
+            static_cast<std::uint64_t>(wire.bytes_total));
+  EXPECT_EQ(full.bytes_internode - split_only.bytes_internode,
+            static_cast<std::uint64_t>(wire.bytes_internode));
+  // Paths must move strictly more than a value run (the pred companions).
+  perf::FwProblem vprob = prob;
+  vprob.track_paths = false;
+  const perf::BuiltProgram vbuilt =
+      perf::build_fw_program(m, vprob, grid, node_of);
+  EXPECT_GT(wire.bytes_total,
+            perf::program_traffic(vbuilt.programs, vbuilt.node_of).bytes_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsBothPlacements, DesVsRealPaths,
+    ::testing::Combine(::testing::ValuesIn(kAllVariants),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<DesVsRealPaths::ParamType>& info) {
       return std::string(variant_name(std::get<0>(info.param))) +
              (std::get<1>(info.param) ? "_tiled" : "_rowmajor");
     });

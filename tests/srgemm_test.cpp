@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <tuple>
 
+#include "core/blocked_fw_paths.hpp"
 #include "semiring/semiring.hpp"
 #include "srgemm/srgemm.hpp"
 #include "util/rng.hpp"
@@ -179,6 +180,122 @@ TEST(Srgemm, ArgminTracksWitness) {
       for (std::size_t u = 0; u < k; ++u)
         EXPECT_LE(C(i, j), A(i, u) + B(u, j));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Fused predecessor-tracking kernel (multiply_with_pred) vs scalar oracle.
+// ---------------------------------------------------------------------------
+
+template <typename S>
+void check_pred_kernel(std::uint64_t seed) {
+  using T = typename S::value_type;
+  for (auto [m, n, k] :
+       {std::tuple{1, 1, 1}, std::tuple{3, 5, 2}, std::tuple{7, 65, 9},
+        std::tuple{33, 47, 25}, std::tuple{64, 64, 64}}) {
+    Rng rng(seed + static_cast<std::uint64_t>(m * 1000 + n));
+    auto fill = [&](Matrix<T>& mat, double inf_prob) {
+      for (std::size_t i = 0; i < mat.rows(); ++i)
+        for (std::size_t j = 0; j < mat.cols(); ++j)
+          mat(i, j) = rng.next_double() < inf_prob
+                          ? S::zero()
+                          : static_cast<T>(1 + rng.next_below(50));
+    };
+    Matrix<T> A(m, k), B(k, n), C(m, n);
+    fill(A, 0.15);
+    fill(B, 0.15);
+    fill(C, 0.4);
+    Matrix<std::int64_t> predB(k, n), predC(m, n, -1);
+    for (std::size_t t = 0; t < static_cast<std::size_t>(k); ++t)
+      for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j)
+        predB(t, j) = static_cast<std::int64_t>(rng.next_below(1000));
+
+    auto C_ref = C.clone();
+    auto P_ref = predC.clone();
+    parfw::detail::srgemm_with_pred<S>(A.view(), B.view(), C_ref.view(),
+                                       predB.view(), P_ref.view());
+    auto C_got = C.clone();
+    auto P_got = predC.clone();
+    srgemm::multiply_with_pred<S>(A.view(), B.view(), C_got.view(),
+                                  predB.view(), P_got.view());
+
+    EXPECT_EQ(max_abs_diff<T>(C_ref.view(), C_got.view()), 0.0)
+        << m << "x" << n << "x" << k;
+    std::size_t mism = 0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i)
+      for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j)
+        if (P_ref(i, j) != P_got(i, j)) ++mism;
+    EXPECT_EQ(mism, 0u) << m << "x" << n << "x" << k;
+
+    // Pool-split path: rows of C are independent when B !≡ C, so the
+    // split must be bit-identical too.
+    srgemm::Config pooled;
+    pooled.tile_m = 8;
+    pooled.pool = &ThreadPool::global();
+    auto C_pool = C.clone();
+    auto P_pool = predC.clone();
+    srgemm::multiply_with_pred<S>(A.view(), B.view(), C_pool.view(),
+                                  predB.view(), P_pool.view(), pooled);
+    EXPECT_EQ(max_abs_diff<T>(C_ref.view(), C_pool.view()), 0.0);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i)
+      for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j)
+        ASSERT_EQ(P_ref(i, j), P_pool(i, j)) << i << "," << j;
+  }
+}
+
+TEST(SrgemmPred, FusedKernelMatchesScalarOracleMinPlusFloat) {
+  check_pred_kernel<MinPlus<float>>(91);
+}
+TEST(SrgemmPred, FusedKernelMatchesScalarOracleMinPlusDouble) {
+  check_pred_kernel<MinPlus<double>>(92);
+}
+TEST(SrgemmPred, FusedKernelMatchesScalarOracleMinPlusInt32) {
+  check_pred_kernel<MinPlus<std::int32_t>>(93);
+}
+TEST(SrgemmPred, FusedKernelMatchesScalarOracleMaxMinFloat) {
+  check_pred_kernel<MaxMin<float>>(94);
+}
+
+TEST(SrgemmPred, EwiseMergeEquivalentToFusedKernel) {
+  // The offload pipeline computes the chunk product into a zero()-filled X
+  // with pred attachment, then merges with ewise_add_with_pred; the result
+  // must be bit-identical to running the fused kernel on C directly.
+  using S = MinPlus<float>;
+  const std::size_t m = 33, n = 47, k = 25;
+  Rng rng(95);
+  auto fill = [&](Matrix<float>& mat, double inf_prob) {
+    for (std::size_t i = 0; i < mat.rows(); ++i)
+      for (std::size_t j = 0; j < mat.cols(); ++j)
+        mat(i, j) = rng.next_double() < inf_prob
+                        ? S::zero()
+                        : static_cast<float>(1 + rng.next_below(50));
+  };
+  Matrix<float> A(m, k), B(k, n), C(m, n);
+  fill(A, 0.15);
+  fill(B, 0.15);
+  fill(C, 0.4);
+  Matrix<std::int64_t> predB(k, n), predC(m, n, -1);
+  for (std::size_t t = 0; t < k; ++t)
+    for (std::size_t j = 0; j < n; ++j)
+      predB(t, j) = static_cast<std::int64_t>(rng.next_below(1000));
+
+  auto C_fused = C.clone();
+  auto P_fused = predC.clone();
+  srgemm::multiply_with_pred<S>(A.view(), B.view(), C_fused.view(),
+                                predB.view(), P_fused.view());
+
+  Matrix<float> X(m, n, S::zero());
+  Matrix<std::int64_t> Xp(m, n, -1);
+  srgemm::multiply_with_pred<S>(A.view(), B.view(), X.view(), predB.view(),
+                                Xp.view());
+  auto C_merged = C.clone();
+  auto P_merged = predC.clone();
+  srgemm::ewise_add_with_pred<S>(X.view(), Xp.view(), C_merged.view(),
+                                 P_merged.view());
+
+  EXPECT_EQ(max_abs_diff<float>(C_fused.view(), C_merged.view()), 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      ASSERT_EQ(P_fused(i, j), P_merged(i, j)) << i << "," << j;
 }
 
 // ---------------------------------------------------------------------------

@@ -46,7 +46,9 @@ void print_usage() {
       "                      PARFW_TUNE_CACHE=FILE to persist/reuse winners)\n"
       "  --rpn N             ranks per node for dist (NIC accounting and the\n"
       "                      auto tuner's placement space; default 1)\n"
-      "  --paths             track predecessors (enables path queries)\n"
+      "  --paths             track predecessors (enables path queries);\n"
+      "                      composes with every algorithm, including dist\n"
+      "                      (any variant or auto) and checkpoint/restart\n"
       "  --components        solve per connected component\n"
       "  --query S,T         print dist (and path) for the pair; repeatable\n"
       "  --output FILE       write the full distance matrix\n");
