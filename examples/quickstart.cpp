@@ -31,7 +31,7 @@ int main() {
   std::printf("dist(%lld -> %lld) = %.3f\n", static_cast<long long>(src),
               static_cast<long long>(dst), result.dist(src, dst));
 
-  const auto path = result.path(src, dst);
+  const auto path = result.query(src, dst).path;
   std::printf("shortest path (%zu hops):", path.size() - 1);
   for (const auto v : path) std::printf(" %lld", static_cast<long long>(v));
   std::printf("\n");

@@ -49,7 +49,7 @@ int main() {
       std::printf("%s%lld", i ? " > " : " ", static_cast<long long>(p[i]));
     std::printf("\n");
   };
-  show_route(table.path(src, dst), table.dist(src, dst));
+  show_route(table.query(src, dst).path, table.dist(src, dst));
 
   // Congestion clears on a cross-town artery: fold the improvements in
   // incrementally (O(n^2) per edge) instead of recomputing (O(n^3)).

@@ -7,6 +7,7 @@
 #   scripts/check.sh --bench [build-dir]
 #   scripts/check.sh --tune [build-dir]
 #   scripts/check.sh --paths [build-dir]
+#   scripts/check.sh --serve [build-dir]
 #
 # 1. Configure + build (Release, all warnings).
 # 2. Run the full ctest suite.
@@ -56,6 +57,15 @@
 # solve) diffed against BENCH_paths.json, the >= 5x fused-kernel speedup
 # acceptance enforced from the fresh JSON, and an apsp --paths
 # end-to-end run (distributed) that must answer a path query.
+#
+# --serve is the serving-tier gate (DESIGN.md §4.12): the test_serve and
+# test_cli suites, bench_serve diffed against BENCH_serve.json twice
+# (one-sided loose on the wall-clock p50/p99 latency rows, two-sided
+# tight on the deterministic hit-rate rows), and an apsp CLI round trip —
+# solve + --publish answering repeated --query flags, then --serve
+# answering the same batch from the manifest with byte-identical output,
+# plus the values-only negative: a manifest published without --paths
+# must hard-error on a path query and still serve distances.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -65,6 +75,7 @@ faults=0
 bench=0
 tune=0
 paths=0
+serve=0
 if [[ "${1:-}" == "--faults" ]]; then
   faults=1
   shift
@@ -76,6 +87,9 @@ elif [[ "${1:-}" == "--tune" ]]; then
   shift
 elif [[ "${1:-}" == "--paths" ]]; then
   paths=1
+  shift
+elif [[ "${1:-}" == "--serve" ]]; then
+  serve=1
   shift
 elif [[ "${1:-}" == "--san" ]]; then
   san="${2:?usage: check.sh --san address|thread|undefined [build-dir]}"
@@ -251,6 +265,67 @@ assert any(e["track_paths"] for e in entries), \
 EOF
 
   echo "check.sh --paths: OK"
+  exit 0
+fi
+
+if [[ "$serve" == 1 ]]; then
+  build_dir="${1:-$repo_root/build}"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j"$(nproc)" \
+    --target test_serve test_cli bench_serve apsp_cli
+  out_dir="$build_dir/serve-smoke"
+  mkdir -p "$out_dir"
+
+  echo "== serving-tier + query-API suites =="
+  "$build_dir/tests/test_serve"
+  "$build_dir/tests/test_cli"
+
+  echo "== serve bench vs BENCH_serve.json =="
+  PARFW_BENCH_JSON="$out_dir/serve_fresh.json" \
+    "$build_dir/bench/bench_serve" | tee "$out_dir/serve_report.txt"
+  # One-sided loose on the latency rows: p50/p99 are wall-clock on shared
+  # CI hardware, only a gross regression should fail. Two-sided tight on
+  # the hit rates: cache decisions are deterministic under the fixed
+  # workload seed, so any drift is a policy change, not noise.
+  python3 "$repo_root/scripts/bench_compare.py" \
+    "$repo_root/BENCH_serve.json" "$out_dir/serve_fresh.json" \
+    --tolerance 0.50
+  python3 "$repo_root/scripts/bench_compare.py" \
+    "$repo_root/BENCH_serve.json" "$out_dir/serve_fresh.json" \
+    --metric hit_rate --two-sided --tolerance 0.02
+
+  echo "== apsp solve + publish -> serve round trip (CLI) =="
+  rm -rf "$out_dir/manifest" "$out_dir/manifest_values"
+  "$build_dir/tools/apsp" --gen er --n 240 --p 0.2 --seed 7 \
+    --algorithm dist --dist 2x2 --rpn 2 --block 48 --paths \
+    --publish "$out_dir/manifest" \
+    --query 0,199 --query 17,42 --query 199,0 \
+    > "$out_dir/solve_answers.txt"
+  [[ "$(grep -c '^dist(' "$out_dir/solve_answers.txt")" == 3 ]] \
+    || { echo "repeated --query flags did not all get answered"; exit 1; }
+  "$build_dir/tools/apsp" --serve "$out_dir/manifest" --paths --cache-mb 1 \
+    --query 0,199 --query 17,42 --query 199,0 \
+    > "$out_dir/serve_answers.txt"
+  cmp "$out_dir/solve_answers.txt" "$out_dir/serve_answers.txt" \
+    || { echo "served answers differ from the in-memory solve"; exit 1; }
+
+  echo "== values-only manifest: path queries must hard-error =="
+  "$build_dir/tools/apsp" --gen er --n 240 --p 0.2 --seed 7 \
+    --algorithm dist --dist 2x2 --rpn 2 --block 48 \
+    --publish "$out_dir/manifest_values" > /dev/null
+  if "$build_dir/tools/apsp" --serve "$out_dir/manifest_values" --paths \
+      --query 0,199 > /dev/null 2> "$out_dir/values_only_err.txt"; then
+    echo "path query against a values-only manifest did not fail"
+    exit 1
+  fi
+  grep -q "values-only manifest" "$out_dir/values_only_err.txt" \
+    || { echo "values-only failure lacks the diagnostic"; exit 1; }
+  "$build_dir/tools/apsp" --serve "$out_dir/manifest_values" --query 0,199 \
+    | grep -q "^dist(0, 199)" \
+    || { echo "distance-only serve from a values-only manifest failed"; \
+         exit 1; }
+
+  echo "check.sh --serve: OK"
   exit 0
 fi
 

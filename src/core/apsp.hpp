@@ -17,6 +17,7 @@
 #include "core/blocked_fw_paths.hpp"
 #include "core/checkpoint_store.hpp"
 #include "core/floyd_warshall.hpp"
+#include "core/query.hpp"
 #include "core/solve_options.hpp"
 #include "graph/graph.hpp"
 #include "sched/variant.hpp"
@@ -66,6 +67,10 @@ struct DistStrategy {
   /// interpreter (fw.phase.* series) and kAuto publishes the tune.*
   /// series — predicted vs achieved seconds included — into it.
   telemetry::Registry* metrics = nullptr;
+  /// When set, the finished run is published into this store as a served
+  /// tile manifest (per-rank final tiles + commit, k0 = nb) that the
+  /// serving tier (serve::PathService) opens directly. Not owned.
+  CheckpointStore* publish_store = nullptr;
 };
 
 struct ApspOptions : SolveCommon {
@@ -85,8 +90,21 @@ struct ApspResult {
   Matrix<T> dist;
   std::optional<Matrix<std::int64_t>> pred;
 
+  /// Answer one point-to-point query. The result always carries the
+  /// distance; status distinguishes found / unreachable / paths-not-
+  /// tracked, and the path is reconstructed only when `want_path` and
+  /// status == kFound. This is the in-memory oracle the serving tier
+  /// (serve::PathService) must match bit for bit.
+  QueryResult<T> query(std::int64_t src, std::int64_t dst,
+                       bool want_path = true) const;
+
+  /// Answer a batch through the shared query API (core/query.hpp).
+  std::vector<QueryResult<T>> answer(const QueryBatch& batch) const;
+
   /// Shortest path src→dst (vertex ids, inclusive); empty if unreachable
-  /// or paths were not tracked.
+  /// or paths were not tracked — callers cannot tell which.
+  [[deprecated("returns {} for both 'unreachable' and 'paths not tracked'; "
+               "use query()/answer() which carry an explicit PathStatus")]]
   std::vector<std::int64_t> path(std::int64_t src, std::int64_t dst) const;
 };
 
@@ -136,6 +154,41 @@ ApspResult<typename S::value_type> apsp(const Graph& g,
                     "input graph contains a negative cycle");
   }
   return result;
+}
+
+template <typename T>
+QueryResult<T> ApspResult<T>::query(std::int64_t src, std::int64_t dst,
+                                    bool want_path) const {
+  const auto n = static_cast<std::int64_t>(dist.view().rows());
+  PARFW_CHECK_MSG(src >= 0 && src < n && dst >= 0 && dst < n,
+                  "query (" << src << ", " << dst << ") out of range for n="
+                            << n);
+  QueryResult<T> r;
+  r.distance = dist.view()(static_cast<std::size_t>(src),
+                           static_cast<std::size_t>(dst));
+  if (!pred.has_value()) {
+    r.status = PathStatus::kNotTracked;
+    return r;
+  }
+  auto pv = pred->view();
+  if (src != dst && pv(static_cast<std::size_t>(src),
+                       static_cast<std::size_t>(dst)) < 0) {
+    r.status = PathStatus::kUnreachable;
+    return r;
+  }
+  r.status = PathStatus::kFound;
+  if (want_path) r.path = reconstruct_path(pv, src, dst);
+  return r;
+}
+
+template <typename T>
+std::vector<QueryResult<T>> ApspResult<T>::answer(
+    const QueryBatch& batch) const {
+  std::vector<QueryResult<T>> out;
+  out.reserve(batch.pairs.size());
+  for (const PathQuery& q : batch.pairs)
+    out.push_back(query(q.src, q.dst, batch.want_paths));
+  return out;
 }
 
 template <typename T>

@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -30,6 +31,12 @@
 #include "util/check.hpp"
 
 namespace parfw {
+
+/// One contiguous slice of a blob, for gathered partial reads.
+struct ByteRange {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
 
 class CheckpointStore {
  public:
@@ -44,6 +51,30 @@ class CheckpointStore {
   virtual void erase(const std::string& key) = 0;
   /// All present keys, sorted (tests + garbage collection).
   virtual std::vector<std::string> keys() const = 0;
+
+  /// Gathered ranged read: copy ranges[0], ranges[1], ... of the blob
+  /// under `key` into `out`, back to back. Returns false iff the key is
+  /// absent; a range past the end of the blob throws (that is a corrupt
+  /// manifest, not a missing checkpoint). The base implementation fetches
+  /// the whole blob; concrete stores override with positioned reads so the
+  /// serving tier (src/serve/) can pull single tiles out of multi-MB rank
+  /// blobs without materialising them.
+  virtual bool get_ranges(const std::string& key,
+                          std::span<const ByteRange> ranges,
+                          std::uint8_t* out) const {
+    auto blob = get(key);
+    if (!blob.has_value()) return false;
+    for (const ByteRange& r : ranges) {
+      PARFW_CHECK_MSG(r.offset + r.length <= blob->size(),
+                      "range [" << r.offset << ", +" << r.length
+                                << ") past end of blob '" << key << "' ("
+                                << blob->size() << " bytes)");
+      std::memcpy(out, blob->data() + r.offset,
+                  static_cast<std::size_t>(r.length));
+      out += r.length;
+    }
+    return true;
+  }
 };
 
 class MemoryCheckpointStore final : public CheckpointStore {
@@ -74,6 +105,24 @@ class MemoryCheckpointStore final : public CheckpointStore {
   void clear() {
     std::lock_guard<std::mutex> lock(mu_);
     blobs_.clear();
+  }
+  bool get_ranges(const std::string& key, std::span<const ByteRange> ranges,
+                  std::uint8_t* out) const override {
+    // Copy the requested slices under the lock — no whole-blob copy.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blobs_.find(key);
+    if (it == blobs_.end()) return false;
+    const auto& blob = it->second;
+    for (const ByteRange& r : ranges) {
+      PARFW_CHECK_MSG(r.offset + r.length <= blob.size(),
+                      "range [" << r.offset << ", +" << r.length
+                                << ") past end of blob '" << key << "' ("
+                                << blob.size() << " bytes)");
+      std::memcpy(out, blob.data() + r.offset,
+                  static_cast<std::size_t>(r.length));
+      out += r.length;
+    }
+    return true;
   }
 
  private:
@@ -127,6 +176,25 @@ class FileCheckpointStore final : public CheckpointStore {
     }
     std::sort(out.begin(), out.end());
     return out;
+  }
+  bool get_ranges(const std::string& key, std::span<const ByteRange> ranges,
+                  std::uint8_t* out) const override {
+    // One open, one seek+read per range — the tile-fetch fast path.
+    std::ifstream in(path_of(key), std::ios::binary | std::ios::ate);
+    if (!in.good()) return false;
+    const auto size = static_cast<std::uint64_t>(in.tellg());
+    for (const ByteRange& r : ranges) {
+      PARFW_CHECK_MSG(r.offset + r.length <= size,
+                      "range [" << r.offset << ", +" << r.length
+                                << ") past end of blob '" << key << "' ("
+                                << size << " bytes)");
+      in.seekg(static_cast<std::streamoff>(r.offset));
+      in.read(reinterpret_cast<char*>(out),
+              static_cast<std::streamsize>(r.length));
+      PARFW_CHECK_MSG(in.good(), "ranged checkpoint read failed: " << key);
+      out += r.length;
+    }
+    return true;
   }
 
  private:

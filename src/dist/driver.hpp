@@ -109,6 +109,28 @@ DistRunResult<typename S::value_type> supervised_run(
             parallel_fw_resume<S>(world, local, pp,
                                   static_cast<std::size_t>(resume_k), run_opt);
             world.barrier();
+            if (opt.publish_store != nullptr) {
+              // Publish the finished run for the serving tier: final tiles
+              // under k0 = nb (all pivot rounds done), committed by rank 0
+              // only after every rank's blob is in the store — the same
+              // commit discipline as a checkpoint cut.
+              SchedulePosition pos;
+              pos.variant = opt.variant;
+              pos.k0 = local.num_blocks();
+              pos.sched_op_index = 0;
+              save_rank_checkpoint<T>(*opt.publish_store, local, pos, pp);
+              world.barrier();
+              if (world.rank() == 0) {
+                CommitRecord rec;
+                rec.k0 = pos.k0;
+                rec.variant = static_cast<std::uint32_t>(opt.variant);
+                rec.world_size = static_cast<std::uint32_t>(world.size());
+                rec.n = n;
+                rec.block_size = opt.block_size;
+                rec.sched_op_index = 0;
+                write_commit(*opt.publish_store, rec);
+              }
+            }
             Matrix<T> gathered = local.gather(world);
             Matrix<std::int64_t> pgathered;
             if (track_paths) pgathered = plocal->gather(world);

@@ -100,6 +100,14 @@ struct DistFwOptions : SolveCommon {
   /// (crash_rank throws RankFailure at its first own step with global
   /// index >= crash_at_op); message faults live in the runtime.
   mpi::FaultPlan faults{};
+  /// When set, the driver publishes the FINISHED run as a served tile
+  /// manifest into this store: after the last pivot round every rank
+  /// snapshots its final tiles (pred payload included on paths runs)
+  /// under k0 = nb, then rank 0 writes the commit record. Checkpoint
+  /// cuts never fire after the final round, so without this step a
+  /// completed run leaves nothing the serving tier (src/serve/) can
+  /// open. May alias resilience.store. Not owned; must outlive the run.
+  CheckpointStore* publish_store = nullptr;
 };
 
 /// Row and column communicators of the 2-D grid: `row` spans my grid row

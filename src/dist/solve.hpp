@@ -162,6 +162,7 @@ ApspResult<typename S::value_type> solve(const Graph& g,
   dopt.resilience = ds.resilience;
   dopt.oog.num_streams = ds.oog_streams;
   dopt.metrics = ds.metrics;
+  dopt.publish_store = ds.publish_store;
 
   Timer wall;
   ApspResult<T> result = dist::run_parallel_fw<S>(

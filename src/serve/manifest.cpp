@@ -1,0 +1,164 @@
+#include "serve/manifest.hpp"
+
+#include <cstring>
+
+#include "core/checkpoint.hpp"
+#include "dist/checkpoint.hpp"
+#include "util/check.hpp"
+
+namespace parfw::serve {
+
+namespace {
+
+// Blocks {mine, mine+p, mine+2p, ...} below nb — the block-cyclic owned
+// count, mirroring BlockCyclicMatrix::count_owned.
+std::uint64_t count_owned(std::uint64_t nb, std::uint64_t mine,
+                          std::uint64_t p) {
+  return mine >= nb ? 0 : (nb - mine - 1) / p + 1;
+}
+
+}  // namespace
+
+ServeManifest ServeManifest::open(const CheckpointStore& store) {
+  auto commit = dist::read_commit(store);
+  PARFW_CHECK_MSG(commit.has_value(),
+                  "store holds no committed tile manifest — did the "
+                  "producing run publish? (dist runs need "
+                  "DistFwOptions::publish_store / DistStrategy::"
+                  "publish_store; in-memory results use "
+                  "serve::publish_result)");
+  ServeManifest m;
+  m.n_ = commit->n;
+  m.block_size_ = commit->block_size;
+  PARFW_CHECK_MSG(m.block_size_ > 0 && m.n_ % m.block_size_ == 0,
+                  "commit record has bad geometry: n=" << m.n_ << " b="
+                                                       << m.block_size_);
+  m.nb_ = m.n_ / m.block_size_;
+  PARFW_CHECK_MSG(
+      commit->k0 == m.nb_,
+      "committed cut is a mid-run checkpoint (k0=" << commit->k0 << " of "
+          << m.nb_ << " pivot rounds), not a completed solve — serving "
+          "half-closed distances would be wrong; publish the finished run");
+  m.world_size_ = commit->world_size;
+  m.variant_ = commit->variant;
+  PARFW_CHECK_MSG(m.world_size_ > 0, "commit record names no ranks");
+  m.ranks_.resize(m.world_size_);
+
+  std::uint8_t header_bytes[sizeof(CheckpointHeader) + sizeof(CheckpointExtV2)];
+  const ByteRange header_range{0, sizeof(header_bytes)};
+  for (std::uint32_t w = 0; w < m.world_size_; ++w) {
+    RankBlob& rb = m.ranks_[w];
+    rb.key = dist::rank_checkpoint_key(commit->k0, static_cast<int>(w));
+    const bool present = store.get_ranges(
+        rb.key, std::span<const ByteRange>(&header_range, 1), header_bytes);
+    PARFW_CHECK_MSG(present, "manifest names rank " << w
+                                                    << " but blob '" << rb.key
+                                                    << "' is missing");
+    CheckpointHeader h;
+    CheckpointExtV2 ext;
+    std::memcpy(&h, header_bytes, sizeof(h));
+    std::memcpy(&ext, header_bytes + sizeof(h), sizeof(ext));
+    PARFW_CHECK_MSG(h.magic == CheckpointHeader::kMagic && h.version >= 2,
+                    "'" << rb.key << "' is not a checkpoint-v2 blob");
+    PARFW_CHECK_MSG(h.n == m.n_ && h.block_size == m.block_size_ &&
+                        h.next_block == commit->k0,
+                    "rank " << w << " blob disagrees with the commit record "
+                            << "(n=" << h.n << " b=" << h.block_size
+                            << " k0=" << h.next_block << ")");
+    if (w == 0) {
+      m.elem_size_ = h.elem_size;
+      m.pred_elem_size_ = ext.pred_elem_size;
+      m.grid_rows_ = ext.grid_rows;
+      m.grid_cols_ = ext.grid_cols;
+      PARFW_CHECK_MSG(
+          static_cast<std::uint64_t>(m.grid_rows_) * m.grid_cols_ ==
+              m.world_size_,
+          "grid " << m.grid_rows_ << "x" << m.grid_cols_
+                  << " does not cover world size " << m.world_size_);
+      m.rank_of_coord_.assign(
+          static_cast<std::size_t>(m.grid_rows_) * m.grid_cols_, -1);
+    } else {
+      PARFW_CHECK_MSG(h.elem_size == m.elem_size_ &&
+                          ext.pred_elem_size == m.pred_elem_size_ &&
+                          ext.grid_rows == m.grid_rows_ &&
+                          ext.grid_cols == m.grid_cols_,
+                      "rank " << w << " blob geometry diverges from rank 0");
+    }
+    PARFW_CHECK_MSG(ext.coord_row >= 0 &&
+                        ext.coord_row < static_cast<std::int32_t>(m.grid_rows_) &&
+                        ext.coord_col >= 0 &&
+                        ext.coord_col < static_cast<std::int32_t>(m.grid_cols_),
+                    "rank " << w << " states an off-grid coordinate");
+    rb.coord_row = ext.coord_row;
+    rb.coord_col = ext.coord_col;
+    const std::size_t slot =
+        static_cast<std::size_t>(ext.coord_row) * m.grid_cols_ +
+        static_cast<std::size_t>(ext.coord_col);
+    PARFW_CHECK_MSG(m.rank_of_coord_[slot] < 0,
+                    "two ranks claim grid coordinate (" << ext.coord_row << ","
+                                                        << ext.coord_col
+                                                        << ")");
+    m.rank_of_coord_[slot] = static_cast<int>(w);
+    rb.local_block_rows = count_owned(
+        m.nb_, static_cast<std::uint64_t>(ext.coord_row), m.grid_rows_);
+    rb.local_block_cols = count_owned(
+        m.nb_, static_cast<std::uint64_t>(ext.coord_col), m.grid_cols_);
+    PARFW_CHECK_MSG(ext.tile_count ==
+                        rb.local_block_rows * rb.local_block_cols,
+                    "rank " << w << " tile manifest length mismatch");
+    rb.payload_offset = sizeof(CheckpointHeader) + sizeof(CheckpointExtV2) +
+                        ext.tile_count * sizeof(CheckpointTileRef);
+  }
+  return m;
+}
+
+int ServeManifest::owner_of(std::uint64_t block_row,
+                            std::uint64_t block_col) const {
+  PARFW_DCHECK(block_row < nb_ && block_col < nb_);
+  const std::size_t slot =
+      static_cast<std::size_t>(block_row % grid_rows_) * grid_cols_ +
+      static_cast<std::size_t>(block_col % grid_cols_);
+  return rank_of_coord_[slot];
+}
+
+const RankBlob& ServeManifest::rank(int world_rank) const {
+  PARFW_CHECK_MSG(world_rank >= 0 &&
+                      static_cast<std::size_t>(world_rank) < ranks_.size(),
+                  "rank " << world_rank << " outside the manifest");
+  return ranks_[static_cast<std::size_t>(world_rank)];
+}
+
+std::uint64_t ServeManifest::tile_bytes(TileKind kind) const {
+  const std::uint64_t es =
+      kind == TileKind::kValue ? elem_size_ : pred_elem_size_;
+  return block_size_ * block_size_ * es;
+}
+
+void ServeManifest::tile_ranges(std::uint64_t block_row,
+                                std::uint64_t block_col, TileKind kind,
+                                std::vector<ByteRange>& out) const {
+  PARFW_CHECK_MSG(block_row < nb_ && block_col < nb_,
+                  "tile (" << block_row << "," << block_col
+                           << ") outside the " << nb_ << "^2 block grid");
+  PARFW_CHECK_MSG(kind == TileKind::kValue || has_pred(),
+                  "pred tile requested from a values-only manifest");
+  const RankBlob& rb = ranks_[static_cast<std::size_t>(
+      owner_of(block_row, block_col))];
+  const std::uint64_t b = block_size_;
+  const std::uint64_t il = block_row / grid_rows_;
+  const std::uint64_t jl = block_col / grid_cols_;
+  const std::uint64_t row_elems = rb.local_block_cols * b;
+  const std::uint64_t es =
+      kind == TileKind::kValue ? elem_size_ : pred_elem_size_;
+  // The pred payload trails ALL value rows in the blob.
+  std::uint64_t base = rb.payload_offset;
+  if (kind == TileKind::kPred)
+    base += rb.local_block_rows * b * row_elems * elem_size_;
+  out.clear();
+  out.reserve(static_cast<std::size_t>(b));
+  for (std::uint64_t r = 0; r < b; ++r)
+    out.push_back(ByteRange{base + ((il * b + r) * row_elems + jl * b) * es,
+                            b * es});
+}
+
+}  // namespace parfw::serve

@@ -1,0 +1,78 @@
+// ServeManifest — the read-side view of a published checkpoint-v2 run.
+//
+// A completed solve publishes one checkpoint-v2 blob per rank (its packed
+// block-cyclic local matrix, plus the optional pred payload) and a commit
+// record with k0 == nb, i.e. "every pivot iteration done" (driver.hpp's
+// publish step, or serve::publish_result for in-memory results). Opening
+// a manifest reads ONLY the commit record and each rank blob's 80-byte
+// header — never a payload — and derives:
+//
+//   * the geometry (n, b, grid shape, element widths), cross-validated
+//     across ranks;
+//   * the owner map: global block (I, J) -> world rank, reconstructed
+//     from the coordinates each blob states for itself, so any placement
+//     (row-major or tiled) that the producing GridSpec used round-trips
+//     without the manifest knowing placement existed;
+//   * the byte ranges inside a rank blob where tile (I, J)'s rows live,
+//     which PathService hands to CheckpointStore::get_ranges.
+//
+// A store holding only mid-run cuts (k0 < nb — the normal state after a
+// crash-resume run that never published) is rejected with a hard error:
+// serving half-closed distances would be silently wrong.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_store.hpp"
+#include "serve/tile_cache.hpp"
+
+namespace parfw::serve {
+
+/// Per-rank blob facts needed to address tiles inside it.
+struct RankBlob {
+  std::string key;  ///< store key of this rank's published blob
+  std::int32_t coord_row = 0, coord_col = 0;
+  std::uint64_t local_block_rows = 0, local_block_cols = 0;
+  std::uint64_t payload_offset = 0;  ///< first byte of the value payload
+};
+
+class ServeManifest {
+ public:
+  /// Open + validate the published manifest in `store`. Throws check_error
+  /// on: no commit record, a mid-run (k0 < nb) commit, missing rank blobs,
+  /// or cross-rank geometry disagreement.
+  static ServeManifest open(const CheckpointStore& store);
+
+  std::uint64_t n() const { return n_; }
+  std::uint64_t block_size() const { return block_size_; }
+  std::uint64_t num_blocks() const { return nb_; }  ///< per dimension
+  std::uint32_t grid_rows() const { return grid_rows_; }
+  std::uint32_t grid_cols() const { return grid_cols_; }
+  std::uint32_t world_size() const { return world_size_; }
+  std::uint32_t elem_size() const { return elem_size_; }
+  std::uint32_t pred_elem_size() const { return pred_elem_size_; }
+  std::uint32_t variant() const { return variant_; }
+  bool has_pred() const { return pred_elem_size_ != 0; }
+
+  /// World rank owning global block (I, J) under the block-cyclic map.
+  int owner_of(std::uint64_t block_row, std::uint64_t block_col) const;
+  const RankBlob& rank(int world_rank) const;
+
+  std::uint64_t tile_bytes(TileKind kind) const;
+
+  /// The b byte ranges (one per tile row) of tile (I, J) inside its
+  /// owner's blob, appended to `out` (cleared first).
+  void tile_ranges(std::uint64_t block_row, std::uint64_t block_col,
+                   TileKind kind, std::vector<ByteRange>& out) const;
+
+ private:
+  std::uint64_t n_ = 0, block_size_ = 0, nb_ = 0;
+  std::uint32_t grid_rows_ = 0, grid_cols_ = 0, world_size_ = 0;
+  std::uint32_t elem_size_ = 0, pred_elem_size_ = 0, variant_ = 0;
+  std::vector<RankBlob> ranks_;       ///< indexed by world rank
+  std::vector<int> rank_of_coord_;    ///< grid_rows x grid_cols, row-major
+};
+
+}  // namespace parfw::serve

@@ -1,0 +1,219 @@
+// PathService — answer path queries straight from a published tile
+// manifest, never materialising the matrix (DESIGN.md §4.12).
+//
+// The service opens a ServeManifest over a CheckpointStore and answers
+// QueryBatch requests (core/query.hpp): each distance read fetches one
+// b x b value tile, each predecessor-walk step one pred tile, all through
+// a byte-budgeted TileCache. A cross-tile path walk is the interesting
+// case: pred(src, cur) hops along block row src/b, touching a different
+// pred tile every time cur crosses a block-column boundary — exactly the
+// access pattern the cache's admission policy is shaped for.
+//
+// Semantics are pinned to the in-memory oracle: for every (src, dst),
+// status, distance and path are bit-identical to what
+// ApspResult::query(src, dst) returns on the gathered matrices. That
+// equivalence — across variants, placements and crashed-and-resumed
+// producers — is the serve_test contract.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/query.hpp"
+#include "serve/manifest.hpp"
+#include "serve/tile_cache.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/check.hpp"
+
+namespace parfw::serve {
+
+struct ServeOptions {
+  std::size_t cache_budget_bytes = std::size_t{64} << 20;
+  CacheAdmission admission = CacheAdmission::kAlways;
+  std::size_t ghost_capacity = 4096;
+  /// When set, the service publishes serve.query.latency (seconds,
+  /// histogram), serve.query.count, serve.cache.{hits,misses,evictions}
+  /// counters and serve.cache.bytes_{resident,peak} gauges into it.
+  telemetry::Registry* metrics = nullptr;
+  /// Label set for the metric series, e.g. "rank=3" in the sharded tier.
+  std::string metric_labels;
+};
+
+template <typename S>
+class PathService {
+ public:
+  using T = typename S::value_type;
+
+  explicit PathService(const CheckpointStore& store, ServeOptions opt = {})
+      : store_(store),
+        manifest_(ServeManifest::open(store)),
+        opt_(opt),
+        cache_(TileCacheConfig{opt.cache_budget_bytes, opt.admission,
+                               opt.ghost_capacity}) {
+    PARFW_CHECK_MSG(manifest_.elem_size() == sizeof(T),
+                    "manifest stores " << manifest_.elem_size()
+                                       << "-byte values, semiring wants "
+                                       << sizeof(T));
+    PARFW_CHECK_MSG(!manifest_.has_pred() ||
+                        manifest_.pred_elem_size() == sizeof(std::int64_t),
+                    "unsupported pred element size "
+                        << manifest_.pred_elem_size());
+    if (opt_.metrics != nullptr) {
+      latency_ = &opt_.metrics->histogram("serve.query.latency",
+                                          opt_.metric_labels);
+      queries_ = &opt_.metrics->counter("serve.query.count",
+                                        opt_.metric_labels);
+      hits_ = &opt_.metrics->counter("serve.cache.hits", opt_.metric_labels);
+      misses_ =
+          &opt_.metrics->counter("serve.cache.misses", opt_.metric_labels);
+      evictions_ =
+          &opt_.metrics->counter("serve.cache.evictions", opt_.metric_labels);
+      resident_ = &opt_.metrics->gauge("serve.cache.bytes_resident",
+                                       opt_.metric_labels);
+      peak_ = &opt_.metrics->gauge("serve.cache.bytes_peak",
+                                   opt_.metric_labels);
+    }
+  }
+
+  const ServeManifest& manifest() const { return manifest_; }
+  const TileCacheStats& cache_stats() const { return cache_.stats(); }
+
+  /// Answer one query; bit-identical to ApspResult::query on the gathered
+  /// matrices. A path request against a values-only manifest hard-errors
+  /// (mirroring the resume rule in dist/checkpoint.hpp): predecessors
+  /// cannot be reconstructed from distances after the fact.
+  QueryResult<T> query(std::int64_t src, std::int64_t dst,
+                       bool want_path = true) {
+    telemetry::ScopedTimer timer(latency_);
+    const auto n = static_cast<std::int64_t>(manifest_.n());
+    PARFW_CHECK_MSG(src >= 0 && src < n && dst >= 0 && dst < n,
+                    "query (" << src << ", " << dst << ") out of range for n="
+                              << n);
+    QueryResult<T> r;
+    r.distance = value_at(src, dst);
+    if (!manifest_.has_pred()) {
+      PARFW_CHECK_MSG(
+          !want_path,
+          "path query (" << src << " -> " << dst
+                         << ") against a values-only manifest "
+                         << "(pred_elem_size == 0): the producing run did "
+                         << "not set track_paths — re-solve with paths "
+                         << "enabled, or ask for distances only");
+      r.status = PathStatus::kNotTracked;
+      finish_query();
+      return r;
+    }
+    if (src != dst && pred_at(src, dst) < 0) {
+      r.status = PathStatus::kUnreachable;
+      finish_query();
+      return r;
+    }
+    r.status = PathStatus::kFound;
+    if (want_path) r.path = walk_path(src, dst);
+    finish_query();
+    return r;
+  }
+
+  /// Answer a batch through the shared query API.
+  std::vector<QueryResult<T>> answer(const QueryBatch& batch) {
+    std::vector<QueryResult<T>> out;
+    out.reserve(batch.pairs.size());
+    for (const PathQuery& q : batch.pairs)
+      out.push_back(query(q.src, q.dst, batch.want_paths));
+    return out;
+  }
+
+ private:
+  T value_at(std::int64_t i, std::int64_t j) {
+    T v;
+    std::memcpy(&v, entry_ptr(TileKind::kValue, i, j, sizeof(T)), sizeof(T));
+    return v;
+  }
+  std::int64_t pred_at(std::int64_t i, std::int64_t j) {
+    std::int64_t p;
+    std::memcpy(&p, entry_ptr(TileKind::kPred, i, j, sizeof(p)), sizeof(p));
+    return p;
+  }
+
+  /// Pointer to entry (i, j) inside its (cached or scratch) tile. Valid
+  /// only until the next fetch.
+  const std::uint8_t* entry_ptr(TileKind kind, std::int64_t i, std::int64_t j,
+                                std::size_t es) {
+    const std::uint64_t b = manifest_.block_size();
+    const auto gi = static_cast<std::uint64_t>(i);
+    const auto gj = static_cast<std::uint64_t>(j);
+    const std::vector<std::uint8_t>& tile = fetch(kind, gi / b, gj / b);
+    return tile.data() + ((gi % b) * b + (gj % b)) * es;
+  }
+
+  const std::vector<std::uint8_t>& fetch(TileKind kind, std::uint64_t I,
+                                         std::uint64_t J) {
+    const TileKey key{kind, static_cast<std::uint32_t>(I),
+                      static_cast<std::uint32_t>(J)};
+    if (const auto* hit = cache_.find(key)) return *hit;
+    manifest_.tile_ranges(I, J, kind, range_scratch_);
+    const int owner = manifest_.owner_of(I, J);
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(manifest_.tile_bytes(kind)));
+    const bool ok = store_.get_ranges(
+        manifest_.rank(owner).key,
+        std::span<const ByteRange>(range_scratch_), buf.data());
+    PARFW_CHECK_MSG(ok, "rank blob '" << manifest_.rank(owner).key
+                                      << "' vanished while serving");
+    if (const auto* stored = cache_.insert(key, buf)) return *stored;
+    // Not admitted: serve this one read from the scratch buffer.
+    scratch_tile_ = std::move(buf);
+    return scratch_tile_;
+  }
+
+  /// Pred-walk src -> dst, bit-identical to core reconstruct_path but
+  /// pulling each pred entry through the tile cache. Reachability was
+  /// already established via pred(src, dst).
+  std::vector<std::int64_t> walk_path(std::int64_t src, std::int64_t dst) {
+    if (src == dst) return {src};
+    const auto n = static_cast<std::int64_t>(manifest_.n());
+    std::vector<std::int64_t> rev;
+    std::int64_t cur = dst;
+    while (cur != src) {
+      rev.push_back(cur);
+      PARFW_CHECK_MSG(static_cast<std::int64_t>(rev.size()) <= n,
+                      "pred cycle while reconstructing " << src << " -> "
+                                                         << dst);
+      cur = pred_at(src, cur);
+      PARFW_CHECK_MSG(cur >= 0, "pred chain broke while reconstructing "
+                                    << src << " -> " << dst);
+    }
+    rev.push_back(src);
+    return {rev.rbegin(), rev.rend()};
+  }
+
+  void finish_query() {
+    if (opt_.metrics == nullptr) return;
+    queries_->inc();
+    const TileCacheStats& s = cache_.stats();
+    hits_->add(s.hits - published_.hits);
+    misses_->add(s.misses - published_.misses);
+    evictions_->add(s.evictions - published_.evictions);
+    resident_->set(static_cast<double>(s.bytes_resident));
+    peak_->update_max(static_cast<double>(s.bytes_peak));
+    published_ = s;
+  }
+
+  const CheckpointStore& store_;
+  ServeManifest manifest_;
+  ServeOptions opt_;
+  TileCache cache_;
+  std::vector<ByteRange> range_scratch_;
+  std::vector<std::uint8_t> scratch_tile_;
+  TileCacheStats published_;  ///< last stats synced into the registry
+  telemetry::Histogram* latency_ = nullptr;
+  telemetry::Counter* queries_ = nullptr;
+  telemetry::Counter* hits_ = nullptr;
+  telemetry::Counter* misses_ = nullptr;
+  telemetry::Counter* evictions_ = nullptr;
+  telemetry::Gauge* resident_ = nullptr;
+  telemetry::Gauge* peak_ = nullptr;
+};
+
+}  // namespace parfw::serve

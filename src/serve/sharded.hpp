@@ -1,0 +1,112 @@
+// Sharded serving: one PathService per mpisim rank, queries routed to
+// the rank that owns the first tile they touch (DESIGN.md §4.12).
+//
+// The manifest's block-cyclic owner map already names, for every global
+// block (I, J), the world rank whose blob holds it — the same mapping
+// the solver used. A query (src, dst) is answered entirely along block
+// row src/b (its distance tile AND every pred tile of the walk live in
+// block row src/b), so routing it to owner(src/b, dst/b) sends it to the
+// rank whose blob holds the first — and hottest — tile it touches; each
+// rank's cache then specialises to its shard of the key space. Results
+// travel to world rank 0, which reassembles them in request order.
+//
+// Every rank must call sharded_answer with the same batch (SPMD, like
+// every collective in this codebase); the serving world size must equal
+// the manifest's. The return value is the full in-order result vector on
+// rank 0 and empty elsewhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpisim/communicator.hpp"
+#include "serve/path_service.hpp"
+#include "util/check.hpp"
+
+namespace parfw::serve {
+
+namespace detail {
+inline constexpr mpi::tag_t kTagServeMeta = 7300;
+inline constexpr mpi::tag_t kTagServeDist = 7301;
+}  // namespace detail
+
+template <typename S>
+std::vector<QueryResult<typename S::value_type>> sharded_answer(
+    mpi::Comm& world, const CheckpointStore& store, const QueryBatch& batch,
+    ServeOptions opt = {}) {
+  using T = typename S::value_type;
+  if (opt.metric_labels.empty())
+    opt.metric_labels = "rank=" + std::to_string(world.rank());
+  PathService<S> service(store, opt);
+  const ServeManifest& m = service.manifest();
+  PARFW_CHECK_MSG(world.size() == static_cast<int>(m.world_size()),
+                  "serving world size " << world.size()
+                                        << " != manifest world size "
+                                        << m.world_size());
+  const std::uint64_t b = m.block_size();
+
+  // Answer the shard routed to this rank. Serialise to a flat int64
+  // stream [index, status, path_len, path...] plus a distance array —
+  // lengths first so rank 0 can size its receives.
+  std::vector<std::int64_t> meta;
+  std::vector<T> dists;
+  for (std::size_t i = 0; i < batch.pairs.size(); ++i) {
+    const PathQuery& q = batch.pairs[i];
+    const int owner = m.owner_of(static_cast<std::uint64_t>(q.src) / b,
+                                 static_cast<std::uint64_t>(q.dst) / b);
+    if (owner != world.rank()) continue;
+    QueryResult<T> r = service.query(q.src, q.dst, batch.want_paths);
+    meta.push_back(static_cast<std::int64_t>(i));
+    meta.push_back(static_cast<std::int64_t>(r.status));
+    meta.push_back(static_cast<std::int64_t>(r.path.size()));
+    meta.insert(meta.end(), r.path.begin(), r.path.end());
+    dists.push_back(r.distance);
+  }
+
+  if (world.rank() != 0) {
+    world.send_value(std::uint64_t{meta.size()}, 0, detail::kTagServeMeta);
+    if (!meta.empty())
+      world.send(std::span<const std::int64_t>(meta), 0,
+                 detail::kTagServeMeta);
+    if (!dists.empty())
+      world.send(std::span<const T>(dists), 0, detail::kTagServeDist);
+    return {};
+  }
+
+  std::vector<QueryResult<T>> out(batch.pairs.size());
+  auto unpack = [&](const std::vector<std::int64_t>& mv,
+                    const std::vector<T>& dv) {
+    std::size_t d = 0;
+    for (std::size_t p = 0; p < mv.size();) {
+      const auto idx = static_cast<std::size_t>(mv[p]);
+      QueryResult<T>& r = out[idx];
+      r.status = static_cast<PathStatus>(mv[p + 1]);
+      const auto len = static_cast<std::size_t>(mv[p + 2]);
+      r.path.assign(mv.begin() + static_cast<std::ptrdiff_t>(p + 3),
+                    mv.begin() + static_cast<std::ptrdiff_t>(p + 3 + len));
+      r.distance = dv[d++];
+      p += 3 + len;
+    }
+  };
+  unpack(meta, dists);
+  for (int src = 1; src < world.size(); ++src) {
+    const auto meta_len =
+        world.recv_value<std::uint64_t>(src, detail::kTagServeMeta);
+    std::vector<std::int64_t> peer_meta(meta_len);
+    if (meta_len > 0)
+      world.recv(std::span<std::int64_t>(peer_meta), src,
+                 detail::kTagServeMeta);
+    std::size_t results = 0;
+    for (std::size_t p = 0; p < peer_meta.size();
+         p += 3 + static_cast<std::size_t>(peer_meta[p + 2]))
+      ++results;
+    std::vector<T> peer_dists(results);
+    if (results > 0)
+      world.recv(std::span<T>(peer_dists), src, detail::kTagServeDist);
+    unpack(peer_meta, peer_dists);
+  }
+  return out;
+}
+
+}  // namespace parfw::serve

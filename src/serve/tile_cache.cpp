@@ -1,0 +1,109 @@
+#include "serve/tile_cache.hpp"
+
+#include "util/check.hpp"
+
+namespace parfw::serve {
+
+TileCache::TileCache(TileCacheConfig cfg) : cfg_(cfg) {}
+
+const std::vector<std::uint8_t>* TileCache::find(const TileKey& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  frames_[it->second].referenced = true;
+  return &frames_[it->second].bytes;
+}
+
+bool TileCache::ghost_second_touch(const TileKey& key) {
+  if (ghost_.erase(key) > 0) return true;  // second touch: promote
+  ghost_.insert(key);
+  ghost_fifo_.push_back(key);
+  while (ghost_fifo_.size() > cfg_.ghost_capacity) {
+    ghost_.erase(ghost_fifo_.front());
+    ghost_fifo_.pop_front();
+  }
+  return false;
+}
+
+void TileCache::evict_one() {
+  PARFW_CHECK_MSG(index_.size() > 0, "evict from an empty cache");
+  // CLOCK sweep: clear reference bits until an unreferenced live frame
+  // comes under the hand. Terminates within two sweeps — the first sweep
+  // clears every bit.
+  for (;;) {
+    if (hand_ >= frames_.size()) hand_ = 0;
+    Frame& f = frames_[hand_];
+    if (!f.live) {
+      ++hand_;
+      continue;
+    }
+    if (f.referenced) {
+      f.referenced = false;
+      ++hand_;
+      continue;
+    }
+    stats_.bytes_resident -= f.bytes.size();
+    ++stats_.evictions;
+    index_.erase(f.key);
+    // An evicted key stays "warm" in the ghost window so an immediate
+    // re-miss is re-admitted under kSecondTouch (the 2Q behaviour).
+    if (cfg_.admission == CacheAdmission::kSecondTouch &&
+        ghost_.insert(f.key).second) {
+      ghost_fifo_.push_back(f.key);
+      while (ghost_fifo_.size() > cfg_.ghost_capacity) {
+        ghost_.erase(ghost_fifo_.front());
+        ghost_fifo_.pop_front();
+      }
+    }
+    f.bytes = {};
+    f.live = false;
+    free_frames_.push_back(hand_);
+    ++hand_;
+    return;
+  }
+}
+
+const std::vector<std::uint8_t>* TileCache::insert(
+    const TileKey& key, std::vector<std::uint8_t>& bytes) {
+  if (auto it = index_.find(key); it != index_.end())
+    return &frames_[it->second].bytes;  // already resident (double insert)
+  const std::size_t size = bytes.size();
+  if (size > cfg_.budget_bytes) {
+    ++stats_.rejected;
+    return nullptr;
+  }
+  if (cfg_.admission == CacheAdmission::kSecondTouch &&
+      !ghost_second_touch(key)) {
+    ++stats_.bypassed;
+    return nullptr;
+  }
+  while (stats_.bytes_resident + size > cfg_.budget_bytes) evict_one();
+
+  std::size_t idx;
+  if (!free_frames_.empty()) {
+    idx = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    idx = frames_.size();
+    frames_.emplace_back();
+  }
+  Frame& f = frames_[idx];
+  f.key = key;
+  f.bytes = std::move(bytes);
+  // The reference bit starts clear: only a subsequent find() hit earns the
+  // second chance, so a freshly admitted tile can't outlive a re-used one.
+  f.referenced = false;
+  f.live = true;
+  index_.emplace(key, idx);
+  stats_.bytes_resident += size;
+  if (stats_.bytes_resident > stats_.bytes_peak)
+    stats_.bytes_peak = stats_.bytes_resident;
+  ++stats_.admitted;
+  PARFW_DCHECK(stats_.bytes_resident <= cfg_.budget_bytes);
+  return &f.bytes;
+}
+
+}  // namespace parfw::serve

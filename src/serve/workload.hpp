@@ -1,0 +1,76 @@
+// Synthetic query-traffic generator for the serving tier.
+//
+// Real path-query traffic is skewed: a few hub vertices (city centres,
+// popular POIs) dominate both ends of the requests. The generator models
+// that with independent Zipf(s) draws for source and target — s = 0
+// degenerates to uniform. Sampling is a binary search over the
+// precomputed harmonic CDF, driven by the repo's deterministic Rng, so a
+// (spec) value names ONE request stream forever — which is what makes the
+// cache-determinism tests and the BENCH_serve hit-rate gate meaningful.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/query.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace parfw::serve {
+
+struct WorkloadSpec {
+  std::int64_t n = 0;        ///< vertex id space [0, n)
+  std::size_t queries = 0;   ///< number of point-to-point pairs
+  double zipf_s = 0.0;       ///< 0 = uniform; > 0 = Zipf skew exponent
+  std::uint64_t seed = 1;
+  bool want_paths = true;
+};
+
+/// Draws from {0..n-1} with popularity rank i weighted (i+1)^-s.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::int64_t n, double s) : cdf_(static_cast<std::size_t>(n)) {
+    PARFW_CHECK_MSG(n > 0 && s >= 0.0, "bad Zipf parameters");
+    double cum = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      cum += std::pow(static_cast<double>(i + 1), -s);
+      cdf_[static_cast<std::size_t>(i)] = cum;
+    }
+    for (double& c : cdf_) c /= cum;
+  }
+  std::int64_t operator()(Rng& rng) const {
+    const double u = rng.next_double();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) --it;
+    return static_cast<std::int64_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Materialise the request stream for `spec` as a QueryBatch.
+inline QueryBatch make_workload(const WorkloadSpec& spec) {
+  PARFW_CHECK_MSG(spec.n > 0, "workload over an empty vertex set");
+  QueryBatch batch;
+  batch.want_paths = spec.want_paths;
+  batch.pairs.reserve(spec.queries);
+  Rng src_rng = Rng::split(spec.seed, 0x5ecull);
+  Rng dst_rng = Rng::split(spec.seed, 0xd57ull);
+  if (spec.zipf_s <= 0.0) {
+    const auto n = static_cast<std::uint64_t>(spec.n);
+    for (std::size_t q = 0; q < spec.queries; ++q)
+      batch.pairs.push_back(
+          {static_cast<std::int64_t>(src_rng.next_below(n)),
+           static_cast<std::int64_t>(dst_rng.next_below(n))});
+  } else {
+    const ZipfSampler zipf(spec.n, spec.zipf_s);
+    for (std::size_t q = 0; q < spec.queries; ++q)
+      batch.pairs.push_back({zipf(src_rng), zipf(dst_rng)});
+  }
+  return batch;
+}
+
+}  // namespace parfw::serve

@@ -27,27 +27,32 @@ CliArgs::CliArgs(int argc, const char* const* argv,
     PARFW_CHECK_MSG(std::find(allowed.begin(), allowed.end(), arg) !=
                         allowed.end(),
                     "unknown flag --" << arg);
-    values_[arg] = value;
+    values_[arg].push_back(std::move(value));
   }
 }
 
 std::string CliArgs::get(const std::string& flag,
                          const std::string& fallback) const {
   auto it = values_.find(flag);
-  return it == values_.end() ? fallback : it->second;
+  return it == values_.end() ? fallback : it->second.back();
 }
 
 std::int64_t CliArgs::get_int(const std::string& flag,
                               std::int64_t fallback) const {
   auto it = values_.find(flag);
   if (it == values_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  return std::strtoll(it->second.back().c_str(), nullptr, 10);
 }
 
 double CliArgs::get_double(const std::string& flag, double fallback) const {
   auto it = values_.find(flag);
   if (it == values_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  return std::strtod(it->second.back().c_str(), nullptr);
+}
+
+std::vector<std::string> CliArgs::get_all(const std::string& flag) const {
+  auto it = values_.find(flag);
+  return it == values_.end() ? std::vector<std::string>{} : it->second;
 }
 
 }  // namespace parfw

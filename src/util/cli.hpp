@@ -1,7 +1,10 @@
 // Minimal command-line flag parser for the tools.
 //
 // Supports --flag value, --flag=value and boolean --flag. Unknown flags
-// are an error (fail fast beats silent typos in batch jobs).
+// are an error (fail fast beats silent typos in batch jobs). Every
+// occurrence of a repeated flag is kept, in order: get() answers with the
+// last one (the usual override-wins convention), get_all() with the whole
+// list — which is how the apsp tool's repeatable --query builds its batch.
 #pragma once
 
 #include <cstdint>
@@ -18,16 +21,20 @@ class CliArgs {
           const std::vector<std::string>& allowed);
 
   bool has(const std::string& flag) const { return values_.count(flag) > 0; }
+  /// Last occurrence wins (override convention).
   std::string get(const std::string& flag, const std::string& fallback) const;
   std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
   double get_double(const std::string& flag, double fallback) const;
   bool get_bool(const std::string& flag) const { return has(flag); }
+  /// Every occurrence of a repeatable flag, in command-line order; empty
+  /// when the flag was not given.
+  std::vector<std::string> get_all(const std::string& flag) const;
 
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
   std::vector<std::string> positional_;
 };
 

@@ -56,5 +56,22 @@ TEST(Cli, UnknownFlagThrows) {
   EXPECT_THROW(parse({"--bogus", "1"}, {"n"}), check_error);
 }
 
+TEST(Cli, RepeatableFlagKeepsEveryOccurrence) {
+  // The apsp tool's --query is documented as repeatable; every occurrence
+  // must survive parsing, in command-line order.
+  const auto a = parse({"--query", "0,5", "--query=3,7", "--query", "9,2"},
+                       {"query"});
+  EXPECT_EQ(a.get_all("query"),
+            (std::vector<std::string>{"0,5", "3,7", "9,2"}));
+  EXPECT_EQ(a.get("query", ""), "9,2") << "get() answers the last occurrence";
+  EXPECT_TRUE(a.get_all("missing").empty());
+}
+
+TEST(Cli, RepeatedScalarFlagLastWins) {
+  const auto a = parse({"--n", "10", "--n", "20"}, {"n"});
+  EXPECT_EQ(a.get_int("n", 0), 20);
+  EXPECT_EQ(a.get_all("n"), (std::vector<std::string>{"10", "20"}));
+}
+
 }  // namespace
 }  // namespace parfw

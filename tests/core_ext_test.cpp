@@ -55,7 +55,7 @@ TEST(ComponentApsp, PathsRemapToOriginalIds) {
   for (vertex_t s = 0; s < g.num_vertices(); ++s)
     for (vertex_t t = 0; t < g.num_vertices(); ++t) {
       if (s == t || value_traits<double>::is_inf(r.dist(s, t))) continue;
-      const auto p = r.path(s, t);
+      const auto p = r.query(s, t).path;
       ASSERT_FALSE(p.empty());
       double len = 0;
       for (std::size_t i = 0; i + 1 < p.size(); ++i) {

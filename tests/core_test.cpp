@@ -195,11 +195,11 @@ TEST(Paths, ReconstructedPathsAreValidAndOptimal) {
     for (vertex_t t = 0; t < 40; ++t) {
       if (value_traits<double>::is_inf(r.dist(s, t))) {
         if (s != t) {
-          EXPECT_TRUE(r.path(s, t).empty());
+          EXPECT_EQ(r.query(s, t).status, PathStatus::kUnreachable);
         }
         continue;
       }
-      const auto p = r.path(s, t);
+      const auto p = r.query(s, t).path;
       ASSERT_FALSE(p.empty());
       EXPECT_EQ(p.front(), s);
       EXPECT_EQ(p.back(), t);
@@ -231,7 +231,7 @@ TEST(Paths, BlockedPathsMatchSequentialDistances) {
   for (vertex_t s = 0; s < 50; ++s)
     for (vertex_t t = 0; t < 50; ++t) {
       if (value_traits<double>::is_inf(b.dist(s, t)) || s == t) continue;
-      const auto p = b.path(s, t);
+      const auto p = b.query(s, t).path;
       ASSERT_FALSE(p.empty());
       double len = 0;
       for (std::size_t i = 0; i + 1 < p.size(); ++i) len += w(p[i], p[i + 1]);
@@ -245,7 +245,7 @@ TEST(Paths, SelfPathIsSingleton) {
   opt.algorithm = ApspAlgorithm::kSequential;
   opt.track_paths = true;
   const auto r = apsp<S>(g, opt);
-  EXPECT_EQ(r.path(2, 2), (std::vector<std::int64_t>{2}));
+  EXPECT_EQ(r.query(2, 2).path, (std::vector<std::int64_t>{2}));
 }
 
 // --- High-level API ----------------------------------------------------------

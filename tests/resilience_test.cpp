@@ -532,7 +532,8 @@ TEST(SolveFrontDoor, DistributedTrackPaths) {
   for (std::size_t i = 0; i < n; i += 7)
     for (std::size_t j = 0; j < n; j += 5) {
       if (value_traits<float>::is_inf(r.dist(i, j))) continue;
-      const auto p = r.path(static_cast<vertex_t>(i), static_cast<vertex_t>(j));
+      const auto p =
+          r.query(static_cast<vertex_t>(i), static_cast<vertex_t>(j)).path;
       ASSERT_FALSE(p.empty());
       EXPECT_EQ(p.front(), static_cast<std::int64_t>(i));
       EXPECT_EQ(p.back(), static_cast<std::int64_t>(j));

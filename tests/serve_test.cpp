@@ -1,0 +1,520 @@
+// Serving-tier tests (DESIGN.md §4.12): tile cache policy (budget
+// invariant, determinism, admission), manifest validation, and the
+// central contract — served distances, statuses and paths bit-identical
+// to the in-memory ApspResult oracle, across all distributed variants,
+// both placements, crashed-and-resumed producers, the solve() front door
+// (auto included), and the sharded mpisim serving tier.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "core/apsp.hpp"
+#include "core/floyd_warshall.hpp"
+#include "core/query.hpp"
+#include "dist/driver.hpp"
+#include "dist/solve.hpp"
+#include "graph/generators.hpp"
+#include "mpisim/runtime.hpp"
+#include "serve/manifest.hpp"
+#include "serve/path_service.hpp"
+#include "serve/publish.hpp"
+#include "serve/sharded.hpp"
+#include "serve/tile_cache.hpp"
+#include "serve/workload.hpp"
+
+namespace parfw {
+namespace {
+
+using S = MinPlus<float>;
+using serve::CacheAdmission;
+using serve::TileCache;
+using serve::TileCacheConfig;
+using serve::TileKey;
+using serve::TileKind;
+
+std::vector<std::uint8_t> tile_bytes(std::size_t size, std::uint8_t fill) {
+  return std::vector<std::uint8_t>(size, fill);
+}
+
+// --- TileCache ---------------------------------------------------------------
+
+TEST(TileCache, HitMissAccountingAndBudgetInvariant) {
+  TileCache cache(TileCacheConfig{/*budget_bytes=*/1000});
+  // Deterministic stream of 40 distinct 300-byte tiles, re-touched in a
+  // cycle: budget holds 3 tiles, so the sweep thrashes. The invariant —
+  // bytes_resident <= budget — must hold after EVERY operation.
+  for (int round = 0; round < 5; ++round) {
+    for (std::uint32_t i = 0; i < 40; ++i) {
+      const TileKey key{TileKind::kValue, i, 0};
+      if (cache.find(key) == nullptr) {
+        auto bytes = tile_bytes(300, static_cast<std::uint8_t>(i));
+        cache.insert(key, bytes);
+      }
+      ASSERT_LE(cache.stats().bytes_resident, cache.budget_bytes());
+      ASSERT_LE(cache.stats().bytes_peak, cache.budget_bytes());
+    }
+  }
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 200u);
+  EXPECT_GT(s.evictions, 0u);
+  EXPECT_EQ(s.bytes_resident, 900u);  // 3 resident 300-byte tiles
+}
+
+TEST(TileCache, DeterministicUnderFixedStream) {
+  // Two caches fed the identical request stream must agree on every
+  // statistic — the property the BENCH_serve hit-rate gate stands on.
+  const TileCacheConfig cfg{/*budget_bytes=*/4096,
+                            CacheAdmission::kSecondTouch,
+                            /*ghost_capacity=*/16};
+  TileCache a(cfg), b(cfg);
+  Rng rng = Rng::split(42, 7);
+  std::vector<TileKey> stream;
+  for (int i = 0; i < 2000; ++i)
+    stream.push_back(TileKey{TileKind::kValue,
+                             static_cast<std::uint32_t>(rng.next_below(24)),
+                             static_cast<std::uint32_t>(rng.next_below(24))});
+  for (const TileKey& key : stream) {
+    const bool ha = a.find(key) != nullptr;
+    const bool hb = b.find(key) != nullptr;
+    ASSERT_EQ(ha, hb);
+    if (!ha) {
+      auto ba = tile_bytes(256, 1), bb = tile_bytes(256, 1);
+      ASSERT_EQ(a.insert(key, ba) != nullptr, b.insert(key, bb) != nullptr);
+    }
+  }
+  EXPECT_EQ(a.stats().hits, b.stats().hits);
+  EXPECT_EQ(a.stats().misses, b.stats().misses);
+  EXPECT_EQ(a.stats().evictions, b.stats().evictions);
+  EXPECT_EQ(a.stats().admitted, b.stats().admitted);
+  EXPECT_EQ(a.stats().bypassed, b.stats().bypassed);
+  EXPECT_EQ(a.stats().bytes_resident, b.stats().bytes_resident);
+}
+
+TEST(TileCache, SecondTouchAdmission) {
+  TileCache cache(TileCacheConfig{/*budget_bytes=*/4096,
+                                  CacheAdmission::kSecondTouch});
+  const TileKey key{TileKind::kPred, 3, 4};
+  auto bytes = tile_bytes(128, 9);
+  EXPECT_EQ(cache.find(key), nullptr);
+  EXPECT_EQ(cache.insert(key, bytes), nullptr);  // first touch: ghost only
+  EXPECT_EQ(cache.stats().bypassed, 1u);
+  EXPECT_EQ(cache.find(key), nullptr);
+  const auto* stored = cache.insert(key, bytes);  // second touch: admitted
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->size(), 128u);
+  EXPECT_NE(cache.find(key), nullptr);
+  EXPECT_EQ(cache.stats().admitted, 1u);
+}
+
+TEST(TileCache, OversizedTileNeverAdmitted) {
+  TileCache cache(TileCacheConfig{/*budget_bytes=*/100});
+  const TileKey key{TileKind::kValue, 0, 0};
+  auto bytes = tile_bytes(101, 1);
+  EXPECT_EQ(cache.insert(key, bytes), nullptr);
+  EXPECT_EQ(bytes.size(), 101u);  // caller keeps its buffer
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  EXPECT_EQ(cache.stats().bytes_resident, 0u);
+}
+
+TEST(TileCache, ClockGivesSecondChanceToTouchedTiles) {
+  // Budget = 2 tiles. Touch A so its reference bit is set; inserting C
+  // must evict B (A gets its second chance), the defining CLOCK move.
+  TileCache cache(TileCacheConfig{/*budget_bytes=*/200});
+  const TileKey ka{TileKind::kValue, 0, 0}, kb{TileKind::kValue, 1, 0},
+      kc{TileKind::kValue, 2, 0};
+  auto bytes = tile_bytes(100, 1);
+  cache.insert(ka, bytes);
+  bytes = tile_bytes(100, 2);
+  cache.insert(kb, bytes);
+  ASSERT_NE(cache.find(ka), nullptr);  // sets A's reference bit
+  bytes = tile_bytes(100, 3);
+  cache.insert(kc, bytes);
+  EXPECT_NE(cache.find(ka), nullptr) << "referenced tile was evicted";
+  EXPECT_EQ(cache.find(kb), nullptr) << "unreferenced tile survived";
+  EXPECT_NE(cache.find(kc), nullptr);
+}
+
+// --- Workload generator ------------------------------------------------------
+
+TEST(Workload, DeterministicAndSkewed) {
+  serve::WorkloadSpec spec;
+  spec.n = 1000;
+  spec.queries = 5000;
+  spec.zipf_s = 1.2;
+  spec.seed = 9;
+  const QueryBatch a = serve::make_workload(spec);
+  const QueryBatch b = serve::make_workload(spec);
+  ASSERT_EQ(a.size(), 5000u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].src, b.pairs[i].src);
+    EXPECT_EQ(a.pairs[i].dst, b.pairs[i].dst);
+  }
+  // Zipf(1.2): the top-10 ids must dominate; uniform would give ~1%.
+  std::size_t top = 0;
+  for (const PathQuery& q : a.pairs) top += q.src < 10 ? 1 : 0;
+  EXPECT_GT(top, a.size() / 3);
+
+  spec.zipf_s = 0.0;
+  const QueryBatch u = serve::make_workload(spec);
+  std::size_t utop = 0;
+  for (const PathQuery& q : u.pairs) utop += q.src < 10 ? 1 : 0;
+  EXPECT_LT(utop, a.size() / 20);
+}
+
+// --- ApspResult query API ----------------------------------------------------
+
+TEST(QueryApi, StatusDistinguishesUnreachableFromNotTracked) {
+  // 0 -> 1 -> 2, vertex 3 isolated.
+  Graph g(4);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  ApspOptions opt;
+  opt.track_paths = true;
+  const auto tracked = apsp<MinPlus<double>>(g, opt);
+
+  auto r = tracked.query(0, 2);
+  EXPECT_EQ(r.status, PathStatus::kFound);
+  EXPECT_EQ(r.distance, 5.0);
+  EXPECT_EQ(r.path, (std::vector<std::int64_t>{0, 1, 2}));
+  r = tracked.query(0, 3);
+  EXPECT_EQ(r.status, PathStatus::kUnreachable);
+  EXPECT_EQ(r.distance, value_traits<double>::infinity());
+  EXPECT_TRUE(r.path.empty());
+  r = tracked.query(3, 3);  // self-query is found even on an isolate
+  EXPECT_EQ(r.status, PathStatus::kFound);
+  EXPECT_EQ(r.path, (std::vector<std::int64_t>{3}));
+  r = tracked.query(0, 2, /*want_path=*/false);
+  EXPECT_EQ(r.status, PathStatus::kFound);
+  EXPECT_TRUE(r.path.empty());
+
+  const auto untracked = apsp<MinPlus<double>>(g, {});
+  r = untracked.query(0, 2);
+  EXPECT_EQ(r.status, PathStatus::kNotTracked);
+  EXPECT_EQ(r.distance, 5.0);
+  r = untracked.query(0, 3);
+  EXPECT_EQ(r.status, PathStatus::kNotTracked) << "distance-only results "
+                                                  "cannot claim unreachable";
+
+  QueryBatch batch;
+  batch.add(0, 2);
+  batch.add_one_to_many(1, std::vector<std::int64_t>{0, 2, 3});
+  const auto results = tracked.answer(batch);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[1].status, PathStatus::kUnreachable);  // 1 -> 0
+  EXPECT_EQ(results[2].path, (std::vector<std::int64_t>{1, 2}));
+
+  // The deprecated shim still answers (ambiguously) for old callers.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(tracked.path(0, 2), (std::vector<std::int64_t>{0, 1, 2}));
+  EXPECT_TRUE(tracked.path(0, 3).empty());
+  EXPECT_TRUE(untracked.path(0, 2).empty());
+#pragma GCC diagnostic pop
+}
+
+// --- Publish + serve round trip ---------------------------------------------
+
+/// In-memory oracle + a store holding its published manifest. The store
+/// lives behind a unique_ptr because MemoryCheckpointStore owns a mutex
+/// and is therefore immovable.
+struct Published {
+  ApspResult<float> oracle;
+  std::unique_ptr<MemoryCheckpointStore> store_ptr =
+      std::make_unique<MemoryCheckpointStore>();
+  MemoryCheckpointStore& store() { return *store_ptr; }
+};
+
+Published publish_case(std::size_t n, std::size_t b, int pr, int pc,
+                       bool paths, std::uint64_t seed = 11,
+                       double density = 0.35) {
+  Published p;
+  const Graph g = gen::erdos_renyi(static_cast<vertex_t>(n), density, seed);
+  ApspOptions opt;
+  opt.block_size = b;
+  opt.track_paths = paths;
+  p.oracle = apsp<S>(g, opt);
+  serve::publish_result(p.store(), p.oracle, b, pr, pc);
+  return p;
+}
+
+void expect_all_pairs_match(serve::PathService<S>& service,
+                            const ApspResult<float>& oracle, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto want = oracle.query(static_cast<std::int64_t>(i),
+                                     static_cast<std::int64_t>(j));
+      const auto got = service.query(static_cast<std::int64_t>(i),
+                                     static_cast<std::int64_t>(j));
+      ASSERT_EQ(got.status, want.status) << i << " -> " << j;
+      ASSERT_EQ(got.distance, want.distance) << i << " -> " << j;
+      ASSERT_EQ(got.path, want.path) << i << " -> " << j;
+    }
+}
+
+TEST(PathService, AllPairsBitIdenticalUnderTinyCache) {
+  // n=60, b=12: paths cross tile boundaries constantly. The budget holds
+  // just two tiles, so the walk evicts mid-path — correctness must not
+  // depend on residency.
+  Published p = publish_case(60, 12, 2, 2, /*paths=*/true);
+  serve::ServeOptions sopt;
+  sopt.cache_budget_bytes = 2 * 12 * 12 * sizeof(std::int64_t);
+  serve::PathService<S> service(p.store(), sopt);
+  expect_all_pairs_match(service, p.oracle, 60);
+  EXPECT_GT(service.cache_stats().evictions, 0u);
+  EXPECT_LE(service.cache_stats().bytes_peak, sopt.cache_budget_bytes);
+}
+
+TEST(PathService, ServiceCacheDeterministicAcrossInstances) {
+  Published p = publish_case(48, 8, 1, 2, /*paths=*/true);
+  serve::WorkloadSpec wspec;
+  wspec.n = 48;
+  wspec.queries = 600;
+  wspec.zipf_s = 0.9;
+  wspec.seed = 4;
+  const QueryBatch batch = serve::make_workload(wspec);
+  serve::ServeOptions sopt;
+  sopt.cache_budget_bytes = 6 * 8 * 8 * sizeof(std::int64_t);
+  sopt.admission = CacheAdmission::kSecondTouch;
+  serve::PathService<S> s1(p.store(), sopt), s2(p.store(), sopt);
+  const auto r1 = s1.answer(batch);
+  const auto r2 = s2.answer(batch);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) ASSERT_EQ(r1[i].path, r2[i].path);
+  EXPECT_EQ(s1.cache_stats().hits, s2.cache_stats().hits);
+  EXPECT_EQ(s1.cache_stats().misses, s2.cache_stats().misses);
+  EXPECT_EQ(s1.cache_stats().evictions, s2.cache_stats().evictions);
+  EXPECT_LE(s1.cache_stats().bytes_peak, sopt.cache_budget_bytes);
+}
+
+TEST(PathService, ValuesOnlyManifestHardErrorsOnPathQueries) {
+  Published p = publish_case(40, 8, 1, 1, /*paths=*/false);
+  serve::PathService<S> service(p.store());
+  // Distance-only batches are fine...
+  auto r = service.query(0, 7, /*want_path=*/false);
+  EXPECT_EQ(r.status, PathStatus::kNotTracked);
+  EXPECT_EQ(r.distance, p.oracle.dist(0, 7));
+  // ...but asking for a path must fail loudly, mirroring the PR 7 resume
+  // rule for value-only blobs.
+  try {
+    service.query(0, 7, /*want_path=*/true);
+    FAIL() << "expected check_error";
+  } catch (const check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("values-only manifest"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("track_paths"), std::string::npos);
+  }
+}
+
+TEST(ServeManifest, RejectsMidRunCheckpointStores) {
+  // A checkpointed run that NEVER published: the store holds a mid-run
+  // committed cut (k0 < nb). Serving it would answer half-closed
+  // distances — open() must refuse.
+  const std::size_t n = 64, b = 16;
+  DenseEntryGen<float> gen(321, 0.8, 1.0f, 50.0f, /*integral=*/true);
+  const auto grid = dist::GridSpec::row_major(2, 2);
+  dist::DistFwOptions opt;
+  opt.block_size = b;
+  MemoryCheckpointStore store;
+  opt.resilience.checkpoint_every = 2;
+  opt.resilience.store = &store;
+  (void)dist::run_parallel_fw<S>(n, gen, grid, 2, opt);
+  ASSERT_TRUE(dist::read_commit(store).has_value());
+  EXPECT_THROW(serve::ServeManifest::open(store), check_error);
+  try {
+    serve::ServeManifest::open(store);
+  } catch (const check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("mid-run"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ServeManifest, RejectsEmptyStore) {
+  MemoryCheckpointStore store;
+  EXPECT_THROW(serve::ServeManifest::open(store), check_error);
+}
+
+// --- Served == oracle across the distributed matrix --------------------------
+
+struct ServeCase {
+  sched::Variant variant;
+  bool tiled;
+};
+
+class ServedCrashResume : public ::testing::TestWithParam<ServeCase> {};
+
+TEST_P(ServedCrashResume, ServedBitIdenticalToGatheredOracle) {
+  // The manifest under test is written by a run that CRASHED, resumed
+  // from a committed cut, finished, and then published in situ — the
+  // full production lifecycle. Every served answer must match the
+  // in-memory oracle built from the gathered matrices bit for bit.
+  const ServeCase c = GetParam();
+  const std::size_t n = 96, b = 16;
+  DenseEntryGen<float> gen(6100 + static_cast<std::uint64_t>(c.variant),
+                           0.85, 1.0f, 90.0f, /*integral=*/true);
+  const auto grid = c.tiled ? dist::GridSpec::tiled(1, 2, 2, 1)
+                            : dist::GridSpec::row_major(2, 2);
+  const int rpn = c.tiled ? grid.qr() * grid.qc() : 2;
+
+  dist::DistFwOptions opt;
+  opt.variant = c.variant;
+  opt.block_size = b;
+  if (c.variant == sched::Variant::kOffload) {
+    opt.oog.mx = opt.oog.nx = 16;
+    opt.oog.num_streams = 2;
+  }
+  sched::ScheduleParams sp;
+  sp.variant = c.variant;
+  sp.nb = n / b;
+  sp.b = b;
+  sp.word_bytes = sizeof(float);
+  sp.pred_word_bytes = sizeof(std::int64_t);
+  sp.checkpoint_every = 2;
+  const auto schedule = sched::build_schedule(grid, sp);
+
+  MemoryCheckpointStore store;
+  opt.resilience.checkpoint_every = 2;
+  opt.resilience.store = &store;
+  opt.publish_store = &store;  // aliasing the resilience store is legal
+  opt.faults.seed = 17;
+  opt.faults.crash_rank = 1;
+  opt.faults.crash_at_op =
+      static_cast<std::int64_t>(schedule.steps.size() * 6 / 10);
+
+  const auto run = dist::run_parallel_fw<S>(n, gen, grid, rpn, opt,
+                                            /*track_paths=*/true);
+  ASSERT_GE(run.restarts, 1) << "the injected crash must have fired";
+
+  ApspResult<float> oracle;
+  oracle.dist = run.dist.clone();
+  oracle.pred.emplace(run.pred.clone());
+
+  serve::ServeOptions sopt;
+  sopt.cache_budget_bytes = 24 * b * b * sizeof(std::int64_t);
+  serve::PathService<S> service(store, sopt);
+  EXPECT_EQ(service.manifest().world_size(), 4u);
+  expect_all_pairs_match(service, oracle, n);
+  EXPECT_LE(service.cache_stats().bytes_peak, sopt.cache_budget_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariantsBothPlacements, ServedCrashResume,
+    ::testing::Values(ServeCase{sched::Variant::kBaseline, false},
+                      ServeCase{sched::Variant::kPipelined, false},
+                      ServeCase{sched::Variant::kAsync, false},
+                      ServeCase{sched::Variant::kOffload, false},
+                      ServeCase{sched::Variant::kBaseline, true},
+                      ServeCase{sched::Variant::kPipelined, true},
+                      ServeCase{sched::Variant::kAsync, true},
+                      ServeCase{sched::Variant::kOffload, true}));
+
+TEST(ServeFrontDoor, SolvePublishesThroughDistStrategyIncludingAuto) {
+  // The solve() front door: DistStrategy::publish_store flows into the
+  // driver; the served answers match the returned result — with an
+  // explicit variant and with kAuto (tuner-resolved schedule).
+  const Graph g = gen::erdos_renyi(96, 0.3, 23);
+  for (const bool use_auto : {false, true}) {
+    ApspOptions opt;
+    opt.algorithm = ApspAlgorithm::kDistributed;
+    opt.block_size = 16;
+    opt.track_paths = true;
+    opt.dist.grid_rows = opt.dist.grid_cols = 2;
+    opt.dist.variant =
+        use_auto ? sched::Variant::kAuto : sched::Variant::kPipelined;
+    MemoryCheckpointStore store;
+    opt.dist.publish_store = &store;
+    const auto result = solve<MinPlus<double>>(g, opt);
+
+    serve::PathService<MinPlus<double>> service(store);
+    serve::WorkloadSpec wspec;
+    wspec.n = 96;
+    wspec.queries = 400;
+    wspec.zipf_s = 1.1;
+    wspec.seed = 31;
+    const QueryBatch batch = serve::make_workload(wspec);
+    const auto want = result.answer(batch);
+    const auto got = service.answer(batch);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i].status, want[i].status) << "auto=" << use_auto;
+      ASSERT_EQ(got[i].distance, want[i].distance) << "auto=" << use_auto;
+      ASSERT_EQ(got[i].path, want[i].path) << "auto=" << use_auto;
+    }
+  }
+}
+
+TEST(ServeFrontDoor, FileStoreServesPublishedManifest) {
+  // End-to-end through FileCheckpointStore: exercises the positioned-read
+  // get_ranges override against real files.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "parfw_serve_file_store";
+  std::filesystem::remove_all(dir);
+  FileCheckpointStore store(dir);
+  const Graph g = gen::erdos_renyi(48, 0.3, 5);
+  ApspOptions opt;
+  opt.block_size = 8;
+  opt.track_paths = true;
+  const auto oracle = apsp<S>(g, opt);
+  serve::publish_result(store, oracle, 8, 2, 2);
+
+  serve::ServeOptions sopt;
+  sopt.cache_budget_bytes = 4 * 8 * 8 * sizeof(std::int64_t);
+  serve::PathService<S> service(store, sopt);
+  expect_all_pairs_match(service, oracle, 48);
+  std::filesystem::remove_all(dir);
+}
+
+// --- Sharded serving ---------------------------------------------------------
+
+TEST(ShardedServe, RoutedResultsMatchLocalService) {
+  const std::size_t n = 96, b = 16;
+  DenseEntryGen<float> gen(777, 0.85, 1.0f, 90.0f, /*integral=*/true);
+  const auto grid = dist::GridSpec::row_major(2, 2);
+  dist::DistFwOptions opt;
+  opt.block_size = b;
+  MemoryCheckpointStore store;
+  opt.publish_store = &store;
+  const auto run = dist::run_parallel_fw<S>(n, gen, grid, 2, opt,
+                                            /*track_paths=*/true);
+  ApspResult<float> oracle;
+  oracle.dist = run.dist.clone();
+  oracle.pred.emplace(run.pred.clone());
+
+  serve::WorkloadSpec wspec;
+  wspec.n = static_cast<std::int64_t>(n);
+  wspec.queries = 500;
+  wspec.zipf_s = 1.0;
+  wspec.seed = 13;
+  const QueryBatch batch = serve::make_workload(wspec);
+  const auto want = oracle.answer(batch);
+
+  std::vector<QueryResult<float>> got;
+  mpi::Runtime::run(4, [&](mpi::Comm& world) {
+    serve::ServeOptions sopt;
+    sopt.cache_budget_bytes = 16 * b * b * sizeof(std::int64_t);
+    auto results = serve::sharded_answer<S>(world, store, batch, sopt);
+    if (world.rank() == 0) got = std::move(results);
+  });
+  ASSERT_EQ(got.size(), batch.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].status, want[i].status) << "query " << i;
+    ASSERT_EQ(got[i].distance, want[i].distance) << "query " << i;
+    ASSERT_EQ(got[i].path, want[i].path) << "query " << i;
+  }
+}
+
+TEST(ShardedServe, WorldSizeMustMatchManifest) {
+  Published p = publish_case(32, 8, 2, 2, /*paths=*/true);
+  mpi::Runtime::run(2, [&](mpi::Comm& world) {
+    QueryBatch batch;
+    batch.add(0, 1);
+    EXPECT_THROW(serve::sharded_answer<S>(world, p.store(), batch),
+                 check_error);
+  });
+}
+
+}  // namespace
+}  // namespace parfw

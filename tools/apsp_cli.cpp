@@ -5,10 +5,15 @@
 //        [--semiring minplus|maxmin] [--block N] [--paths]
 //        [--components] [--query S,T ...] [--output dists.txt]
 //   apsp --gen er --n 500 --p 0.1 --seed 1 ...
+//   apsp --gen ... --paths --publish DIR [--publish-grid PRxPC] --query 0,42
+//   apsp --serve DIR [--paths] --query 0,42 --query 0,7 [--cache-mb N]
 //
 // Reads an edge-list ("n m" header then "src dst w" lines) or DIMACS .gr
 // file, or generates a random graph; solves APSP; answers point queries
-// and/or dumps the full matrix.
+// and/or dumps the full matrix. --publish shards the solved result into a
+// served tile manifest under DIR; --serve answers the queries from such a
+// manifest through serve::PathService — no solve, no full-matrix load.
+// All queries flow through the one batched query API (core/query.hpp).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -19,6 +24,8 @@
 #include "dist/solve.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "serve/path_service.hpp"
+#include "serve/publish.hpp"
 #include "telemetry/export.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -50,12 +57,81 @@ void print_usage() {
       "                      composes with every algorithm, including dist\n"
       "                      (any variant or auto) and checkpoint/restart\n"
       "  --components        solve per connected component\n"
-      "  --query S,T         print dist (and path) for the pair; repeatable\n"
-      "  --output FILE       write the full distance matrix\n");
+      "  --query S,T         answer dist (and path) for the pair; repeatable\n"
+      "                      — all pairs go through one batched query\n"
+      "  --output FILE       write the full distance matrix\n"
+      "  --publish DIR       after solving, publish the result as a served\n"
+      "                      tile manifest under DIR (checkpoint-v2 blobs)\n"
+      "  --publish-grid PRxPC   serving grid for --publish (default 1x1)\n"
+      "  --serve DIR         answer --query from a published manifest in DIR\n"
+      "                      (no solve; --paths needs a manifest published\n"
+      "                      from a paths run)\n"
+      "  --cache-mb N        --serve tile-cache byte budget (default 64)\n");
+}
+
+/// Parse every --query occurrence into one batch; exits via check_error
+/// on a malformed pair.
+QueryBatch parse_queries(const CliArgs& args, bool want_paths) {
+  QueryBatch batch;
+  batch.want_paths = want_paths;
+  for (const std::string& spec : args.get_all("query")) {
+    long long s = 0, d = 0;
+    char comma = 0;
+    std::istringstream in(spec);
+    PARFW_CHECK_MSG(in >> s >> comma >> d && comma == ',',
+                    "bad --query '" << spec << "' (expected S,T)");
+    batch.add(s, d);
+  }
+  return batch;
+}
+
+template <typename T>
+void print_results(const QueryBatch& batch,
+                   const std::vector<QueryResult<T>>& results) {
+  for (std::size_t i = 0; i < batch.pairs.size(); ++i) {
+    const PathQuery& q = batch.pairs[i];
+    const QueryResult<T>& r = results[i];
+    std::printf("dist(%lld, %lld) = %g\n", static_cast<long long>(q.src),
+                static_cast<long long>(q.dst),
+                static_cast<double>(r.distance));
+    if (!batch.want_paths) continue;
+    if (r.status == PathStatus::kUnreachable) {
+      std::printf("path: unreachable\n");
+    } else if (r.status == PathStatus::kFound) {
+      std::printf("path:");
+      for (auto v : r.path) std::printf(" %lld", static_cast<long long>(v));
+      std::printf("\n");
+    }
+  }
+}
+
+template <typename S>
+int serve_queries(const CliArgs& args) {
+  FileCheckpointStore store(args.get("serve", ""));
+  serve::ServeOptions sopt;
+  sopt.cache_budget_bytes =
+      static_cast<std::size_t>(args.get_int("cache-mb", 64)) << 20;
+  if (telemetry::enabled()) sopt.metrics = &telemetry::Registry::global();
+  serve::PathService<S> service(store, sopt);
+  const QueryBatch batch = parse_queries(args, args.get_bool("paths"));
+  const auto results = service.answer(batch);
+  print_results(batch, results);
+  const auto& cs = service.cache_stats();
+  std::fprintf(stderr,
+               "served %zu queries from %s (cache: %llu hits, %llu misses, "
+               "%llu evictions, %.0f%% hit rate)\n",
+               batch.size(), args.get("serve", "").c_str(),
+               static_cast<unsigned long long>(cs.hits),
+               static_cast<unsigned long long>(cs.misses),
+               static_cast<unsigned long long>(cs.evictions),
+               100.0 * cs.hit_rate());
+  return 0;
 }
 
 template <typename S>
 int run(const Graph& g, const CliArgs& args) {
+  if (args.has("serve")) return serve_queries<S>(args);
+
   ApspOptions opt;
   const std::string alg =
       args.get("algorithm", args.has("dist") ? "dist" : "parallel");
@@ -114,29 +190,22 @@ int run(const Graph& g, const CliArgs& args) {
                static_cast<long long>(g.num_vertices()), t.seconds(),
                alg.c_str());
 
-  if (args.has("query")) {
-    std::istringstream qs(args.get("query", ""));
-    std::string part;
-    // single --query only via map; parse "S,T"
-    long long s = 0, d = 0;
-    char comma = 0;
-    std::istringstream one(args.get("query", ""));
-    if (one >> s >> comma >> d && comma == ',') {
-      std::printf("dist(%lld, %lld) = %g\n", s, d,
-                  static_cast<double>(result.dist(s, d)));
-      if (opt.track_paths) {
-        const auto p = result.path(s, d);
-        std::printf("path:");
-        for (auto v : p) std::printf(" %lld", static_cast<long long>(v));
-        std::printf("\n");
-      }
-    } else {
-      std::fprintf(stderr, "bad --query (expected S,T)\n");
+  if (args.has("publish")) {
+    int pr = 1, pc = 1;
+    char x = 0;
+    std::istringstream gs(args.get("publish-grid", "1x1"));
+    if (!(gs >> pr >> x >> pc) || x != 'x' || pr < 1 || pc < 1) {
+      std::fprintf(stderr, "bad --publish-grid (expected PRxPC)\n");
       return 2;
     }
-    (void)part;
-    (void)qs;
+    FileCheckpointStore store(args.get("publish", ""));
+    serve::publish_result(store, result, opt.block_size, pr, pc);
+    std::fprintf(stderr, "published %dx%d manifest to %s\n", pr, pc,
+                 args.get("publish", "").c_str());
   }
+
+  const QueryBatch batch = parse_queries(args, opt.track_paths);
+  if (!batch.empty()) print_results(batch, result.answer(batch));
 
   if (args.has("output")) {
     std::ofstream out(args.get("output", ""));
@@ -161,14 +230,17 @@ int main(int argc, char** argv) {
                        {"input", "format", "gen", "n", "p", "seed",
                         "algorithm", "semiring", "block", "paths",
                         "components", "query", "output", "dist", "variant",
-                        "rpn", "help"});
+                        "rpn", "publish", "publish-grid", "serve", "cache-mb",
+                        "help"});
     if (args.get_bool("help") || argc == 1) {
       print_usage();
       return argc == 1 ? 2 : 0;
     }
 
     Graph g(0);
-    if (args.has("input")) {
+    if (args.has("serve")) {
+      // Serving needs no graph: the manifest is the data.
+    } else if (args.has("input")) {
       const std::string path = args.get("input", "");
       if (args.get("format", "el") == "gr") {
         std::ifstream in(path);
