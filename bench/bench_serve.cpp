@@ -52,6 +52,11 @@ struct WorkloadResult {
   telemetry::HistogramSummary latency;
   serve::TileCacheStats cache;
   double wall_seconds = 0.0;
+  // Per-stage latency attribution (qtrace): Σ seconds per stage and its
+  // share of Σ query latency. route/cache/io/walk tile each query span,
+  // so the shares sum to ~1 — checked below as the reconciliation gate.
+  double stage_seconds[serve::kNumStages] = {};
+  double stage_share[serve::kNumStages] = {};
 };
 
 WorkloadResult run_workload(const MemoryCheckpointStore& store,
@@ -80,6 +85,13 @@ WorkloadResult run_workload(const MemoryCheckpointStore& store,
   }
   r.latency = reg.histogram("serve.query.latency").summary();
   r.cache = service.cache_stats();
+  for (int s = 0; s + 1 < serve::kNumStages; ++s) {  // gather: sharded only
+    const std::string name =
+        std::string("serve.stage.") +
+        serve::stage_name(static_cast<serve::Stage>(s)) + ".latency";
+    r.stage_seconds[s] = reg.histogram(name).sum();
+    if (r.latency.sum > 0.0) r.stage_share[s] = r.stage_seconds[s] / r.latency.sum;
+  }
   return r;
 }
 
@@ -116,9 +128,10 @@ int main() {
   const Case cases[] = {{"uniform", 0.0}, {"zipf1.2", 1.2}};
 
   bench::BenchJson json;
-  Table t({"workload", "queries", "p50 us", "p99 us", "hit %", "evictions",
-           "peak MiB", "qps"});
+  Table t({"workload", "queries", "p50 us", "p99 us", "hit %", "io %",
+           "walk %", "evictions", "peak MiB", "qps"});
   bool budget_ok = true;
+  bool reconciled = true;
   double hit_uniform = 0.0, hit_zipf = 0.0;
   for (const Case& c : cases) {
     const WorkloadResult r = run_workload(store, c.zipf_s);
@@ -128,6 +141,10 @@ int main() {
                Table::num(r.latency.p50 * 1e6, 2),
                Table::num(r.latency.p99 * 1e6, 2),
                Table::num(100.0 * r.cache.hit_rate(), 1),
+               Table::num(100.0 * r.stage_share[static_cast<int>(
+                                      serve::Stage::kIo)], 1),
+               Table::num(100.0 * r.stage_share[static_cast<int>(
+                                      serve::Stage::kWalk)], 1),
                std::to_string(r.cache.evictions),
                Table::num(r.cache.bytes_peak / (1024.0 * 1024.0), 2),
                Table::num(kQueries / r.wall_seconds, 0)});
@@ -135,22 +152,43 @@ int main() {
     json.add(base + "_p50", r.latency.p50, "latency_us", r.latency.p50 * 1e6);
     json.add(base + "_p99", r.latency.p99, "latency_us", r.latency.p99 * 1e6);
     json.add(base + "_hit_rate", 0.0, "hit_rate", r.cache.hit_rate());
+    // Stage attribution rows: real_time 0 keeps them out of the one-sided
+    // wall-clock gate; the dedicated two-sided "share" compare pins them.
+    double covered = 0.0;
+    for (int s = 0; s + 1 < serve::kNumStages; ++s) {
+      json.add(base + "_stage_" +
+                   serve::stage_name(static_cast<serve::Stage>(s)),
+               0.0, "share", r.stage_share[s]);
+      covered += r.stage_share[s];
+    }
+    // Reconciliation: the stage intervals tile each query span, so their
+    // summed shares must land within 1% of the latency histogram's sum.
+    reconciled = reconciled && covered > 0.99 && covered < 1.01;
+    std::printf("  %s stage shares sum to %.4f of serve.query.latency\n",
+                c.name, covered);
   }
   std::printf("%s", t.str().c_str());
 
   std::printf(
       "\nchecks:\n"
       "  bytes_peak <= budget (both workloads)  %s\n"
-      "  zipf hit rate > uniform hit rate       %s (%.1f%% vs %.1f%%)\n",
+      "  zipf hit rate > uniform hit rate       %s (%.1f%% vs %.1f%%)\n"
+      "  stage sums reconcile within 1%%         %s\n",
       budget_ok ? "yes" : "NO",
       hit_zipf > hit_uniform ? "yes" : "NO", 100.0 * hit_zipf,
-      100.0 * hit_uniform);
+      100.0 * hit_uniform, reconciled ? "yes" : "NO");
   if (!budget_ok) {
     std::fprintf(stderr, "tile cache exceeded its byte budget\n");
     return 1;
   }
   if (hit_zipf <= hit_uniform) {
     std::fprintf(stderr, "skewed workload did not beat the uniform floor\n");
+    return 1;
+  }
+  if (!reconciled) {
+    std::fprintf(stderr,
+                 "per-stage latency sums do not reconcile with "
+                 "serve.query.latency\n");
     return 1;
   }
   bench::footer(

@@ -58,14 +58,18 @@
 # acceptance enforced from the fresh JSON, and an apsp --paths
 # end-to-end run (distributed) that must answer a path query.
 #
-# --serve is the serving-tier gate (DESIGN.md §4.12): the test_serve and
-# test_cli suites, bench_serve diffed against BENCH_serve.json twice
-# (one-sided loose on the wall-clock p50/p99 latency rows, two-sided
-# tight on the deterministic hit-rate rows), and an apsp CLI round trip —
-# solve + --publish answering repeated --query flags, then --serve
-# answering the same batch from the manifest with byte-identical output,
-# plus the values-only negative: a manifest published without --paths
-# must hard-error on a path query and still serve distances.
+# --serve is the serving-tier gate (DESIGN.md §4.12-4.13): the
+# test_serve and test_cli suites, bench_serve diffed against
+# BENCH_serve.json three times (one-sided loose on the wall-clock
+# p50/p99 latency rows, two-sided tight on the deterministic hit-rate
+# rows, two-sided on the per-stage latency-attribution shares), and an
+# apsp CLI round trip — solve + --publish answering repeated --query
+# flags, then --serve answering the same batch from the manifest with
+# byte-identical stdout while ALSO capturing a per-query Chrome trace
+# and an SLO report; trace_analyze --mode serve must reassemble that
+# trace into gapless span trees. Plus the values-only negative: a
+# manifest published without --paths must hard-error on a path query and
+# still serve distances.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -272,7 +276,7 @@ if [[ "$serve" == 1 ]]; then
   build_dir="${1:-$repo_root/build}"
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$build_dir" -j"$(nproc)" \
-    --target test_serve test_cli bench_serve apsp_cli
+    --target test_serve test_cli bench_serve apsp_cli trace_analyze_cli
   out_dir="$build_dir/serve-smoke"
   mkdir -p "$out_dir"
 
@@ -293,6 +297,13 @@ if [[ "$serve" == 1 ]]; then
   python3 "$repo_root/scripts/bench_compare.py" \
     "$repo_root/BENCH_serve.json" "$out_dir/serve_fresh.json" \
     --metric hit_rate --two-sided --tolerance 0.02
+  # Per-stage latency attribution shares (DESIGN.md §4.13): two-sided —
+  # a stage silently swallowing (or shedding) most of the query window is
+  # an accounting bug even when the wall clock looks fine. Loose band:
+  # the io/walk balance moves with the machine's disk-vs-CPU ratio.
+  python3 "$repo_root/scripts/bench_compare.py" \
+    "$repo_root/BENCH_serve.json" "$out_dir/serve_fresh.json" \
+    --metric share --two-sided --tolerance 0.75
 
   echo "== apsp solve + publish -> serve round trip (CLI) =="
   rm -rf "$out_dir/manifest" "$out_dir/manifest_values"
@@ -303,11 +314,25 @@ if [[ "$serve" == 1 ]]; then
     > "$out_dir/solve_answers.txt"
   [[ "$(grep -c '^dist(' "$out_dir/solve_answers.txt")" == 3 ]] \
     || { echo "repeated --query flags did not all get answered"; exit 1; }
+  # The observability flags must not perturb stdout: the byte-identical
+  # comparison below runs WITH tracing + SLO monitoring enabled.
   "$build_dir/tools/apsp" --serve "$out_dir/manifest" --paths --cache-mb 1 \
     --query 0,199 --query 17,42 --query 199,0 \
-    > "$out_dir/serve_answers.txt"
+    --serve-trace "$out_dir/serve_trace.json" --slo-p99-ms 50 --slow-log 5 \
+    > "$out_dir/serve_answers.txt" 2> "$out_dir/serve_stderr.txt"
   cmp "$out_dir/solve_answers.txt" "$out_dir/serve_answers.txt" \
     || { echo "served answers differ from the in-memory solve"; exit 1; }
+  grep -q "SLO:" "$out_dir/serve_stderr.txt" \
+    || { echo "--slo-p99-ms produced no SLO report"; exit 1; }
+  grep -q "serve.cache.hits" "$out_dir/serve_stderr.txt" \
+    || { echo "serve cache stats missing from the telemetry table"; exit 1; }
+
+  echo "== trace_analyze --mode serve on the captured query trace =="
+  "$build_dir/tools/trace_analyze" --trace "$out_dir/serve_trace.json" \
+    --mode serve | tee "$out_dir/serve_trace_report.txt"
+  grep -q "serve trace: 3 queries" "$out_dir/serve_trace_report.txt" \
+    || { echo "serve trace did not reassemble into 3 query span trees"; \
+         exit 1; }
 
   echo "== values-only manifest: path queries must hard-error =="
   "$build_dir/tools/apsp" --gen er --n 240 --p 0.2 --seed 7 \

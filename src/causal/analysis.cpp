@@ -38,12 +38,23 @@ const char* category_name(Category c) {
     case Category::kStall: return "stall";
     case Category::kRetransmit: return "retransmit";
     case Category::kCheckpoint: return "checkpoint";
+    case Category::kIo: return "io";
   }
   return "?";
 }
 
 Category category_of(const sched::TraceEvent& e) {
   const char* n = e.name;
+  // Serve-trace spans (qtrace.hpp): store IO is its own category; the
+  // pred-walk and cache probe are compute; routing and the rank-0 gather
+  // (plus its send/recv flow events) are comm.
+  if (starts_with(n, "serve")) {
+    if (is(n, "serveIO")) return Category::kIo;
+    if (is(n, "serveRoute") || is(n, "serveGather") || is(n, "serveSend") ||
+        is(n, "serveRecv"))
+      return Category::kComm;
+    return Category::kCompute;  // serveQuery, serveCache, serveWalk, instants
+  }
   if (is(n, "Checkpoint")) return Category::kCheckpoint;
   if (is(n, "retry") || is(n, "drop") || is(n, "dup") || is(n, "delay") ||
       is(n, "dup_discard"))
@@ -63,6 +74,15 @@ Category category_of(const sched::TraceEvent& e) {
 
 const char* phase_of(const sched::TraceEvent& e) {
   const char* n = e.name;
+  if (starts_with(n, "serve")) {
+    if (is(n, "serveRoute")) return "route";
+    if (is(n, "serveCache")) return "cache";
+    if (is(n, "serveIO")) return "io";
+    if (is(n, "serveWalk")) return "walk";
+    if (is(n, "serveGather") || is(n, "serveSend") || is(n, "serveRecv"))
+      return "gather";
+    return "query";  // serveQuery parent span, admit/bypass instants
+  }
   if (starts_with(n, "Diag")) return "diag";
   if (starts_with(n, "PanelUpdate") || is(n, "RowPanelBcast") ||
       is(n, "ColPanelBcast"))
@@ -281,6 +301,7 @@ double recost(const BlameReport& r, const WhatIf& w) {
     switch (s.cat) {
       case Category::kComm: total += d / w.comm_speedup; break;
       case Category::kCompute: total += d / w.compute_speedup; break;
+      case Category::kIo: total += d / w.io_speedup; break;
       case Category::kStall:
       case Category::kRetransmit:
       case Category::kCheckpoint: total += d; break;

@@ -20,6 +20,10 @@
 //   checkpoint  Checkpoint spans and barrier-join waits
 //   stall       gaps where the path waits for an op to start (scheduling
 //               /dependency idleness not explained by any edge work)
+//   io          store reads — serve-trace cache-miss get_ranges spans
+//               (serveIO). Solve traces never emit it; serve traces use it
+//               so the blame split separates "waiting on the tile store"
+//               from walk compute and shard-hop comm.
 #pragma once
 
 #include <array>
@@ -40,8 +44,9 @@ enum class Category : std::uint8_t {
   kStall = 2,
   kRetransmit = 3,
   kCheckpoint = 4,
+  kIo = 5,
 };
-inline constexpr int kNumCategories = 5;
+inline constexpr int kNumCategories = 6;
 const char* category_name(Category c);
 
 /// Category of an event's own execution time, by op name.
@@ -117,6 +122,7 @@ std::string format_report(const Graph& g, const BlameReport& r);
 struct WhatIf {
   double comm_speedup = 1.0;
   double compute_speedup = 1.0;
+  double io_speedup = 1.0;  ///< scales kIo segments (serve-trace store reads)
 };
 double recost(const BlameReport& r, const WhatIf& w);
 

@@ -22,9 +22,12 @@
 
 #include "core/query.hpp"
 #include "serve/manifest.hpp"
+#include "serve/qtrace.hpp"
+#include "serve/slo.hpp"
 #include "serve/tile_cache.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace parfw::serve {
 
@@ -32,12 +35,24 @@ struct ServeOptions {
   std::size_t cache_budget_bytes = std::size_t{64} << 20;
   CacheAdmission admission = CacheAdmission::kAlways;
   std::size_t ghost_capacity = 4096;
-  /// When set, the service publishes serve.query.latency (seconds,
-  /// histogram), serve.query.count, serve.cache.{hits,misses,evictions}
-  /// counters and serve.cache.bytes_{resident,peak} gauges into it.
+  /// When set, the service publishes serve.query.latency and the
+  /// per-stage serve.stage.*.latency histograms (seconds, at the finer
+  /// serve bucket resolution), serve.query.count,
+  /// serve.cache.{hits,misses,evictions,ghost_hits} counters,
+  /// serve.cache.bytes_{resident,peak} gauges and per-tile
+  /// serve.tile.miss.* gauges into it.
   telemetry::Registry* metrics = nullptr;
   /// Label set for the metric series, e.g. "rank=3" in the sharded tier.
   std::string metric_labels;
+  /// When set, every query emits a span tree (serveQuery over
+  /// route/cache/io/walk stage intervals, query id in `k`) through the
+  /// shared trace seam — load the capture in trace_analyze --mode serve.
+  sched::TraceSink* trace = nullptr;
+  /// Trace track / rank id for emitted spans (the shard rank).
+  int trace_rank = 0;
+  /// When set, every answered query's breakdown is fed to the monitor
+  /// (rolling p50/p99 vs targets, burn rate, slow-query log).
+  SloMonitor* slo = nullptr;
 };
 
 template <typename S>
@@ -59,9 +74,10 @@ class PathService {
                         manifest_.pred_elem_size() == sizeof(std::int64_t),
                     "unsupported pred element size "
                         << manifest_.pred_elem_size());
+    tracer_ = QueryTracer(QueryTracer::Config{
+        opt_.trace, opt_.metrics, opt_.metric_labels, opt_.trace_rank,
+        /*force=*/opt_.slo != nullptr});
     if (opt_.metrics != nullptr) {
-      latency_ = &opt_.metrics->histogram("serve.query.latency",
-                                          opt_.metric_labels);
       queries_ = &opt_.metrics->counter("serve.query.count",
                                         opt_.metric_labels);
       hits_ = &opt_.metrics->counter("serve.cache.hits", opt_.metric_labels);
@@ -69,6 +85,8 @@ class PathService {
           &opt_.metrics->counter("serve.cache.misses", opt_.metric_labels);
       evictions_ =
           &opt_.metrics->counter("serve.cache.evictions", opt_.metric_labels);
+      ghost_hits_ = &opt_.metrics->counter("serve.cache.ghost_hits",
+                                           opt_.metric_labels);
       resident_ = &opt_.metrics->gauge("serve.cache.bytes_resident",
                                        opt_.metric_labels);
       peak_ = &opt_.metrics->gauge("serve.cache.bytes_peak",
@@ -83,9 +101,43 @@ class PathService {
   /// matrices. A path request against a values-only manifest hard-errors
   /// (mirroring the resume rule in dist/checkpoint.hpp): predecessors
   /// cannot be reconstructed from distances after the fact.
+  ///
+  /// `qid` names the query in the trace (`k` on its spans) and the slow
+  /// log; -1 auto-assigns from a per-service counter. On the hard-error
+  /// path the open span is abandoned — begin_query resets unconditionally,
+  /// so the tracer stays usable after an unwind.
   QueryResult<T> query(std::int64_t src, std::int64_t dst,
-                       bool want_path = true) {
-    telemetry::ScopedTimer timer(latency_);
+                       bool want_path = true, std::int64_t qid = -1) {
+    tracer_.begin_query(qid >= 0 ? qid : next_qid_++);
+    QueryResult<T> r = query_impl(src, dst, want_path);
+    finish_query();
+    const QueryStats qs = tracer_.end_query();
+    if (opt_.slo != nullptr && tracer_.active()) opt_.slo->record(qs);
+    return r;
+  }
+
+  /// Answer a batch through the shared query API. Query i is traced as
+  /// qid i; the batch instant anchors the serve.queue.wait series, and
+  /// the accumulated per-tile miss costs are published at the end.
+  std::vector<QueryResult<T>> answer(const QueryBatch& batch) {
+    tracer_.begin_batch();
+    std::vector<QueryResult<T>> out;
+    out.reserve(batch.pairs.size());
+    for (std::size_t i = 0; i < batch.pairs.size(); ++i) {
+      const PathQuery& q = batch.pairs[i];
+      out.push_back(query(q.src, q.dst, batch.want_paths,
+                          static_cast<std::int64_t>(i)));
+    }
+    tracer_.publish_tile_costs();
+    return out;
+  }
+
+  /// The per-query tracer (sharded_answer emits gather spans through it).
+  QueryTracer& tracer() { return tracer_; }
+
+ private:
+  QueryResult<T> query_impl(std::int64_t src, std::int64_t dst,
+                            bool want_path) {
     const auto n = static_cast<std::int64_t>(manifest_.n());
     PARFW_CHECK_MSG(src >= 0 && src < n && dst >= 0 && dst < n,
                     "query (" << src << ", " << dst << ") out of range for n="
@@ -101,30 +153,16 @@ class PathService {
                          << "not set track_paths — re-solve with paths "
                          << "enabled, or ask for distances only");
       r.status = PathStatus::kNotTracked;
-      finish_query();
       return r;
     }
     if (src != dst && pred_at(src, dst) < 0) {
       r.status = PathStatus::kUnreachable;
-      finish_query();
       return r;
     }
     r.status = PathStatus::kFound;
     if (want_path) r.path = walk_path(src, dst);
-    finish_query();
     return r;
   }
-
-  /// Answer a batch through the shared query API.
-  std::vector<QueryResult<T>> answer(const QueryBatch& batch) {
-    std::vector<QueryResult<T>> out;
-    out.reserve(batch.pairs.size());
-    for (const PathQuery& q : batch.pairs)
-      out.push_back(query(q.src, q.dst, batch.want_paths));
-    return out;
-  }
-
- private:
   T value_at(std::int64_t i, std::int64_t j) {
     T v;
     std::memcpy(&v, entry_ptr(TileKind::kValue, i, j, sizeof(T)), sizeof(T));
@@ -151,17 +189,29 @@ class PathService {
                                          std::uint64_t J) {
     const TileKey key{kind, static_cast<std::uint32_t>(I),
                       static_cast<std::uint32_t>(J)};
+    StageScope cache_scope(tracer_, Stage::kCache);
     if (const auto* hit = cache_.find(key)) return *hit;
     manifest_.tile_ranges(I, J, kind, range_scratch_);
     const int owner = manifest_.owner_of(I, J);
     std::vector<std::uint8_t> buf(
         static_cast<std::size_t>(manifest_.tile_bytes(kind)));
-    const bool ok = store_.get_ranges(
-        manifest_.rank(owner).key,
-        std::span<const ByteRange>(range_scratch_), buf.data());
+    bool ok = false;
+    double io_seconds = 0.0;
+    {
+      StageScope io_scope(tracer_, Stage::kIo);
+      const Timer io_timer;
+      ok = store_.get_ranges(manifest_.rank(owner).key,
+                             std::span<const ByteRange>(range_scratch_),
+                             buf.data());
+      io_seconds = io_timer.seconds();
+    }
     PARFW_CHECK_MSG(ok, "rank blob '" << manifest_.rank(owner).key
                                       << "' vanished while serving");
-    if (const auto* stored = cache_.insert(key, buf)) return *stored;
+    tracer_.record_miss(key, io_seconds,
+                        static_cast<std::uint64_t>(buf.size()));
+    const auto* stored = cache_.insert(key, buf);
+    tracer_.note_admission(stored != nullptr);
+    if (stored != nullptr) return *stored;
     // Not admitted: serve this one read from the scratch buffer.
     scratch_tile_ = std::move(buf);
     return scratch_tile_;
@@ -171,6 +221,7 @@ class PathService {
   /// pulling each pred entry through the tile cache. Reachability was
   /// already established via pred(src, dst).
   std::vector<std::int64_t> walk_path(std::int64_t src, std::int64_t dst) {
+    StageScope walk_scope(tracer_, Stage::kWalk);
     if (src == dst) return {src};
     const auto n = static_cast<std::int64_t>(manifest_.n());
     std::vector<std::int64_t> rev;
@@ -195,6 +246,7 @@ class PathService {
     hits_->add(s.hits - published_.hits);
     misses_->add(s.misses - published_.misses);
     evictions_->add(s.evictions - published_.evictions);
+    ghost_hits_->add(s.ghost_hits - published_.ghost_hits);
     resident_->set(static_cast<double>(s.bytes_resident));
     peak_->update_max(static_cast<double>(s.bytes_peak));
     published_ = s;
@@ -207,11 +259,13 @@ class PathService {
   std::vector<ByteRange> range_scratch_;
   std::vector<std::uint8_t> scratch_tile_;
   TileCacheStats published_;  ///< last stats synced into the registry
-  telemetry::Histogram* latency_ = nullptr;
+  QueryTracer tracer_;
+  std::int64_t next_qid_ = 0;  ///< auto qids for untracked single queries
   telemetry::Counter* queries_ = nullptr;
   telemetry::Counter* hits_ = nullptr;
   telemetry::Counter* misses_ = nullptr;
   telemetry::Counter* evictions_ = nullptr;
+  telemetry::Counter* ghost_hits_ = nullptr;
   telemetry::Gauge* resident_ = nullptr;
   telemetry::Gauge* peak_ = nullptr;
 };

@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "mpisim/communicator.hpp"
+#include "sched/trace.hpp"
 #include "serve/path_service.hpp"
+#include "serve/qtrace.hpp"
 #include "util/check.hpp"
 
 namespace parfw::serve {
@@ -38,7 +40,9 @@ std::vector<QueryResult<typename S::value_type>> sharded_answer(
   using T = typename S::value_type;
   if (opt.metric_labels.empty())
     opt.metric_labels = "rank=" + std::to_string(world.rank());
+  opt.trace_rank = world.rank();
   PathService<S> service(store, opt);
+  QueryTracer& tracer = service.tracer();
   const ServeManifest& m = service.manifest();
   PARFW_CHECK_MSG(world.size() == static_cast<int>(m.world_size()),
                   "serving world size " << world.size()
@@ -51,26 +55,37 @@ std::vector<QueryResult<typename S::value_type>> sharded_answer(
   // lengths first so rank 0 can size its receives.
   std::vector<std::int64_t> meta;
   std::vector<T> dists;
+  tracer.begin_batch();
   for (std::size_t i = 0; i < batch.pairs.size(); ++i) {
     const PathQuery& q = batch.pairs[i];
     const int owner = m.owner_of(static_cast<std::uint64_t>(q.src) / b,
                                  static_cast<std::uint64_t>(q.dst) / b);
     if (owner != world.rank()) continue;
-    QueryResult<T> r = service.query(q.src, q.dst, batch.want_paths);
+    // The batch index is the query id, so a query's spans carry the same
+    // k on whichever rank's track ends up answering it.
+    QueryResult<T> r = service.query(q.src, q.dst, batch.want_paths,
+                                     static_cast<std::int64_t>(i));
     meta.push_back(static_cast<std::int64_t>(i));
     meta.push_back(static_cast<std::int64_t>(r.status));
     meta.push_back(static_cast<std::int64_t>(r.path.size()));
     meta.insert(meta.end(), r.path.begin(), r.path.end());
     dists.push_back(r.distance);
   }
+  tracer.publish_tile_costs();
 
   if (world.rank() != 0) {
+    const std::int64_t bytes =
+        static_cast<std::int64_t>(meta.size() * sizeof(std::int64_t) +
+                                  dists.size() * sizeof(T));
+    const double t_send = sched::now_seconds();
     world.send_value(std::uint64_t{meta.size()}, 0, detail::kTagServeMeta);
     if (!meta.empty())
       world.send(std::span<const std::int64_t>(meta), 0,
                  detail::kTagServeMeta);
     if (!dists.empty())
       world.send(std::span<const T>(dists), 0, detail::kTagServeDist);
+    tracer.emit_handoff(sched::EventKind::kSend, /*peer=*/0, bytes, t_send,
+                        sched::now_seconds());
     return {};
   }
 
@@ -90,7 +105,10 @@ std::vector<QueryResult<typename S::value_type>> sharded_answer(
     }
   };
   unpack(meta, dists);
+  const double t_gather = sched::now_seconds();
+  std::int64_t gather_bytes = 0;
   for (int src = 1; src < world.size(); ++src) {
+    const double t_recv = sched::now_seconds();
     const auto meta_len =
         world.recv_value<std::uint64_t>(src, detail::kTagServeMeta);
     std::vector<std::int64_t> peer_meta(meta_len);
@@ -104,8 +122,15 @@ std::vector<QueryResult<typename S::value_type>> sharded_answer(
     std::vector<T> peer_dists(results);
     if (results > 0)
       world.recv(std::span<T>(peer_dists), src, detail::kTagServeDist);
+    const std::int64_t bytes =
+        static_cast<std::int64_t>(peer_meta.size() * sizeof(std::int64_t) +
+                                  peer_dists.size() * sizeof(T));
+    tracer.emit_handoff(sched::EventKind::kRecv, src, bytes, t_recv,
+                        sched::now_seconds());
+    gather_bytes += bytes;
     unpack(peer_meta, peer_dists);
   }
+  tracer.record_gather(t_gather, sched::now_seconds(), gather_bytes);
   return out;
 }
 

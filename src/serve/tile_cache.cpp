@@ -18,7 +18,10 @@ const std::vector<std::uint8_t>* TileCache::find(const TileKey& key) {
 }
 
 bool TileCache::ghost_second_touch(const TileKey& key) {
-  if (ghost_.erase(key) > 0) return true;  // second touch: promote
+  if (ghost_.erase(key) > 0) {
+    ++stats_.ghost_hits;  // second touch: promote
+    return true;
+  }
   ghost_.insert(key);
   ghost_fifo_.push_back(key);
   while (ghost_fifo_.size() > cfg_.ghost_capacity) {

@@ -72,6 +72,11 @@ struct TileCacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t admitted = 0;  ///< misses whose tile entered the cache
   std::uint64_t bypassed = 0;  ///< misses filtered out by admission
+  /// kSecondTouch admissions that came from a ghost-window second touch
+  /// (as opposed to kAlways admissions). The admission tuner reads this to
+  /// tell "the ghost filter is promoting a real hot set" apart from "every
+  /// miss sails straight in" — a plain miss count can't distinguish them.
+  std::uint64_t ghost_hits = 0;
   std::uint64_t rejected = 0;  ///< tiles larger than the whole budget
   std::uint64_t bytes_resident = 0;
   std::uint64_t bytes_peak = 0;

@@ -6,6 +6,14 @@
 
 namespace parfw::telemetry {
 
+Histogram::Histogram(int sub_per_octave) {
+  PARFW_CHECK_MSG(sub_per_octave >= 1 && sub_per_octave <= 64,
+                  "histogram sub_per_octave out of range: " << sub_per_octave);
+  sub_ = sub_per_octave;
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>((kMaxExp - kMinExp) * sub_));
+}
+
 double Histogram::quantile(double q) const {
   const std::uint64_t n = count();
   if (n == 0) return 0.0;
@@ -16,14 +24,14 @@ double Histogram::quantile(double q) const {
   const auto target = static_cast<std::uint64_t>(
       std::ceil(q * static_cast<double>(n)));
   std::uint64_t cum = 0;
-  for (int i = 0; i < kBuckets; ++i) {
+  for (int i = 0; i < bucket_count(); ++i) {
     cum += buckets_[static_cast<std::size_t>(i)].load(
         std::memory_order_relaxed);
     if (cum >= target) {
       // Geometric midpoint of the bucket, clamped into the observed range
       // so tiny histograms do not report values they never saw.
       const double mid = std::exp2(
-          kMinExp + (static_cast<double>(i) + 0.5) / kSub);
+          kMinExp + (static_cast<double>(i) + 0.5) / sub_);
       const double lo = min_.load(std::memory_order_relaxed);
       const double hi = max_.load(std::memory_order_relaxed);
       return std::min(std::max(mid, lo), hi);
@@ -46,7 +54,8 @@ HistogramSummary Histogram::summary() const {
 }
 
 Registry::Entry& Registry::entry(const std::string& name,
-                                 const std::string& labels, MetricKind kind) {
+                                 const std::string& labels, MetricKind kind,
+                                 int hist_sub) {
   const std::string key = name + '\x1f' + labels;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
@@ -57,7 +66,7 @@ Registry::Entry& Registry::entry(const std::string& name,
       case MetricKind::kCounter: e.counter = std::make_unique<Counter>(); break;
       case MetricKind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
       case MetricKind::kHistogram:
-        e.hist = std::make_unique<Histogram>();
+        e.hist = std::make_unique<Histogram>(hist_sub);
         break;
     }
     it = entries_.emplace(key, std::move(e)).first;
@@ -79,6 +88,11 @@ Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
 Histogram& Registry::histogram(const std::string& name,
                                const std::string& labels) {
   return *entry(name, labels, MetricKind::kHistogram).hist;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& labels, int sub_per_octave) {
+  return *entry(name, labels, MetricKind::kHistogram, sub_per_octave).hist;
 }
 
 std::vector<MetricRow> Registry::snapshot() const {

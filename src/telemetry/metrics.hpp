@@ -84,34 +84,41 @@ struct HistogramSummary {
 };
 
 /// Log-bucketed histogram over positive doubles (seconds, bytes, GF/s).
-/// Buckets are 2^(kMinExp + i/kSub) for i in [0, kBuckets); values below
-/// or above the range land in saturating edge buckets. Quantiles return
-/// the geometric midpoint of the covering bucket — accurate to one bucket
-/// width (2^(1/4) ≈ 1.19x), which is plenty for p50/p95/p99 reporting.
+/// Buckets are 2^(kMinExp + i/sub) for i in [0, bucket_count()); values
+/// below or above the range land in saturating edge buckets. Quantiles
+/// return the geometric midpoint of the covering bucket — accurate to one
+/// bucket width: 2^(1/sub) relative, i.e. ≈ 1.19x at the default 4
+/// sub-buckets per octave. Latency series that must resolve
+/// sub-millisecond tails (the serving tier's cache-hit path is ~µs) pass
+/// a finer `sub_per_octave` — 8 halves the log-width to ≈ 1.09x for twice
+/// the footprint. The resolution is fixed at construction; the default
+/// static bucket_of/bucket_lower helpers describe the default geometry.
 class Histogram {
  public:
   static constexpr int kMinExp = -30;  ///< 2^-30 ≈ 9.3e-10
   static constexpr int kMaxExp = 42;   ///< 2^42  ≈ 4.4e12
-  static constexpr int kSub = 4;       ///< sub-buckets per power of two
+  static constexpr int kSub = 4;       ///< default sub-buckets per octave
   static constexpr int kBuckets = (kMaxExp - kMinExp) * kSub;
 
-  /// Index of the bucket covering v (clamped to the edge buckets).
-  static int bucket_of(double v) {
-    if (!(v > 0.0)) return 0;
-    const double l = std::log2(v);
-    const double i = std::floor((l - kMinExp) * kSub);
-    if (i < 0.0) return 0;
-    if (i >= kBuckets) return kBuckets - 1;
-    return static_cast<int>(i);
-  }
-  /// Inclusive lower bound of bucket i.
+  explicit Histogram(int sub_per_octave = kSub);
+
+  /// Sub-buckets per power of two this instance was built with.
+  int sub_per_octave() const { return sub_; }
+  /// Total bucket count of this instance.
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+
+  /// Index of the default-geometry bucket covering v (clamped to the edge
+  /// buckets). Instance lookups go through index_of, which honours the
+  /// configured resolution.
+  static int bucket_of(double v) { return index_of(v, kSub, kBuckets); }
+  /// Inclusive lower bound of default-geometry bucket i.
   static double bucket_lower(int i) {
     return std::exp2(kMinExp + static_cast<double>(i) / kSub);
   }
 
   void observe(double v) {
-    buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
-        1, std::memory_order_relaxed);
+    buckets_[static_cast<std::size_t>(index_of(v, sub_, bucket_count()))]
+        .fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     atomic_add(sum_, v);
     atomic_min(min_, v);
@@ -127,6 +134,16 @@ class Histogram {
   HistogramSummary summary() const;
 
  private:
+  /// Bucket index for v under a given geometry (clamped to the edges).
+  static int index_of(double v, int sub, int buckets) {
+    if (!(v > 0.0)) return 0;
+    const double l = std::log2(v);
+    const double i = std::floor((l - kMinExp) * sub);
+    if (i < 0.0) return 0;
+    if (i >= buckets) return buckets - 1;
+    return static_cast<int>(i);
+  }
+
   static void atomic_add(std::atomic<double>& a, double d) {
     double cur = a.load(std::memory_order_relaxed);
     while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
@@ -145,7 +162,10 @@ class Histogram {
     }
   }
 
-  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  int sub_ = kSub;
+  // Value-initialised vector of atomics: sized once in the ctor, never
+  // resized, so concurrent observe() never races a reallocation.
+  std::vector<std::atomic<std::uint64_t>> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};
@@ -175,6 +195,12 @@ class Registry {
   Counter& counter(const std::string& name, const std::string& labels = "");
   Gauge& gauge(const std::string& name, const std::string& labels = "");
   Histogram& histogram(const std::string& name, const std::string& labels = "");
+  /// Histogram with an explicit bucket resolution (sub-buckets per octave).
+  /// The resolution is applied on first registration; later lookups of the
+  /// same (name, labels) return the existing instance unchanged, whatever
+  /// resolution they ask for.
+  Histogram& histogram(const std::string& name, const std::string& labels,
+                       int sub_per_octave);
 
   /// All metrics, sorted by (name, labels) — the exporters' input. The
   /// rows are a consistent-enough snapshot for reporting: each metric is
@@ -199,7 +225,7 @@ class Registry {
     std::unique_ptr<Histogram> hist;
   };
   Entry& entry(const std::string& name, const std::string& labels,
-               MetricKind kind);
+               MetricKind kind, int hist_sub = Histogram::kSub);
 
   mutable std::mutex mu_;
   // Key "name\x1flabels" -> entry; std::map keeps snapshots sorted.

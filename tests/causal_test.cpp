@@ -235,6 +235,58 @@ TEST(SyntheticPath, WhatIfRecostScalesOnlyTheTargetedCategories) {
   EXPECT_NEAR(causal::recost(r, {1.0, 1.0}), r.span, 1e-12);
 }
 
+// --- serve traces through the causal layer (DESIGN.md §4.13) -----------------
+
+TEST(ServeTraceBlame, ServeNamesMapToCategoriesAndPhases) {
+  auto cat = [](const char* n) {
+    TraceEvent e;
+    e.name = n;
+    return causal::category_of(e);
+  };
+  auto ph = [](const char* n) {
+    TraceEvent e;
+    e.name = n;
+    return std::string(causal::phase_of(e));
+  };
+  EXPECT_EQ(cat("serveIO"), Category::kIo);
+  EXPECT_EQ(cat("serveRoute"), Category::kComm);
+  EXPECT_EQ(cat("serveGather"), Category::kComm);
+  EXPECT_EQ(cat("serveSend"), Category::kComm);
+  EXPECT_EQ(cat("serveRecv"), Category::kComm);
+  EXPECT_EQ(cat("serveQuery"), Category::kCompute);
+  EXPECT_EQ(cat("serveWalk"), Category::kCompute);
+  EXPECT_EQ(cat("serveCache"), Category::kCompute);
+  EXPECT_EQ(ph("serveRoute"), "route");
+  EXPECT_EQ(ph("serveCache"), "cache");
+  EXPECT_EQ(ph("serveIO"), "io");
+  EXPECT_EQ(ph("serveWalk"), "walk");
+  EXPECT_EQ(ph("serveGather"), "gather");
+  EXPECT_EQ(ph("serveSend"), "gather");
+  EXPECT_EQ(ph("serveQuery"), "query");
+  EXPECT_STREQ(causal::category_name(Category::kIo), "io");
+}
+
+TEST(ServeTraceBlame, IoWhatIfScalesOnlyStoreReads) {
+  // A serve-shaped path: route(comm) 1s -> io 1s -> walk(compute) 1s.
+  std::vector<TraceEvent> ev;
+  ev.push_back(span(0, "serveRoute", 0.0, 1.0));
+  ev.push_back(span(0, "serveIO", 1.0, 2.0));
+  ev.push_back(span(0, "serveWalk", 2.0, 3.0));
+  const Graph g = causal::build_graph(std::move(ev));
+  BlameReport r;
+  std::string err;
+  ASSERT_TRUE(causal::analyze(g, {}, &r, &err)) << err;
+  EXPECT_NEAR(r.category(Category::kIo), 1.0, 1e-12);
+  EXPECT_NEAR(r.by_phase.at("io")[static_cast<std::size_t>(Category::kIo)],
+              1.0, 1e-12);
+  // Halving the store: 3.0 -> 2.5; io is untouched by comm/compute
+  // speedups, which together buy the other two seconds.
+  causal::WhatIf wif;
+  wif.io_speedup = 2.0;
+  EXPECT_NEAR(causal::recost(r, wif), 2.5, 1e-12);
+  EXPECT_NEAR(causal::recost(r, {2.0, 2.0}), 2.0, 1e-12);
+}
+
 TEST(SyntheticPath, PublishBlameExportsCpSeries) {
   BlameReport r;
   std::string err;

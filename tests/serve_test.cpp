@@ -6,24 +6,39 @@
 // (auto included), and the sharded mpisim serving tier.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
 #include <vector>
 
+#include "causal/analysis.hpp"
+#include "causal/graph.hpp"
+#include "causal/trace_io.hpp"
 #include "core/apsp.hpp"
+#include "core/checkpoint_store.hpp"
 #include "core/floyd_warshall.hpp"
 #include "core/query.hpp"
 #include "dist/driver.hpp"
 #include "dist/solve.hpp"
 #include "graph/generators.hpp"
 #include "mpisim/runtime.hpp"
+#include "sched/trace.hpp"
 #include "serve/manifest.hpp"
 #include "serve/path_service.hpp"
 #include "serve/publish.hpp"
+#include "serve/qtrace.hpp"
 #include "serve/sharded.hpp"
+#include "serve/slo.hpp"
 #include "serve/tile_cache.hpp"
 #include "serve/workload.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace parfw {
 namespace {
@@ -514,6 +529,332 @@ TEST(ShardedServe, WorldSizeMustMatchManifest) {
     EXPECT_THROW(serve::sharded_answer<S>(world, p.store(), batch),
                  check_error);
   });
+}
+
+// --- Serving observability (DESIGN.md §4.13) ---------------------------------
+
+TEST(TileCache, GhostHitsCounted) {
+  // Only a ghost-window second touch bumps ghost_hits; kAlways admissions
+  // never do — that distinction is the signal the admission tuner reads.
+  TileCache cache(TileCacheConfig{/*budget_bytes=*/4096,
+                                  CacheAdmission::kSecondTouch});
+  const TileKey key{TileKind::kValue, 1, 2};
+  auto bytes = tile_bytes(64, 5);
+  EXPECT_EQ(cache.insert(key, bytes), nullptr);  // first touch: ghost only
+  EXPECT_EQ(cache.stats().ghost_hits, 0u);
+  EXPECT_NE(cache.insert(key, bytes), nullptr);  // second touch: admitted
+  EXPECT_EQ(cache.stats().ghost_hits, 1u);
+  EXPECT_EQ(cache.stats().admitted, 1u);
+
+  TileCache always(TileCacheConfig{/*budget_bytes=*/4096,
+                                   CacheAdmission::kAlways});
+  auto more = tile_bytes(64, 6);
+  EXPECT_NE(always.insert(key, more), nullptr);
+  EXPECT_EQ(always.stats().ghost_hits, 0u);
+}
+
+TEST(QTrace, SpanTreeTilesQueryWindow) {
+  // The acceptance gate of §4.13: every query's stage intervals tile its
+  // span exactly (in-memory capture, so ZERO tolerance up to FP identity),
+  // and the serve.stage.* histograms reconcile with serve.query.latency.
+  Published p = publish_case(60, 12, 2, 2, /*paths=*/true);
+  sched::CollectTraceSink sink;
+  telemetry::Registry reg;
+  serve::ServeOptions sopt;
+  // Two pred tiles: the walk thrashes, so route/cache/io/walk all appear.
+  sopt.cache_budget_bytes = 2 * 12 * 12 * sizeof(std::int64_t);
+  sopt.trace = &sink;
+  sopt.metrics = &reg;
+  serve::PathService<S> service(p.store(), sopt);
+
+  serve::WorkloadSpec wspec;
+  wspec.n = 60;
+  wspec.queries = 300;
+  wspec.zipf_s = 0.8;
+  wspec.seed = 3;
+  const QueryBatch batch = serve::make_workload(wspec);
+  ASSERT_EQ(service.answer(batch).size(), batch.size());
+
+  const serve::ServeTraceReport r =
+      serve::analyze_serve_trace(sink.events(), /*tolerance=*/1e-9);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.num_queries, 300);
+  EXPECT_GT(r.min_coverage, 0.9999);
+  EXPECT_LE(r.max_gap, 1e-9);
+
+  telemetry::Histogram& lat = reg.histogram("serve.query.latency");
+  EXPECT_EQ(lat.count(), 300u);
+  EXPECT_EQ(reg.histogram("serve.queue.wait").count(), 300u);
+  double stage_sum = 0.0;
+  for (int s = 0; s + 1 < serve::kNumStages; ++s) {
+    telemetry::Histogram& h = reg.histogram(
+        std::string("serve.stage.") +
+        serve::stage_name(static_cast<serve::Stage>(s)) + ".latency");
+    // Zero stage times are observed too, so per-stage counts match the
+    // query count and rates stay comparable across stages.
+    EXPECT_EQ(h.count(), 300u);
+    stage_sum += h.sum();
+  }
+  EXPECT_NEAR(stage_sum, lat.sum(), 0.01 * lat.sum());
+  EXPECT_NEAR(r.total_seconds, lat.sum(), 1e-12 + 1e-9 * lat.sum());
+}
+
+TEST(QTrace, TileMissCostsPublished) {
+  // Every cache miss is attributed to its tile: the published
+  // serve.tile.miss.fetches gauges (and the tracer's in-memory map) sum
+  // to exactly the cache's miss count.
+  Published p = publish_case(48, 8, 1, 1, /*paths=*/true);
+  telemetry::Registry reg;
+  serve::ServeOptions sopt;
+  sopt.cache_budget_bytes = 4 * 8 * 8 * sizeof(std::int64_t);
+  sopt.metrics = &reg;
+  serve::PathService<S> service(p.store(), sopt);
+
+  serve::WorkloadSpec wspec;
+  wspec.n = 48;
+  wspec.queries = 400;
+  wspec.zipf_s = 1.0;
+  wspec.seed = 7;
+  const QueryBatch batch = serve::make_workload(wspec);
+  ASSERT_EQ(service.answer(batch).size(), batch.size());
+  ASSERT_GT(service.cache_stats().misses, 0u);
+
+  double gauge_fetches = 0.0;
+  for (const telemetry::MetricRow& row : reg.snapshot())
+    if (row.name == "serve.tile.miss.fetches") gauge_fetches += row.value;
+  EXPECT_EQ(static_cast<std::uint64_t>(gauge_fetches),
+            service.cache_stats().misses);
+
+  std::uint64_t map_fetches = 0;
+  for (const auto& [key, cost] : service.tracer().tile_costs()) {
+    (void)key;
+    map_fetches += cost.fetches;
+    EXPECT_GT(cost.bytes, 0u);
+    EXPECT_GT(cost.io_seconds, 0.0);
+  }
+  EXPECT_EQ(map_fetches, service.cache_stats().misses);
+}
+
+TEST(QTrace, ChromeTraceRoundTrip) {
+  // Serve spans written as a Chrome trace survive the causal loader: the
+  // reassembled span trees still tile (within the µs-rounding tolerance)
+  // and causal::build_graph/analyze consume them unchanged.
+  Published p = publish_case(48, 8, 1, 2, /*paths=*/true);
+  sched::ChromeTraceSink sink;
+  serve::ServeOptions sopt;
+  sopt.cache_budget_bytes = 4 * 8 * 8 * sizeof(std::int64_t);
+  sopt.trace = &sink;
+  serve::PathService<S> service(p.store(), sopt);
+
+  serve::WorkloadSpec wspec;
+  wspec.n = 48;
+  wspec.queries = 150;
+  wspec.zipf_s = 0.0;
+  wspec.seed = 19;
+  const QueryBatch batch = serve::make_workload(wspec);
+  ASSERT_EQ(service.answer(batch).size(), batch.size());
+
+  std::ostringstream os;
+  sink.write(os);
+  const causal::LoadResult loaded = causal::load_chrome_trace(os.str());
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+
+  const serve::ServeTraceReport r = serve::analyze_serve_trace(loaded.events);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.num_queries, 150);
+  EXPECT_GT(r.min_coverage, 0.99);
+  EXPECT_FALSE(format_serve_report(r).empty());
+
+  causal::Graph g = causal::build_graph(loaded.events);
+  causal::BlameReport blame;
+  std::string err;
+  ASSERT_TRUE(causal::analyze(g, {}, &blame, &err)) << err;
+  EXPECT_GT(blame.span, 0.0);
+  ASSERT_FALSE(blame.by_phase.empty());
+  for (const auto& [phase, totals] : blame.by_phase) {
+    (void)totals;
+    EXPECT_TRUE(phase == "route" || phase == "cache" || phase == "io" ||
+                phase == "walk" || phase == "gather" || phase == "query")
+        << "unexpected serve phase: " << phase;
+  }
+}
+
+/// Wraps a published store and adds a fixed delay to every ranged read —
+/// the injected slow-IO stage of the tail-attribution test.
+class SlowRangeStore final : public CheckpointStore {
+ public:
+  SlowRangeStore(const CheckpointStore& inner, std::chrono::microseconds d)
+      : inner_(inner), delay_(d) {}
+  void put(const std::string&, std::span<const std::uint8_t>) override {
+    PARFW_CHECK_MSG(false, "SlowRangeStore is read-only");
+  }
+  std::optional<std::vector<std::uint8_t>> get(
+      const std::string& key) const override {
+    return inner_.get(key);
+  }
+  void erase(const std::string&) override {
+    PARFW_CHECK_MSG(false, "SlowRangeStore is read-only");
+  }
+  std::vector<std::string> keys() const override { return inner_.keys(); }
+  bool get_ranges(const std::string& key, std::span<const ByteRange> ranges,
+                  std::uint8_t* out) const override {
+    std::this_thread::sleep_for(delay_);
+    return inner_.get_ranges(key, ranges, out);
+  }
+
+ private:
+  const CheckpointStore& inner_;
+  std::chrono::microseconds delay_;
+};
+
+TEST(QTrace, SlowIoDominatesTailAttribution) {
+  // Inject a 200 µs penalty on every store read under a two-tile cache:
+  // the p99 tail attribution must blame the io stage — the property the
+  // trace_analyze --mode serve blame split stands on.
+  Published p = publish_case(48, 8, 2, 2, /*paths=*/true);
+  SlowRangeStore slow(p.store(), std::chrono::microseconds(200));
+  sched::CollectTraceSink sink;
+  serve::ServeOptions sopt;
+  sopt.cache_budget_bytes = 2 * 8 * 8 * sizeof(std::int64_t);
+  sopt.trace = &sink;
+  serve::PathService<S> service(slow, sopt);
+
+  serve::WorkloadSpec wspec;
+  wspec.n = 48;
+  wspec.queries = 200;
+  wspec.zipf_s = 0.0;
+  wspec.seed = 29;
+  const QueryBatch batch = serve::make_workload(wspec);
+  ASSERT_EQ(service.answer(batch).size(), batch.size());
+  ASSERT_GT(service.cache_stats().misses, 0u);
+
+  const serve::ServeTraceReport r =
+      serve::analyze_serve_trace(sink.events(), /*tolerance=*/1e-9);
+  ASSERT_TRUE(r.ok) << r.error;
+  const int io = static_cast<int>(serve::Stage::kIo);
+  EXPECT_GT(r.tail_share[static_cast<std::size_t>(io)], 0.5);
+  for (int s = 0; s + 1 < serve::kNumStages; ++s) {
+    if (s == io) continue;
+    EXPECT_GT(r.tail_share[static_cast<std::size_t>(io)],
+              r.tail_share[static_cast<std::size_t>(s)])
+        << "stage " << serve::stage_name(static_cast<serve::Stage>(s));
+  }
+}
+
+TEST(ShardedServe, MetricsSumAcrossRanksAndGatherRecorded) {
+  // Each query is answered exactly once on exactly one rank, so the
+  // per-rank serve.query.count counters sum to the batch size; rank 0
+  // records the gather span and the worker handoffs appear as matched
+  // send/recv flow events on the serve channel.
+  Published p = publish_case(64, 16, 2, 2, /*paths=*/true);
+  serve::WorkloadSpec wspec;
+  wspec.n = 64;
+  wspec.queries = 200;
+  wspec.zipf_s = 0.0;
+  wspec.seed = 21;
+  const QueryBatch batch = serve::make_workload(wspec);
+
+  telemetry::Registry reg;  // shared across ranks — handles are thread-safe
+  sched::CollectTraceSink sink;
+  std::vector<QueryResult<float>> got;
+  mpi::Runtime::run(4, [&](mpi::Comm& world) {
+    serve::ServeOptions sopt;
+    sopt.cache_budget_bytes = 16 * 16 * 16 * sizeof(std::int64_t);
+    sopt.metrics = &reg;
+    sopt.trace = &sink;
+    auto results = serve::sharded_answer<S>(world, p.store(), batch, sopt);
+    if (world.rank() == 0) got = std::move(results);
+  });
+  ASSERT_EQ(got.size(), batch.size());
+
+  std::uint64_t answered = 0;
+  for (int r = 0; r < 4; ++r)
+    answered +=
+        reg.counter("serve.query.count", "rank=" + std::to_string(r)).value();
+  EXPECT_EQ(answered, batch.size());
+  EXPECT_GE(reg.histogram("serve.stage.gather.latency", "rank=0").count(), 1u);
+
+  int sends = 0, recvs = 0, gathers = 0;
+  for (const sched::TraceEvent& e : sink.events()) {
+    if (e.ctx == serve::kServeChannelCtx) {
+      sends += e.ek == sched::EventKind::kSend ? 1 : 0;
+      recvs += e.ek == sched::EventKind::kRecv ? 1 : 0;
+    }
+    gathers += std::string_view(e.name) == "serveGather" ? 1 : 0;
+  }
+  EXPECT_EQ(sends, 3);
+  EXPECT_EQ(recvs, 3);
+  EXPECT_EQ(gathers, 1);
+
+  // The merged multi-rank capture still reassembles per-query span trees.
+  const serve::ServeTraceReport r =
+      serve::analyze_serve_trace(sink.events(), /*tolerance=*/1e-9);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.num_queries, static_cast<int>(batch.size()));
+  EXPECT_GT(r.gather_seconds, 0.0);
+}
+
+TEST(Slo, MonitorReportsAndSlowLog) {
+  serve::SloConfig cfg;
+  cfg.p99_target_s = 0.010;
+  cfg.window = 256;
+  cfg.slow_log_capacity = 3;
+  serve::SloMonitor mon(cfg);
+  auto q = [](std::int64_t id, double total) {
+    serve::QueryStats s;
+    s.qid = id;
+    s.total = total;
+    s.stage[static_cast<std::size_t>(serve::Stage::kIo)] = total * 0.8;
+    s.stage[static_cast<std::size_t>(serve::Stage::kWalk)] = total * 0.2;
+    return s;
+  };
+  for (int i = 0; i < 100; ++i) mon.record(q(i, 0.001));
+  for (int i = 0; i < 5; ++i) mon.record(q(100 + i, 0.050));
+
+  const serve::SloReport r = mon.report();
+  EXPECT_EQ(r.total, 105u);
+  EXPECT_EQ(r.window_count, 105u);
+  EXPECT_EQ(r.violations, 5u);
+  EXPECT_TRUE(r.p50_ok);  // no p50 target configured
+  EXPECT_FALSE(r.p99_ok) << "5/105 > 1% must push the window p99 over "
+                            "the 10 ms target";
+  EXPECT_NEAR(r.burn_rate, (5.0 / 105.0) / 0.01, 1e-9);
+
+  // The slow log is capacity-bounded and keeps the most recent entries,
+  // each with its full stage breakdown.
+  ASSERT_EQ(mon.slow_log().size(), 3u);
+  EXPECT_EQ(mon.slow_log().front().qid, 102);
+  EXPECT_EQ(mon.slow_log().back().qid, 104);
+  EXPECT_GT(mon.slow_log().back().stage[static_cast<std::size_t>(
+                serve::Stage::kIo)],
+            0.0);
+
+  telemetry::Registry reg;
+  mon.publish(reg);
+  EXPECT_DOUBLE_EQ(reg.gauge("serve.slo.violations").value(), 5.0);
+  EXPECT_GT(reg.gauge("serve.slo.burn_rate").value(), 1.0);
+
+  EXPECT_NE(format_slo_report(r).find("VIOLATED"), std::string::npos);
+  EXPECT_NE(format_slow_log(mon).find("qid 104"), std::string::npos);
+}
+
+TEST(Slo, SloOnlyConfigStillMeasures) {
+  // An SLO monitor without a sink or registry must still see real
+  // breakdowns: the force flag keeps the tracer measuring.
+  Published p = publish_case(32, 8, 1, 1, /*paths=*/true);
+  serve::SloMonitor mon(serve::SloConfig{/*p50_target_s=*/0.0,
+                                         /*p99_target_s=*/10.0});
+  serve::ServeOptions sopt;
+  sopt.slo = &mon;
+  serve::PathService<S> service(p.store(), sopt);
+  QueryBatch batch;
+  for (int i = 0; i < 8; ++i) batch.add(i, 31 - i);
+  ASSERT_EQ(service.answer(batch).size(), batch.size());
+  const serve::SloReport r = mon.report();
+  EXPECT_EQ(r.total, 8u);
+  EXPECT_GT(r.p50, 0.0);
+  EXPECT_TRUE(r.p99_ok);
+  EXPECT_EQ(r.violations, 0u);
 }
 
 }  // namespace

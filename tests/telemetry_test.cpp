@@ -118,6 +118,35 @@ TEST(HistogramBuckets, QuantilesWithinOneBucketWidth) {
   EXPECT_LE(h.quantile(1.0), 100.0);
 }
 
+TEST(HistogramBuckets, FineResolutionSeparatesSubMicrosecondLatencies) {
+  // 1.00 µs and 1.12 µs (ratio 1.12) straddle a bucket boundary at 8
+  // sub-buckets per octave (width 2^(1/8) ≈ 1.090) but share a bucket at
+  // the default 4 (width 2^(1/4) ≈ 1.189) — the reason the serve.* series
+  // register at kServeHistSub = 8 rather than the default geometry.
+  Registry reg;
+  Histogram& coarse = reg.histogram("res.coarse");
+  Histogram& fine = reg.histogram("res.fine", "", /*sub_per_octave=*/8);
+  EXPECT_EQ(coarse.sub_per_octave(), Histogram::kSub);
+  EXPECT_EQ(fine.sub_per_octave(), 8);
+  for (int i = 0; i < 100; ++i) {
+    coarse.observe(1.00e-6);
+    fine.observe(1.00e-6);
+  }
+  for (int i = 0; i < 100; ++i) {
+    coarse.observe(1.12e-6);
+    fine.observe(1.12e-6);
+  }
+  // Same bucket at sub=4: the quantiles collapse to one midpoint.
+  EXPECT_DOUBLE_EQ(coarse.quantile(0.25), coarse.quantile(0.95));
+  // Distinct buckets at sub=8: the quantiles separate, in order.
+  EXPECT_LT(fine.quantile(0.25), fine.quantile(0.95));
+
+  // First registration wins: a later default-resolution lookup of the
+  // same (name, labels) returns the existing fine-grained instance.
+  EXPECT_EQ(&reg.histogram("res.fine"), &fine);
+  EXPECT_EQ(reg.histogram("res.fine").sub_per_octave(), 8);
+}
+
 // --- concurrency hammer ------------------------------------------------------
 
 TEST(RegistryConcurrency, HammerFromThreadPool) {

@@ -24,8 +24,10 @@
 #include "dist/solve.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "sched/trace.hpp"
 #include "serve/path_service.hpp"
 #include "serve/publish.hpp"
+#include "serve/slo.hpp"
 #include "telemetry/export.hpp"
 #include "util/cli.hpp"
 #include "util/timer.hpp"
@@ -66,7 +68,13 @@ void print_usage() {
       "  --serve DIR         answer --query from a published manifest in DIR\n"
       "                      (no solve; --paths needs a manifest published\n"
       "                      from a paths run)\n"
-      "  --cache-mb N        --serve tile-cache byte budget (default 64)\n");
+      "  --cache-mb N        --serve tile-cache byte budget (default 64)\n"
+      "  --serve-trace FILE  write per-query span trees as a Chrome trace\n"
+      "                      (inspect with trace_analyze --mode serve)\n"
+      "  --slo-p99-ms MS     p99 latency target: prints the SLO report\n"
+      "                      (rolling p50/p99, violations, burn rate)\n"
+      "  --slow-log N        keep the N most recent over-target queries\n"
+      "                      with full stage breakdowns (default off)\n");
 }
 
 /// Parse every --query occurrence into one batch; exits via check_error
@@ -111,20 +119,53 @@ int serve_queries(const CliArgs& args) {
   serve::ServeOptions sopt;
   sopt.cache_budget_bytes =
       static_cast<std::size_t>(args.get_int("cache-mb", 64)) << 20;
-  if (telemetry::enabled()) sopt.metrics = &telemetry::Registry::global();
+
+  // Serve metrics always flow through a telemetry registry: the global
+  // one when PARFW_METRICS is set (dump_env exports it in the requested
+  // format at exit), a local one otherwise — whose table rendering IS the
+  // stderr cache summary.
+  telemetry::Registry local;
+  sopt.metrics =
+      telemetry::enabled() ? &telemetry::Registry::global() : &local;
+
+  sched::ChromeTraceSink trace;
+  if (args.has("serve-trace")) sopt.trace = &trace;
+
+  serve::SloMonitor* slo = nullptr;
+  serve::SloMonitor slo_storage;
+  const double p99_ms = args.get_double("slo-p99-ms", 0.0);
+  const auto slow_log = args.get_int("slow-log", 0);
+  if (p99_ms > 0.0 || slow_log > 0) {
+    serve::SloConfig scfg;
+    scfg.p99_target_s = p99_ms * 1e-3;
+    if (slow_log > 0)
+      scfg.slow_log_capacity = static_cast<std::size_t>(slow_log);
+    slo_storage = serve::SloMonitor(scfg);
+    slo = &slo_storage;
+    sopt.slo = slo;
+  }
+
   serve::PathService<S> service(store, sopt);
   const QueryBatch batch = parse_queries(args, args.get_bool("paths"));
   const auto results = service.answer(batch);
   print_results(batch, results);
-  const auto& cs = service.cache_stats();
-  std::fprintf(stderr,
-               "served %zu queries from %s (cache: %llu hits, %llu misses, "
-               "%llu evictions, %.0f%% hit rate)\n",
-               batch.size(), args.get("serve", "").c_str(),
-               static_cast<unsigned long long>(cs.hits),
-               static_cast<unsigned long long>(cs.misses),
-               static_cast<unsigned long long>(cs.evictions),
-               100.0 * cs.hit_rate());
+
+  if (!telemetry::enabled())
+    std::fputs(telemetry::to_table(local).c_str(), stderr);
+  if (slo != nullptr) {
+    slo->publish(*sopt.metrics);
+    std::fputs(serve::format_slo_report(slo->report()).c_str(), stderr);
+    if (slow_log > 0)
+      std::fputs(serve::format_slow_log(*slo).c_str(), stderr);
+  }
+  if (args.has("serve-trace")) {
+    const std::string path = args.get("serve-trace", "");
+    std::ofstream os(path);
+    PARFW_CHECK_MSG(os.good(), "cannot open --serve-trace " << path);
+    trace.write(os);
+    std::fprintf(stderr, "wrote %zu serve trace events to %s\n", trace.size(),
+                 path.c_str());
+  }
   return 0;
 }
 
@@ -231,7 +272,7 @@ int main(int argc, char** argv) {
                         "algorithm", "semiring", "block", "paths",
                         "components", "query", "output", "dist", "variant",
                         "rpn", "publish", "publish-grid", "serve", "cache-mb",
-                        "help"});
+                        "serve-trace", "slo-p99-ms", "slow-log", "help"});
     if (args.get_bool("help") || argc == 1) {
       print_usage();
       return argc == 1 ? 2 : 0;

@@ -26,6 +26,7 @@
 #include "perf/experiments.hpp"
 #include "perf/machine.hpp"
 #include "sched/trace.hpp"
+#include "serve/qtrace.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/cli.hpp"
@@ -44,12 +45,17 @@ void print_usage() {
       "    --nodes N         cluster nodes (default 4)\n"
       "    --n N --block B   vertices / block size (default 49152 / 768)\n"
       "    --reordered       tiled (Figure 1) placement\n"
+      "  --mode M            solve (default) | serve: serve mode expects a\n"
+      "                      query trace (apsp_cli --serve-trace), checks the\n"
+      "                      per-query span trees tile, and prints latency\n"
+      "                      quantiles + stage/tail attribution\n"
       "analyses:\n"
       "  --critical-path     print the critical path summary\n"
       "  --blame             print the blame report (per category/rank/phase)\n"
       "  --top K             straggler table size (default 10)\n"
       "  --what-if SPEC      re-cost the path, e.g. comm=2 or comm=2,compute=1.5\n"
-      "                      (nic= and gemm= are aliases; values are speedups)\n"
+      "                      (nic=, gemm= aliases; io= scales serve store reads;\n"
+      "                      values are speedups)\n"
       "  --dot FILE          write the critical path as Graphviz\n"
       "outputs/gates:\n"
       "  --metrics-json FILE cp.* series as registry JSON\n"
@@ -83,6 +89,8 @@ bool parse_what_if(const std::string& spec, causal::WhatIf* out) {
       out->comm_speedup = v;
     else if (key == "compute" || key == "gemm" || key == "kernel")
       out->compute_speedup = v;
+    else if (key == "io" || key == "store")
+      out->io_speedup = v;
     else
       return false;
     pos = comma + 1;
@@ -157,18 +165,29 @@ int check_band(const std::string& path, const std::string& set,
 int main(int argc, char** argv) {
   const CliArgs args(
       argc, argv,
-      {"trace", "des", "variant", "nodes", "n", "block", "reordered",
+      {"trace", "des", "variant", "nodes", "n", "block", "reordered", "mode",
        "critical-path", "blame", "top", "what-if", "dot", "metrics-json",
        "bench-json", "band-file", "band-set", "help"});
   if (args.get_bool("help")) {
     print_usage();
     return 0;
   }
+  const std::string mode = args.get("mode", "solve");
+  if (mode != "solve" && mode != "serve") {
+    std::fprintf(stderr, "unknown --mode '%s' (valid: solve, serve)\n",
+                 mode.c_str());
+    return 2;
+  }
+  const bool serve_mode = mode == "serve";
   const bool use_des = args.get_bool("des");
   const bool use_file = args.has("trace");
   if (use_des == use_file) {
     std::fprintf(stderr, "need exactly one of --trace FILE or --des\n");
     print_usage();
+    return 2;
+  }
+  if (serve_mode && !use_file) {
+    std::fprintf(stderr, "--mode serve needs --trace FILE (a query trace)\n");
     return 2;
   }
 
@@ -199,6 +218,23 @@ int main(int argc, char** argv) {
         machine, variant, setup, nodes, n, b, /*comm_only=*/false, &sink);
     des_makespan = p.seconds;
     events = sink.events();
+  }
+
+  // --- serve mode: per-query span-tree aggregation -------------------------
+  // Runs BEFORE build_graph consumes the event vector. The causal analysis
+  // still runs afterwards — its category split (io vs compute vs comm via
+  // Category::kIo) is the serve blame report.
+  if (serve_mode) {
+    const serve::ServeTraceReport sr = serve::analyze_serve_trace(events);
+    std::fputs(
+        serve::format_serve_report(sr, static_cast<int>(args.get_int("top", 10)))
+            .c_str(),
+        stdout);
+    if (!sr.ok) {
+      std::fprintf(stderr, "trace_analyze: serve trace check failed: %s\n",
+                   sr.error.c_str());
+      return 1;
+    }
   }
 
   // --- build + analyze -----------------------------------------------------
@@ -243,9 +279,9 @@ int main(int argc, char** argv) {
       return 2;
     }
     const double predicted = causal::recost(report, w);
-    std::printf("what-if (comm x%.3g, compute x%.3g): predicted %.9f s "
-                "(%.2f%% of observed)\n",
-                w.comm_speedup, w.compute_speedup, predicted,
+    std::printf("what-if (comm x%.3g, compute x%.3g, io x%.3g): predicted "
+                "%.9f s (%.2f%% of observed)\n",
+                w.comm_speedup, w.compute_speedup, w.io_speedup, predicted,
                 report.span > 0.0 ? 100.0 * predicted / report.span : 0.0);
     if (use_des) {
       // Confirm end-to-end: re-run the DES on the scaled machine.
