@@ -33,8 +33,12 @@ class FigTrace {
     if (path_.empty() || sink_.size() == 0) return;
     std::ofstream os(path_);
     sink_.write(os);
-    std::fprintf(stderr, "[trace] wrote %zu events to %s\n", sink_.size(),
+    std::fprintf(stderr, "[trace] wrote %zu events to %s", sink_.size(),
                  path_.c_str());
+    if (sink_.truncated() > 0)
+      std::fprintf(stderr, " (TRUNCATED: %llu more events dropped at cap)",
+                   static_cast<unsigned long long>(sink_.truncated()));
+    std::fprintf(stderr, "\n");
   }
 
   /// Sink for the run to record, or nullptr (tracing off, or a run was
@@ -50,8 +54,16 @@ class FigTrace {
     const char* p = std::getenv("PARFW_TRACE");
     return p == nullptr ? "" : p;
   }
+  /// Cap on captured events (PARFW_TRACE_MAX_EVENTS overrides): a trace
+  /// of an unexpectedly large run truncates with an explicit marker
+  /// instead of exhausting memory. ~2M events ≈ 200 MB resident.
+  static std::size_t env_max_events() {
+    const char* p = std::getenv("PARFW_TRACE_MAX_EVENTS");
+    if (p == nullptr || *p == '\0') return 2'000'000;
+    return static_cast<std::size_t>(std::strtoull(p, nullptr, 10));
+  }
   std::string path_ = env_path();
-  sched::ChromeTraceSink sink_;
+  sched::ChromeTraceSink sink_{env_max_events()};
   bool used_ = false;
 };
 

@@ -21,8 +21,13 @@ pass. With --two-sided ANY drift past --tolerance fails, whichever
 direction — the mode for attribution baselines (e.g. the cp/* blame
 shares from trace_analyze --bench-json) where "more compute share"
 is as much a behaviour change as less; a zero baseline then tolerates
-an absolute drift of --tolerance instead of a ratio. Exit status:
-0 ok, 1 regression (or empty intersection), 2 usage/IO error.
+an absolute drift of --tolerance instead of a ratio. With --ceiling X
+the fresh metric is additionally gated against the ABSOLUTE bound X
+regardless of the baseline value — the mode for budget gates ("ring
+overhead stays under 3%" — monitor/ring_overhead), where drifting from
+0.5% to 1% is fine but 3.1% is a failure even if the baseline already
+said 3.1%. Exit status: 0 ok, 1 regression (or empty intersection),
+2 usage/IO error.
 """
 
 import argparse
@@ -76,6 +81,10 @@ def main():
     ap.add_argument("--two-sided", action="store_true",
                     help="fail on drift in EITHER direction (attribution "
                          "baselines, not throughput)")
+    ap.add_argument("--ceiling", type=float, default=None,
+                    help="absolute upper bound on the fresh metric value "
+                         "(budget gates); applied on top of the relative "
+                         "check")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -97,10 +106,13 @@ def main():
             continue
         key, higher_better = picked
         b, f = float(base[name][key]), float(fresh[name][key])
+        over_ceiling = args.ceiling is not None and f > args.ceiling
         if b == 0:
-            if args.two_sided:
-                bad = abs(f) > args.tolerance
-                verdict = "REGRESSION" if bad else "ok"
+            if args.two_sided or over_ceiling:
+                bad = over_ceiling or (args.two_sided
+                                       and abs(f) > args.tolerance)
+                verdict = "OVER CEILING" if over_ceiling else \
+                    ("REGRESSION" if bad else "ok")
                 if bad:
                     regressions.append(name)
                 print(f"{name:<{width}}  {key:<16} {b:12.4g} {f:12.4g} "
@@ -114,7 +126,9 @@ def main():
         else:
             bad = ratio < 1 - args.tolerance if higher_better \
                 else ratio > 1 + args.tolerance
-        verdict = "REGRESSION" if bad else "ok"
+        verdict = "OVER CEILING" if over_ceiling else \
+            ("REGRESSION" if bad else "ok")
+        bad = bad or over_ceiling
         if bad:
             regressions.append(name)
         print(f"{name:<{width}}  {key:<16} {b:12.4g} {f:12.4g} "

@@ -8,6 +8,7 @@
 #   scripts/check.sh --tune [build-dir]
 #   scripts/check.sh --paths [build-dir]
 #   scripts/check.sh --serve [build-dir]
+#   scripts/check.sh --monitor [build-dir]
 #
 # 1. Configure + build (Release, all warnings).
 # 2. Run the full ctest suite.
@@ -70,6 +71,17 @@
 # trace into gapless span trees. Plus the values-only negative: a
 # manifest published without --paths must hard-error on a path query and
 # still serve distances.
+#
+# --monitor is the observability gate (DESIGN.md §4.14): the monitor and
+# CLI suites, bench_monitor's flight-recorder overhead gated under the
+# ABSOLUTE 3% always-on budget (bench_compare.py --ceiling — the relative
+# diff vs BENCH_monitor.json is deliberately loose, ns-scale record costs
+# drift with the machine), and the acceptance smoke: an apsp run with an
+# injected straggler under --monitor + --flight-recorder must emit live
+# progress/ETA lines on stderr, fire exactly ONE incident dump blaming
+# the slow rank, keep stdout byte-identical to the unmonitored run, and
+# produce an incident report that trace_analyze --incidents loads and
+# re-analyzes cleanly.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -80,6 +92,7 @@ bench=0
 tune=0
 paths=0
 serve=0
+monitor=0
 if [[ "${1:-}" == "--faults" ]]; then
   faults=1
   shift
@@ -94,6 +107,9 @@ elif [[ "${1:-}" == "--paths" ]]; then
   shift
 elif [[ "${1:-}" == "--serve" ]]; then
   serve=1
+  shift
+elif [[ "${1:-}" == "--monitor" ]]; then
+  monitor=1
   shift
 elif [[ "${1:-}" == "--san" ]]; then
   san="${2:?usage: check.sh --san address|thread|undefined [build-dir]}"
@@ -351,6 +367,58 @@ if [[ "$serve" == 1 ]]; then
          exit 1; }
 
   echo "check.sh --serve: OK"
+  exit 0
+fi
+
+if [[ "$monitor" == 1 ]]; then
+  build_dir="${1:-$repo_root/build}"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j"$(nproc)" \
+    --target test_monitor test_cli bench_monitor apsp_cli trace_analyze_cli
+  out_dir="$build_dir/monitor-smoke"
+  mkdir -p "$out_dir"
+
+  echo "== monitor + CLI suites =="
+  "$build_dir/tests/test_monitor"
+  "$build_dir/tests/test_cli"
+
+  echo "== flight-recorder overhead vs the 3% always-on budget =="
+  PARFW_BENCH_JSON="$out_dir/monitor_fresh.json" \
+    "$build_dir/bench/bench_monitor" | tee "$out_dir/monitor_report.txt"
+  # The ceiling is the gate; the relative tolerance is loose on purpose
+  # (the ns-scale record cost moves with the CI machine).
+  python3 "$repo_root/scripts/bench_compare.py" \
+    "$repo_root/BENCH_monitor.json" "$out_dir/monitor_fresh.json" \
+    --metric overhead --tolerance 10 --ceiling 0.03
+
+  echo "== live monitor smoke: injected straggler -> one blamed incident =="
+  rm -f "$out_dir"/fr.json*
+  apsp_args=(--gen er --n 240 --p 0.2 --seed 7 --algorithm dist \
+             --dist 2x2 --rpn 2 --block 48 --query 0,199)
+  # Reference stdout: same workload and injected fault, no monitoring.
+  PARFW_SLOW_RANK=3 PARFW_SLOW_OP_MS=150 \
+    "$build_dir/tools/apsp" "${apsp_args[@]}" > "$out_dir/plain_stdout.txt"
+  PARFW_SLOW_RANK=3 PARFW_SLOW_OP_MS=150 \
+    "$build_dir/tools/apsp" "${apsp_args[@]}" --monitor=0.01 \
+    --flight-recorder "$out_dir/fr.json" \
+    > "$out_dir/mon_stdout.txt" 2> "$out_dir/mon_stderr.txt"
+  grep -q '^\[monitor\].*eta' "$out_dir/mon_stderr.txt" \
+    || { echo "--monitor produced no live progress/ETA line"; exit 1; }
+  cmp "$out_dir/plain_stdout.txt" "$out_dir/mon_stdout.txt" \
+    || { echo "--monitor perturbed stdout"; exit 1; }
+  [[ -s "$out_dir/fr.json" ]] \
+    || { echo "--flight-recorder wrote no trace"; exit 1; }
+  [[ "$(grep -c . "$out_dir/fr.json.incidents.jsonl")" == 1 ]] \
+    || { echo "straggler run did not fire exactly one incident"; exit 1; }
+  grep -q '"blamed_rank":3' "$out_dir/fr.json.incidents.jsonl" \
+    || { echo "incident does not blame the injected slow rank 3"; exit 1; }
+
+  echo "== trace_analyze --incidents on the dump =="
+  "$build_dir/tools/trace_analyze" \
+    --incidents "$out_dir/fr.json.incidents.jsonl" \
+    | tee "$out_dir/incident_report.txt"
+
+  echo "check.sh --monitor: OK"
   exit 0
 fi
 

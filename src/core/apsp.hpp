@@ -28,6 +28,11 @@ namespace telemetry {
 class Registry;  // fwd: core carries the pointer, never the dependency
 }
 
+namespace sched {
+class TraceSink;          // fwd: sched/trace.hpp
+class ScheduleObserver;   // fwd: sched/ir.hpp
+}
+
 enum class ApspAlgorithm {
   kSequential,       ///< Algorithm 1
   kBlocked,          ///< Algorithm 2, single thread
@@ -67,6 +72,18 @@ struct DistStrategy {
   /// interpreter (fw.phase.* series) and kAuto publishes the tune.*
   /// series — predicted vs achieved seconds included — into it.
   telemetry::Registry* metrics = nullptr;
+  /// When set, solve() threads this sink into the distributed interpreter
+  /// AND the mpisim runtime: every executed schedule op, message delivery,
+  /// retransmission and offload pipeline stage is recorded into it. This
+  /// is how the flight recorder (sched::RingTraceSink) and the live run
+  /// monitor (monitor::RunMonitor) observe a front-door run. Must be
+  /// thread-safe. Not owned.
+  sched::TraceSink* trace = nullptr;
+  /// When set, every rank thread hands over the materialised Schedule
+  /// before executing (see dist::DistFwOptions::schedule_observer) — with
+  /// --variant auto this is the RESOLVED winner's schedule, so a monitor
+  /// wired here tracks whatever the tuner actually picked. Not owned.
+  sched::ScheduleObserver* schedule_observer = nullptr;
   /// When set, the finished run is published into this store as a served
   /// tile manifest (per-rank final tiles + commit, k0 = nb) that the
   /// serving tier (serve::PathService) opens directly. Not owned.

@@ -43,9 +43,11 @@
 // (validated in tests, as the paper validates against sequential FW §5.1).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <thread>
 
 #include "core/blocked_fw_paths.hpp"
 #include "core/checkpoint_store.hpp"
@@ -83,6 +85,12 @@ struct DistFwOptions : SolveCommon {
   /// sched::now_seconds() timeline). Must be thread-safe: mpisim ranks
   /// are threads and all record into the same sink.
   sched::TraceSink* trace = nullptr;
+  /// When set, every rank thread hands over its freshly built Schedule
+  /// (sched::ScheduleObserver::on_schedule) before executing any step —
+  /// the seam the live run monitor (src/monitor/) uses to track schedule
+  /// position, progress and ETA against the same IR both interpreters
+  /// share. Must tolerate the repeated concurrent calls.
+  sched::ScheduleObserver* schedule_observer = nullptr;
   /// When set, the interpreter lands per-phase series into this registry:
   /// a fw.phase.seconds{phase=...,variant=...} histogram (one observation
   /// per executed op — i.e. per k-round instance of that phase, across
@@ -189,6 +197,8 @@ void parallel_fw_resume(mpi::Comm& world,
   if (opt.resilience.store != nullptr)
     sp.checkpoint_every = opt.resilience.checkpoint_every;
   const sched::Schedule schedule = sched::build_schedule(grid, sp);
+  if (opt.schedule_observer != nullptr)
+    opt.schedule_observer->on_schedule(schedule);
 
   Matrix<T> akk(b, b);  // closed diagonal block of iteration k
   Matrix<T> diag_scratch(b, b);
@@ -229,6 +239,10 @@ void parallel_fw_resume(mpi::Comm& world,
   // loop disarms it on restart.
   const bool crash_me =
       opt.faults.crash_armed() && opt.faults.crash_rank == my;
+  // Injected straggler: this rank sleeps inside every op it executes, so
+  // the stretch lands in the op's traced span (the overrun watchdog's
+  // signal) without touching the data path.
+  const bool slow_me = opt.faults.slow_armed() && opt.faults.slow_rank == my;
 
   std::int64_t step_index = -1;
   for (const sched::Step& step : schedule.steps) {
@@ -427,6 +441,10 @@ void parallel_fw_resume(mpi::Comm& world,
         break;
       }
     }
+
+    if (slow_me)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(opt.faults.slow_op_seconds));
 
     if (timed) {
       const double t1 = sched::now_seconds();

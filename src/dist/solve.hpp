@@ -162,7 +162,21 @@ ApspResult<typename S::value_type> solve(const Graph& g,
   dopt.resilience = ds.resilience;
   dopt.oog.num_streams = ds.oog_streams;
   dopt.metrics = ds.metrics;
+  dopt.trace = ds.trace;
+  dopt.schedule_observer = ds.schedule_observer;
   dopt.publish_store = ds.publish_store;
+
+  // Environment straggler injection (the live monitor's reference fault,
+  // check.sh --monitor): PARFW_SLOW_RANK=R [PARFW_SLOW_OP_MS=M] makes
+  // rank R sleep M ms (default 5) inside every schedule op it executes.
+  // Timing-only — results stay bit-identical.
+  if (const char* sr = std::getenv("PARFW_SLOW_RANK");
+      sr != nullptr && *sr != '\0') {
+    dopt.faults.slow_rank = std::atoi(sr);
+    const char* ms = std::getenv("PARFW_SLOW_OP_MS");
+    dopt.faults.slow_op_seconds =
+        (ms != nullptr && *ms != '\0' ? std::atof(ms) : 5.0) * 1e-3;
+  }
 
   Timer wall;
   ApspResult<T> result = dist::run_parallel_fw<S>(

@@ -1,0 +1,91 @@
+// incident — anomaly-triggered flight-recorder dumps (DESIGN.md §4.14).
+//
+// An IncidentLog turns a trigger ("this op overran", "retransmit storm",
+// "SLO budget burning") into a durable incident: the flight recorder's
+// current window is flushed to disk as a Chrome trace, the causal blame
+// split over that window is computed on the spot (causal::build_graph +
+// analyze), and one structured JSONL record ties it all together — kind,
+// event-time, the rank the trigger named, the rank the CAUSAL analysis
+// blames, the per-category/per-rank on-path seconds, and the trace path.
+// The postmortem arrives with the incident instead of being reconstructed
+// after it.
+//
+// Firing is rate-limited (cooldown between dumps, hard cap on dumps per
+// run) so a persistent fault produces one actionable incident, not a
+// dump per op. Thread-safe: triggers arrive from rank threads.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "causal/analysis.hpp"
+#include "sched/trace.hpp"
+
+namespace parfw::monitor {
+
+struct IncidentConfig {
+  /// Incident files land at `<path_prefix>.incident-<N>.trace.json` and
+  /// the JSONL report at `<path_prefix>.incidents.jsonl` (appended).
+  /// Empty = keep incidents in memory only (no files).
+  std::string path_prefix;
+  /// Minimum event-time between dumps — a persistent fault fires ONE
+  /// incident, not one per affected op.
+  double cooldown_s = 30.0;
+  /// Hard cap on incidents per run.
+  std::size_t max_incidents = 8;
+  /// When set, each fired incident prints a one-line notice here.
+  std::FILE* log_out = nullptr;
+};
+
+struct Incident {
+  std::string kind;         ///< op_overrun | straggler | retransmit_storm |
+                            ///< slo_burn | (caller-defined)
+  double t = 0.0;           ///< event-time of the trigger
+  int hint_rank = -1;       ///< rank named by the trigger (-1: none)
+  int blamed_rank = -1;     ///< argmax on-path seconds over the window
+  std::string detail;       ///< human-readable trigger description
+  std::string trace_path;   ///< Chrome trace of the window ("" = not written)
+  double window_span = 0.0; ///< causal span of the window, seconds
+  std::size_t window_events = 0;
+  std::uint64_t ring_dropped = 0;  ///< events lost before the window starts
+  causal::CategoryTotals blame;    ///< on-path seconds per category
+  std::map<int, double> rank_seconds;  ///< on-path seconds per rank
+};
+
+class IncidentLog {
+ public:
+  /// `ring` is the flight recorder whose window gets dumped and blamed;
+  /// nullptr records incident metadata only. Not owned.
+  explicit IncidentLog(IncidentConfig cfg = {},
+                       sched::RingTraceSink* ring = nullptr);
+
+  /// Fire a trigger. Returns true when an incident was actually recorded
+  /// (false: cooldown, cap reached, or a concurrent fire won the race).
+  bool fire(const std::string& kind, double t, int hint_rank,
+            const std::string& detail);
+
+  std::vector<Incident> incidents() const;
+  std::size_t count() const;
+
+  /// Path of the JSONL report ("" when path_prefix is empty).
+  std::string report_path() const;
+
+  const IncidentConfig& config() const { return cfg_; }
+
+ private:
+  IncidentConfig cfg_;
+  sched::RingTraceSink* ring_;
+  mutable std::mutex mu_;
+  std::vector<Incident> incidents_;
+  bool fired_once_ = false;
+  double last_fire_t_ = 0.0;
+};
+
+/// One-line human-readable incident notice.
+std::string format_incident(const Incident& inc);
+
+}  // namespace parfw::monitor

@@ -33,13 +33,23 @@ struct FaultPlan {
   /// (injected by the dist::parallel_fw interpreter). -1 disarms.
   int crash_rank = -1;
   std::int64_t crash_at_op = -1;
+  /// Straggler injection: rank `slow_rank` sleeps `slow_op_seconds` inside
+  /// every schedule op it executes (applied by the dist::parallel_fw
+  /// interpreter, within the op's traced span). Results are bit-identical
+  /// — only the timeline stretches — which is what makes it the reference
+  /// fault for the live monitor's straggler/overrun detection. -1 disarms.
+  int slow_rank = -1;
+  double slow_op_seconds = 0.0;
 
   bool message_faults() const {
     return seed != 0 &&
            (drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0);
   }
   bool crash_armed() const { return crash_rank >= 0 && crash_at_op >= 0; }
-  bool any() const { return message_faults() || crash_armed(); }
+  bool slow_armed() const { return slow_rank >= 0 && slow_op_seconds > 0.0; }
+  bool any() const {
+    return message_faults() || crash_armed() || slow_armed();
+  }
 };
 
 /// Typed failure of a rank (injected crash, exhausted retry budget, or a

@@ -156,6 +156,21 @@ struct Schedule {
   }
 };
 
+/// Observer of schedule materialisation — the second half of the live-
+/// monitoring seam (the first is TraceSink). The data-carrying
+/// interpreter calls on_schedule from EVERY rank thread right after that
+/// rank built its Schedule and before it executes any step, so an
+/// observer that also receives the rank's trace events is guaranteed to
+/// know the schedule before the rank's first op event arrives (the
+/// observer's own synchronisation orders the calls). All ranks hand over
+/// the identical Schedule; implementations must tolerate the repeated,
+/// concurrent calls (src/monitor/ RunMonitor adopts the first).
+class ScheduleObserver {
+ public:
+  virtual ~ScheduleObserver() = default;
+  virtual void on_schedule(const Schedule& s) = 0;
+};
+
 struct ScheduleParams {
   Variant variant = Variant::kBaseline;
   std::size_t nb = 0;          ///< blocks per dimension (n / b)

@@ -60,12 +60,31 @@ std::map<std::string, StatsTraceSink::OpStats> StatsTraceSink::table() const {
 
 void ChromeTraceSink::record(const TraceEvent& e) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    ++truncated_;
+    return;
+  }
   events_.push_back(e);
 }
 
 std::size_t ChromeTraceSink::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
+}
+
+std::uint64_t ChromeTraceSink::truncated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return truncated_;
+}
+
+TraceEvent make_truncated_marker(int rank, double t, std::uint64_t missing) {
+  TraceEvent m;
+  m.rank = rank;
+  m.name = kTruncatedMarker;
+  m.t_begin = t;
+  m.t_end = t;
+  m.bytes = static_cast<std::int64_t>(missing);
+  return m;
 }
 
 namespace {
@@ -90,12 +109,8 @@ FlowKey flow_key_of(const TraceEvent& e) {
 }
 }  // namespace
 
-void ChromeTraceSink::write(std::ostream& os) const {
-  std::vector<TraceEvent> events;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    events = events_;
-  }
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& os) {
   double epoch = std::numeric_limits<double>::max();
   for (const TraceEvent& e : events) epoch = std::min(epoch, e.t_begin);
   if (events.empty()) epoch = 0.0;
@@ -166,8 +181,29 @@ void ChromeTraceSink::write(std::ostream& os) const {
   os.precision(old_precision);
 }
 
+void ChromeTraceSink::write(std::ostream& os) const {
+  std::vector<TraceEvent> events;
+  std::uint64_t truncated = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    truncated = truncated_;
+  }
+  if (truncated > 0) {
+    // The TAIL is missing (drop-new cap): the marker sits at the last
+    // recorded timestamp.
+    const double t = events.empty() ? 0.0 : events.back().t_end;
+    events.push_back(make_truncated_marker(0, t, truncated));
+  }
+  write_chrome_trace(events, os);
+}
+
 void CollectTraceSink::record(const TraceEvent& e) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    ++truncated_;
+    return;
+  }
   events_.push_back(e);
 }
 
@@ -179,6 +215,62 @@ std::vector<TraceEvent> CollectTraceSink::events() const {
 std::size_t CollectTraceSink::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
+}
+
+std::uint64_t CollectTraceSink::truncated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return truncated_;
+}
+
+RingTraceSink::RingTraceSink(std::size_t capacity_bytes)
+    : buf_(std::max<std::size_t>(1, capacity_bytes / sizeof(TraceEvent))) {}
+
+void RingTraceSink::record(const TraceEvent& e) {
+  lock();
+  buf_[next_] = e;
+  ++next_;
+  if (next_ == buf_.size()) next_ = 0;
+  if (count_ < buf_.size()) ++count_;
+  ++total_;
+  unlock();
+}
+
+std::size_t RingTraceSink::size() const {
+  lock();
+  const std::size_t out = count_;
+  unlock();
+  return out;
+}
+
+std::uint64_t RingTraceSink::dropped() const {
+  lock();
+  const std::uint64_t out = total_ - count_;
+  unlock();
+  return out;
+}
+
+std::vector<TraceEvent> RingTraceSink::window() const {
+  lock();
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  // Oldest entry sits at the cursor once the ring has wrapped.
+  const std::size_t start = count_ < buf_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < count_; ++i)
+    out.push_back(buf_[(start + i) % buf_.size()]);
+  unlock();
+  return out;
+}
+
+void RingTraceSink::write_chrome(std::ostream& os) const {
+  std::vector<TraceEvent> events = window();
+  const std::uint64_t missing = dropped();
+  if (missing > 0) {
+    // The HEAD is missing (drop-oldest ring): the marker sits at the
+    // window's first timestamp.
+    const double t = events.empty() ? 0.0 : events.front().t_begin;
+    events.insert(events.begin(), make_truncated_marker(0, t, missing));
+  }
+  write_chrome_trace(events, os);
 }
 
 }  // namespace parfw::sched

@@ -12,6 +12,7 @@
 // record() concurrently.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
@@ -117,15 +118,38 @@ class StatsTraceSink final : public TraceSink {
   std::map<std::string, OpStats> stats_;
 };
 
-/// Records every event and serialises them in the Chrome trace-event JSON
-/// format (load in chrome://tracing or https://ui.perfetto.dev). Events
-/// render one row per rank; zero-duration events become instants. Matched
+/// Serialise a batch of events as a Chrome trace-event JSON document
+/// (load in chrome://tracing or https://ui.perfetto.dev). Events render
+/// one row per rank; zero-duration events become instants. Matched
 /// kSend/kRecv pairs additionally emit flow events (ph "s"/"f") so
 /// Perfetto draws the send→recv arrows, and causal annotations are
 /// serialised into args so src/causal/trace_io.hpp can load the document
-/// back losslessly.
+/// back losslessly. Timestamps are normalised so the earliest event sits
+/// at t = 0. Shared by ChromeTraceSink::write and the flight-recorder
+/// snapshots (RingTraceSink / incident dumps).
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        std::ostream& os);
+
+/// Marker event appended to a capped / windowed capture: an instant named
+/// kTruncatedMarker whose `bytes` field carries the number of events that
+/// are MISSING from the document (dropped new events for capped sinks,
+/// overwritten old events for the ring). The causal loader reads it back
+/// like any other instant, so analysis can tell a complete trace from a
+/// cut one.
+inline constexpr const char* kTruncatedMarker = "truncated";
+TraceEvent make_truncated_marker(int rank, double t, std::uint64_t missing);
+
+/// Records every event and serialises them via write_chrome_trace.
+///
+/// `max_events` bounds the buffer: once full, NEW events are counted but
+/// dropped (the head of the run is usually what a capped capture is for),
+/// and write() appends a kTruncatedMarker instant carrying the dropped
+/// count. 0 = unbounded (the historical behaviour).
 class ChromeTraceSink final : public TraceSink {
  public:
+  explicit ChromeTraceSink(std::size_t max_events = 0)
+      : max_events_(max_events) {}
+
   void record(const TraceEvent& e) override;
 
   /// Write the JSON document. Timestamps are normalised so the earliest
@@ -133,26 +157,109 @@ class ChromeTraceSink final : public TraceSink {
   void write(std::ostream& os) const;
 
   std::size_t size() const;
+  /// Events rejected because the cap was hit.
+  std::uint64_t truncated() const;
 
  private:
+  const std::size_t max_events_;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::uint64_t truncated_ = 0;
 };
 
 /// Keeps every raw event — the capture sink for the causal analysis layer
 /// (src/causal/) and for tests that inspect individual events rather than
-/// per-name aggregates.
+/// per-name aggregates. `max_events` caps the buffer like ChromeTraceSink
+/// (drop-new, counted); 0 = unbounded.
 class CollectTraceSink final : public TraceSink {
  public:
+  explicit CollectTraceSink(std::size_t max_events = 0)
+      : max_events_(max_events) {}
+
   void record(const TraceEvent& e) override;
 
   /// Snapshot of everything recorded so far.
   std::vector<TraceEvent> events() const;
   std::size_t size() const;
+  /// Events rejected because the cap was hit.
+  std::uint64_t truncated() const;
 
  private:
+  const std::size_t max_events_;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::uint64_t truncated_ = 0;
+};
+
+/// Flight recorder: a fixed-capacity drop-OLDEST ring buffer. Always-on
+/// bounded tracing — memory is capacity_bytes regardless of run length,
+/// record() is a spinlock + struct copy into preallocated storage (a few
+/// ns; bench_monitor gates the end-to-end overhead under 3%), and the
+/// window (the most recent events, in arrival order) can be snapshotted
+/// or flushed to Chrome-trace JSON at any moment — which is exactly what
+/// an incident dump does. Overwritten events are counted; the monitor
+/// layer exports the count as the `trace.ring.dropped` series.
+///
+/// The spinlock is the right primitive here: the critical section is a
+/// ~100-byte copy, writers (rank threads) arrive far apart relative to
+/// that, and readers (incident dumps, final flush) are rare.
+class RingTraceSink final : public TraceSink {
+ public:
+  /// Default window: 1 MiB of events (~15k events) — enough to hold the
+  /// last few schedule iterations of a large run.
+  static constexpr std::size_t kDefaultBytes = std::size_t{1} << 20;
+
+  explicit RingTraceSink(std::size_t capacity_bytes = kDefaultBytes);
+
+  void record(const TraceEvent& e) override;
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const;
+  /// Events overwritten by newer ones (total recorded - window size).
+  std::uint64_t dropped() const;
+
+  /// The current window, oldest first.
+  std::vector<TraceEvent> window() const;
+
+  /// Snapshot the window as a Chrome-trace JSON document. When events
+  /// were dropped, a kTruncatedMarker instant at the window's start
+  /// carries the count.
+  void write_chrome(std::ostream& os) const;
+
+ private:
+  void lock() const {
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() const { lock_.clear(std::memory_order_release); }
+
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  std::vector<TraceEvent> buf_;  ///< preallocated ring storage
+  std::size_t next_ = 0;         ///< insertion cursor
+  std::size_t count_ = 0;        ///< valid entries (<= buf_.size())
+  std::uint64_t total_ = 0;      ///< events ever recorded
+};
+
+/// Fan-out: forwards every event to each attached sink. Lets one run feed
+/// the flight recorder AND a full Chrome capture (or a RunMonitor)
+/// without the recorders knowing about each other.
+class TeeTraceSink final : public TraceSink {
+ public:
+  TeeTraceSink() = default;
+  explicit TeeTraceSink(std::vector<TraceSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  /// Attach another sink (not thread-safe; do this before the run).
+  void add(TraceSink* s) {
+    if (s != nullptr) sinks_.push_back(s);
+  }
+
+  void record(const TraceEvent& e) override {
+    for (TraceSink* s : sinks_) s->record(e);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
 };
 
 }  // namespace parfw::sched

@@ -36,6 +36,21 @@ void SloMonitor::record(const QueryStats& q) {
     slow_log_.push_back(q);
     while (slow_log_.size() > cfg_.slow_log_capacity) slow_log_.pop_front();
   }
+
+  // Burn alert, edge-triggered on the cheap incremental burn (the full
+  // report() sorts the window — not per query).
+  if (cfg_.on_burn_alert && cfg_.p99_target_s > 0.0 && !ring_.empty()) {
+    const double burn = static_cast<double>(window_violations_) /
+                        static_cast<double>(ring_.size()) / cfg_.budget;
+    if (burn >= cfg_.burn_alert_threshold) {
+      if (!burning_) {
+        burning_ = true;
+        cfg_.on_burn_alert(report());
+      }
+    } else {
+      burning_ = false;
+    }
+  }
 }
 
 SloReport SloMonitor::report() const {

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "telemetry/metrics.hpp"
 
 namespace parfw::serve {
+
+struct SloReport;
 
 struct SloConfig {
   double p50_target_s = 0.0;  ///< 0 = no p50 target
@@ -37,6 +40,13 @@ struct SloConfig {
   std::size_t slow_log_capacity = 32;
   /// Budgeted violation fraction: burn_rate = violation share / budget.
   double budget = 0.01;
+  /// Edge-triggered burn alert: on_burn_alert fires once when the burn
+  /// rate crosses this threshold upward, and re-arms when it drops back
+  /// under — so a sustained breach produces one alert, not one per query.
+  /// The live monitor glues this to an incident dump. Requires a p99
+  /// target (burn is undefined without one).
+  double burn_alert_threshold = 1.0;
+  std::function<void(const SloReport&)> on_burn_alert;
 
   double slow_threshold() const {
     return slow_threshold_s > 0.0 ? slow_threshold_s : p99_target_s;
@@ -82,6 +92,7 @@ class SloMonitor {
   std::uint64_t window_violations_ = 0;
   std::vector<bool> ring_violated_;
   std::deque<QueryStats> slow_log_;
+  bool burning_ = false;  ///< burn alert latch (edge triggering)
 };
 
 /// Human-readable SLO status line(s).

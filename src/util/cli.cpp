@@ -1,11 +1,28 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/check.hpp"
 
 namespace parfw {
+
+namespace {
+
+/// A malformed numeric flag is an operator error, not a condition the
+/// program can proceed from — before this check, "--block 48x" silently
+/// parsed as 48 and "--p abc" as 0. Usage errors exit 2 (distinct from
+/// exit 1, the runtime-failure code the tools map exceptions to).
+[[noreturn]] void reject(const std::string& flag, const std::string& value,
+                         const char* what) {
+  std::fprintf(stderr, "error: --%s expects %s, got '%s'\n", flag.c_str(),
+               what, value.c_str());
+  std::exit(2);
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv,
                  const std::vector<std::string>& allowed) {
@@ -41,13 +58,25 @@ std::int64_t CliArgs::get_int(const std::string& flag,
                               std::int64_t fallback) const {
   auto it = values_.find(flag);
   if (it == values_.end()) return fallback;
-  return std::strtoll(it->second.back().c_str(), nullptr, 10);
+  const std::string& v = it->second.back();
+  char* end = nullptr;
+  errno = 0;
+  const std::int64_t out = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE)
+    reject(flag, v, "an integer");
+  return out;
 }
 
 double CliArgs::get_double(const std::string& flag, double fallback) const {
   auto it = values_.find(flag);
   if (it == values_.end()) return fallback;
-  return std::strtod(it->second.back().c_str(), nullptr);
+  const std::string& v = it->second.back();
+  char* end = nullptr;
+  errno = 0;
+  const double out = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE)
+    reject(flag, v, "a number");
+  return out;
 }
 
 std::vector<std::string> CliArgs::get_all(const std::string& flag) const {

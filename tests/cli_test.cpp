@@ -73,5 +73,35 @@ TEST(Cli, RepeatedScalarFlagLastWins) {
   EXPECT_EQ(a.get_all("n"), (std::vector<std::string>{"10", "20"}));
 }
 
+// Malformed numeric values must be rejected loudly (exit 2 with a clear
+// message), never silently parsed as 0 — "--block 8O" (typo'd letter O)
+// once dissolved into block_size=0 downstream.
+using CliDeath = ::testing::Test;
+
+TEST(CliDeath, MalformedIntExitsWithDiagnostic) {
+  EXPECT_EXIT(parse({"--block", "8O"}, {"block"}).get_int("block", 0),
+              ::testing::ExitedWithCode(2), "--block expects an integer");
+  EXPECT_EXIT(parse({"--n", ""}, {"n"}).get_int("n", 0),
+              ::testing::ExitedWithCode(2), "--n expects an integer");
+  EXPECT_EXIT(parse({"--n", "12x"}, {"n"}).get_int("n", 0),
+              ::testing::ExitedWithCode(2), "--n expects an integer");
+  EXPECT_EXIT(
+      parse({"--n", "999999999999999999999"}, {"n"}).get_int("n", 0),
+      ::testing::ExitedWithCode(2), "--n expects an integer");
+}
+
+TEST(CliDeath, MalformedDoubleExitsWithDiagnostic) {
+  EXPECT_EXIT(parse({"--p", "0.5oops"}, {"p"}).get_double("p", 0),
+              ::testing::ExitedWithCode(2), "--p expects a number");
+  EXPECT_EXIT(parse({"--p", "zero"}, {"p"}).get_double("p", 0),
+              ::testing::ExitedWithCode(2), "--p expects a number");
+}
+
+TEST(Cli, WellFormedNumbersStillParse) {
+  const auto a = parse({"--n", "-12", "--p", "1e-3"}, {"n", "p"});
+  EXPECT_EQ(a.get_int("n", 0), -12);
+  EXPECT_DOUBLE_EQ(a.get_double("p", 0), 1e-3);
+}
+
 }  // namespace
 }  // namespace parfw

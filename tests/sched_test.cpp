@@ -418,6 +418,77 @@ TEST(TraceSinks, ChromeTraceWritesWellFormedJson) {
             std::count(json.begin(), json.end(), '}'));
 }
 
+TEST(TraceSinks, CappedSinksDropNewAndMarkTruncation) {
+  sched::ChromeTraceSink chrome(/*max_events=*/2);
+  for (int i = 0; i < 5; ++i)
+    chrome.record({0, "OuterUpdate", 0, 0.1 * i, 0.1 * i + 0.05, 0, 1.0});
+  EXPECT_EQ(chrome.size(), 2u);
+  EXPECT_EQ(chrome.truncated(), 3u);
+  std::ostringstream os;
+  chrome.write(os);
+  const std::string json = os.str();
+  // The truncation marker instant carries the dropped count in bytes.
+  EXPECT_NE(json.find(sched::kTruncatedMarker), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":3"), std::string::npos);
+
+  sched::CollectTraceSink collect(/*max_events=*/3);
+  for (int i = 0; i < 5; ++i)
+    collect.record({0, "msg", 0, 0.1 * i, 0.1 * i, 8, 0.0});
+  EXPECT_EQ(collect.size(), 3u);
+  EXPECT_EQ(collect.truncated(), 2u);
+  // Drop-NEW: the head of the run survives.
+  EXPECT_DOUBLE_EQ(collect.events().front().t_begin, 0.0);
+}
+
+TEST(TraceSinks, RingKeepsTheNewestWindowInOrder) {
+  // 4-slot ring: after 10 events the window is the last 4, oldest first.
+  sched::RingTraceSink ring(sizeof(sched::TraceEvent) * 4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 10; ++i)
+    ring.record({i, "OuterUpdate", static_cast<std::uint32_t>(i),
+                 0.1 * i, 0.1 * i + 0.05, 0, 1.0});
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto w = ring.window();
+  ASSERT_EQ(w.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(w[i].k, static_cast<std::uint32_t>(6 + i));
+
+  std::ostringstream os;
+  ring.write_chrome(os);
+  const std::string json = os.str();
+  // Drop-OLDEST: the marker carries the overwritten count and sits at
+  // the window's head.
+  EXPECT_NE(json.find(sched::kTruncatedMarker), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":6"), std::string::npos);
+}
+
+TEST(TraceSinks, RingBelowCapacityDropsNothing) {
+  sched::RingTraceSink ring(sizeof(sched::TraceEvent) * 8);
+  for (int i = 0; i < 5; ++i)
+    ring.record({0, "msg", static_cast<std::uint32_t>(i), 0.0, 0.0, 0, 0.0});
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto w = ring.window();
+  ASSERT_EQ(w.size(), 5u);
+  EXPECT_EQ(w.front().k, 0u);
+  EXPECT_EQ(w.back().k, 4u);
+  std::ostringstream os;
+  ring.write_chrome(os);
+  EXPECT_EQ(os.str().find(sched::kTruncatedMarker), std::string::npos);
+}
+
+TEST(TraceSinks, TeeFansOutToEverySink) {
+  sched::StatsTraceSink stats;
+  sched::RingTraceSink ring;
+  sched::TeeTraceSink tee;
+  tee.add(&stats);
+  tee.add(&ring);
+  tee.add(nullptr);  // ignored
+  tee.record({0, "OuterUpdate", 0, 0.0, 1.0, 0, 5.0});
+  EXPECT_EQ(stats.of("OuterUpdate").count, 1u);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
 TEST(TraceSinks, DesEmitsScheduleLabelledEvents) {
   const perf::MachineConfig m = perf::MachineConfig::summit();
   sched::StatsTraceSink sink;

@@ -838,12 +838,49 @@ TEST(Slo, MonitorReportsAndSlowLog) {
   EXPECT_NE(format_slow_log(mon).find("qid 104"), std::string::npos);
 }
 
+TEST(Slo, BurnAlertFiresOnceOnUpwardCrossing) {
+  // The alert is edge-triggered: one callback when the window burn rate
+  // crosses the threshold upward, silence while it stays high, re-armed
+  // only after the burn drops back under.
+  serve::SloConfig cfg;
+  cfg.p99_target_s = 0.010;
+  cfg.budget = 0.01;
+  cfg.window = 64;
+  int alerts = 0;
+  serve::SloReport last;
+  cfg.on_burn_alert = [&](const serve::SloReport& r) {
+    ++alerts;
+    last = r;
+  };
+  serve::SloMonitor mon(cfg);
+  auto q = [](std::int64_t id, double total) {
+    serve::QueryStats s;
+    s.qid = id;
+    s.total = total;
+    return s;
+  };
+  for (int i = 0; i < 32; ++i) mon.record(q(i, 0.001));
+  EXPECT_EQ(alerts, 0);
+  // A burst of violations pushes the burn over 1.0 — exactly one alert
+  // even though every later violation keeps it there.
+  for (int i = 0; i < 8; ++i) mon.record(q(100 + i, 0.050));
+  EXPECT_EQ(alerts, 1);
+  EXPECT_GT(last.burn_rate, cfg.burn_alert_threshold);
+  // Fast queries push the violations out of the window: burn drops,
+  // the alert re-arms, and a fresh burst fires again.
+  for (int i = 0; i < 128; ++i) mon.record(q(200 + i, 0.001));
+  EXPECT_EQ(alerts, 1);
+  for (int i = 0; i < 8; ++i) mon.record(q(400 + i, 0.050));
+  EXPECT_EQ(alerts, 2);
+}
+
 TEST(Slo, SloOnlyConfigStillMeasures) {
   // An SLO monitor without a sink or registry must still see real
   // breakdowns: the force flag keeps the tracer measuring.
   Published p = publish_case(32, 8, 1, 1, /*paths=*/true);
-  serve::SloMonitor mon(serve::SloConfig{/*p50_target_s=*/0.0,
-                                         /*p99_target_s=*/10.0});
+  serve::SloConfig slo_cfg;
+  slo_cfg.p99_target_s = 10.0;
+  serve::SloMonitor mon(slo_cfg);
   serve::ServeOptions sopt;
   sopt.slo = &mon;
   serve::PathService<S> service(p.store(), sopt);

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "core/apsp.hpp"
@@ -24,6 +25,7 @@
 #include "dist/solve.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "monitor/monitor.hpp"
 #include "sched/trace.hpp"
 #include "serve/path_service.hpp"
 #include "serve/publish.hpp"
@@ -71,6 +73,15 @@ void print_usage() {
       "  --cache-mb N        --serve tile-cache byte budget (default 64)\n"
       "  --serve-trace FILE  write per-query span trees as a Chrome trace\n"
       "                      (inspect with trace_analyze --mode serve)\n"
+      "  --monitor[=SECS]    live progress/ETA lines on stderr every SECS\n"
+      "                      (default 1.0) plus anomaly triggers (overrun,\n"
+      "                      straggler, retransmit storm, SLO burn); stdout\n"
+      "                      stays byte-identical. dist and --serve only\n"
+      "  --flight-recorder PATH   always-on bounded trace ring; the final\n"
+      "                      window lands at PATH (Chrome trace) and each\n"
+      "                      anomaly dumps PATH.incident-N.trace.json plus\n"
+      "                      a PATH.incidents.jsonl blame record (load with\n"
+      "                      trace_analyze --incidents)\n"
       "  --slo-p99-ms MS     p99 latency target: prints the SLO report\n"
       "                      (rolling p50/p99, violations, burn rate)\n"
       "  --slow-log N        keep the N most recent over-target queries\n"
@@ -128,8 +139,24 @@ int serve_queries(const CliArgs& args) {
   sopt.metrics =
       telemetry::enabled() ? &telemetry::Registry::global() : &local;
 
+  // Flight recorder: qtrace events also land in a bounded ring, and the
+  // SLO burn alert below dumps its window as an incident.
+  std::optional<sched::RingTraceSink> ring;
+  std::optional<monitor::IncidentLog> incidents;
+  const std::string fr_path = args.get("flight-recorder", "");
+  if (args.has("monitor") || !fr_path.empty()) {
+    ring.emplace();
+    monitor::IncidentConfig icfg;
+    icfg.path_prefix = fr_path;
+    icfg.log_out = stderr;
+    incidents.emplace(icfg, &*ring);
+  }
+
   sched::ChromeTraceSink trace;
-  if (args.has("serve-trace")) sopt.trace = &trace;
+  sched::TeeTraceSink tee;
+  if (args.has("serve-trace")) tee.add(&trace);
+  if (ring.has_value()) tee.add(&*ring);
+  if (args.has("serve-trace") || ring.has_value()) sopt.trace = &tee;
 
   serve::SloMonitor* slo = nullptr;
   serve::SloMonitor slo_storage;
@@ -140,6 +167,16 @@ int serve_queries(const CliArgs& args) {
     scfg.p99_target_s = p99_ms * 1e-3;
     if (slow_log > 0)
       scfg.slow_log_capacity = static_cast<std::size_t>(slow_log);
+    if (incidents.has_value()) {
+      monitor::IncidentLog* ilog = &*incidents;
+      scfg.on_burn_alert = [ilog](const serve::SloReport& r) {
+        std::ostringstream d;
+        d << "burn rate " << r.burn_rate << " over " << r.window_count
+          << "-query window (p99 " << r.p99 * 1e3 << " ms vs "
+          << r.p99_target * 1e3 << " ms target)";
+        ilog->fire("slo_burn", sched::now_seconds(), -1, d.str());
+      };
+    }
     slo_storage = serve::SloMonitor(scfg);
     slo = &slo_storage;
     sopt.slo = slo;
@@ -166,6 +203,15 @@ int serve_queries(const CliArgs& args) {
     std::fprintf(stderr, "wrote %zu serve trace events to %s\n", trace.size(),
                  path.c_str());
   }
+  if (ring.has_value() && !fr_path.empty()) {
+    std::ofstream os(fr_path);
+    PARFW_CHECK_MSG(os.good(), "cannot open --flight-recorder " << fr_path);
+    ring->write_chrome(os);
+    std::fprintf(stderr,
+                 "[monitor] flight recorder: %zu events (%llu dropped) -> %s\n",
+                 ring->size(), static_cast<unsigned long long>(ring->dropped()),
+                 fr_path.c_str());
+  }
   return 0;
 }
 
@@ -190,6 +236,20 @@ int run(const Graph& g, const CliArgs& args) {
   }
   opt.block_size = static_cast<std::size_t>(args.get_int("block", 64));
   opt.track_paths = args.get_bool("paths");
+
+  // Live monitoring + flight recorder ride the dist interpreter's
+  // TraceSink/ScheduleObserver seams; everything prints to stderr so
+  // stdout stays byte-identical to an unmonitored run.
+  std::optional<sched::RingTraceSink> ring;
+  std::optional<monitor::IncidentLog> incidents;
+  std::optional<monitor::RunMonitor> mon;
+  const std::string fr_path = args.get("flight-recorder", "");
+  const bool want_monitor = args.has("monitor");
+  if ((want_monitor || !fr_path.empty()) &&
+      opt.algorithm != ApspAlgorithm::kDistributed)
+    std::fprintf(stderr,
+                 "[monitor] --monitor/--flight-recorder require "
+                 "--algorithm dist; ignored\n");
 
   if (opt.algorithm == ApspAlgorithm::kDistributed) {
     int pr = 2, pc = 2;
@@ -221,6 +281,28 @@ int run(const Graph& g, const CliArgs& args) {
     // registry, so PARFW_METRICS=json|prom|table surfaces them below.
     if (telemetry::enabled())
       opt.dist.metrics = &telemetry::Registry::global();
+
+    if (want_monitor || !fr_path.empty()) {
+      ring.emplace();
+      monitor::IncidentConfig icfg;
+      icfg.path_prefix = fr_path;  // empty: incidents stay in memory
+      icfg.log_out = stderr;
+      incidents.emplace(icfg, &*ring);
+      if (want_monitor) {
+        monitor::MonitorConfig mcfg;
+        const std::string interval = args.get("monitor", "");
+        if (!interval.empty())
+          mcfg.progress_interval_s = args.get_double("monitor", 1.0);
+        mcfg.progress_out = stderr;
+        if (telemetry::enabled())
+          mcfg.metrics = &telemetry::Registry::global();
+        mon.emplace(mcfg, &*ring, &*incidents);
+        opt.dist.trace = &*mon;
+        opt.dist.schedule_observer = &*mon;
+      } else {
+        opt.dist.trace = &*ring;  // recorder only, zero extra bookkeeping
+      }
+    }
   }
 
   Timer t;
@@ -230,6 +312,17 @@ int run(const Graph& g, const CliArgs& args) {
   std::fprintf(stderr, "solved %lld vertices in %.3f s (%s)\n",
                static_cast<long long>(g.num_vertices()), t.seconds(),
                alg.c_str());
+
+  if (mon.has_value()) mon->finish();
+  if (ring.has_value() && !fr_path.empty()) {
+    std::ofstream os(fr_path);
+    PARFW_CHECK_MSG(os.good(), "cannot open --flight-recorder " << fr_path);
+    ring->write_chrome(os);
+    std::fprintf(stderr,
+                 "[monitor] flight recorder: %zu events (%llu dropped) -> %s\n",
+                 ring->size(), static_cast<unsigned long long>(ring->dropped()),
+                 fr_path.c_str());
+  }
 
   if (args.has("publish")) {
     int pr = 1, pc = 1;
@@ -272,7 +365,8 @@ int main(int argc, char** argv) {
                         "algorithm", "semiring", "block", "paths",
                         "components", "query", "output", "dist", "variant",
                         "rpn", "publish", "publish-grid", "serve", "cache-mb",
-                        "serve-trace", "slo-p99-ms", "slow-log", "help"});
+                        "serve-trace", "slo-p99-ms", "slow-log", "monitor",
+                        "flight-recorder", "help"});
     if (args.get_bool("help") || argc == 1) {
       print_usage();
       return argc == 1 ? 2 : 0;
